@@ -1,0 +1,84 @@
+// Regenerates paper Fig. 10: energy-per-bit of the DOTA photonic tensor
+// accelerator when fed by each main-memory architecture, for DeiT-T and
+// DeiT-B. Photonic memories (COMET, COSMOS) inject light directly into
+// the tensor core; electronic memories pay an electro-optic conversion
+// on every bit.
+
+#include <iostream>
+
+#include "accel/dota.hpp"
+#include "accel/transformer.hpp"
+#include "core/comet_memory.hpp"
+#include "cosmos/cosmos_memory.hpp"
+#include "dram/dram_device.hpp"
+#include "dram/epcm.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using comet::util::Table;
+  namespace accel = comet::accel;
+
+  const auto models = {accel::TransformerModel::deit_tiny(),
+                       accel::TransformerModel::deit_base()};
+
+  std::cout << "=== Workload models ===\n";
+  Table workloads({"model", "params (M)", "GMACs/inf", "traffic (MB/inf)",
+                   "intensity (MAC/B)"});
+  for (const auto& m : models) {
+    workloads.add_row({m.name, Table::num(m.parameters() / 1e6, 1),
+                       Table::num(m.macs_per_inference() / 1e9, 2),
+                       Table::num(m.total_traffic_bytes() / 1e6, 1),
+                       Table::num(m.arithmetic_intensity(), 1)});
+  }
+  workloads.print(std::cout);
+
+  struct Entry {
+    comet::memsim::DeviceModel device;
+    bool photonic;
+  };
+  const auto losses = comet::photonics::LossParameters::paper();
+  std::vector<Entry> memories;
+  memories.push_back({comet::dram::ddr4_3d(), false});
+  memories.push_back({comet::dram::epcm_mm(), false});
+  memories.push_back({comet::cosmos::cosmos_device_model(
+                          comet::cosmos::CosmosConfig::paper(), losses),
+                      true});
+  memories.push_back({comet::core::CometMemory::device_model(
+                          comet::core::CometConfig::comet_4b(), losses),
+                      true});
+
+  std::cout << "\n=== Fig. 10: DOTA EPB by main memory ===\n";
+  Table results({"memory", "model", "stream BW (GB/s)", "demanded (GB/s)",
+                 "memory EPB", "conversion EPB", "total EPB (pJ/bit)"});
+  double comet_epb[2] = {0, 0};
+  double ddr4_epb[2] = {0, 0};
+  double cosmos_epb[2] = {0, 0};
+  for (const auto& entry : memories) {
+    const accel::DotaSystem dota(accel::DotaConfig::paper(), entry.device,
+                                 entry.photonic);
+    int mi = 0;
+    for (const auto& model : models) {
+      const auto r = dota.evaluate(model);
+      results.add_row({r.memory_name, r.model_name,
+                       Table::num(r.achieved_bw_gbps, 1),
+                       Table::num(r.demanded_bw_gbps, 1),
+                       Table::num(r.memory_epb, 1),
+                       Table::num(r.conversion_epb, 1),
+                       Table::num(r.total_epb(), 1)});
+      if (r.memory_name == "COMET-4b") comet_epb[mi] = r.total_epb();
+      if (r.memory_name == "3D_DDR4") ddr4_epb[mi] = r.total_epb();
+      if (r.memory_name == "COSMOS") cosmos_epb[mi] = r.total_epb();
+      ++mi;
+    }
+  }
+  results.print(std::cout);
+
+  std::cout << "\n=== Paper ratios ===\n"
+            << "COMET vs 3D_DDR4+DOTA: "
+            << Table::num(ddr4_epb[0] / comet_epb[0], 2) << "x (DeiT-T, paper 1.3x), "
+            << Table::num(ddr4_epb[1] / comet_epb[1], 2) << "x (DeiT-B, paper 2.06x)\n"
+            << "COMET vs COSMOS+DOTA:  "
+            << Table::num(cosmos_epb[0] / comet_epb[0], 2) << "x (DeiT-T, paper 2.7x), "
+            << Table::num(cosmos_epb[1] / comet_epb[1], 2) << "x (DeiT-B, paper 1.45x)\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Regenerates paper Figs. 1(b) & 2: the crossbar crosstalk level, the
+// per-write thermo-optic fraction shift, and the data-corruption sweep —
+// a synthetic image stored in a COSMOS-style crossbar is degraded by
+// writes to adjoining rows (the paper shows severe corruption after 4).
+// COMET's MR-isolated cells run the same experiment through the real
+// subarray machinery and stay clean.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/comet_memory.hpp"
+#include "cosmos/crossbar.hpp"
+#include "photonics/crosstalk.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr int kRows = 64;
+constexpr int kCols = 64;
+constexpr double kWriteEnergyPj = 750.0;  // GST transition energy [17]
+
+}  // namespace
+
+int main() {
+  using comet::util::Table;
+
+  const comet::photonics::CrosstalkModel crosstalk(
+      comet::photonics::CrosstalkModel::paper());
+  std::cout << "=== Fig. 1(b): crossbar crosstalk ===\n"
+            << "row-to-row coupling:    "
+            << Table::num(crosstalk.params().coupling_db, 2) << " dB\n"
+            << "coupled energy (750 pJ): "
+            << Table::num(crosstalk.coupled_energy_pj(kWriteEnergyPj), 1)
+            << " pJ   (paper: ~12.6 pJ)\n"
+            << "fraction shift per write: "
+            << Table::num(crosstalk.fraction_shift(kWriteEnergyPj) * 100, 1)
+            << " %    (paper: ~8 %)\n\n";
+
+  // Store a deterministic synthetic "image" (4-bit pixels) in the
+  // original COSMOS crossbar (4 bits/cell), then write pseudo-random
+  // data to adjoining rows and track corruption after each pass.
+  comet::util::Rng rng(2024);
+  comet::cosmos::Crossbar crossbar(kRows, kCols, /*bits_per_cell=*/4);
+  for (int r = 0; r < kRows; ++r) {
+    for (int c = 0; c < kCols; ++c) {
+      // Smooth gradient + texture: plausible image statistics. Deposited
+      // as the ideal initial state (Fig. 2 left, "original image").
+      const int value = ((r + c) / 8 + static_cast<int>(rng.next_below(3))) % 16;
+      crossbar.set_state(r, c, value);
+    }
+  }
+  std::cout << "=== Fig. 2: corruption vs adjacent-row writes (COSMOS "
+               "crossbar, 4-bit cells) ===\n";
+  Table sweep({"adjacent writes", "corrupted cells (%)",
+               "mean |level error|"});
+  sweep.add_row({"0 (original image)",
+                 Table::num(crossbar.corrupted_fraction() * 100, 1),
+                 Table::num(crossbar.mean_level_error(), 2)});
+  std::vector<int> scratch(static_cast<std::size_t>(kCols));
+  for (int pass = 1; pass <= 4; ++pass) {
+    // Write every even row with new data: odd rows are "adjoining".
+    for (int r = 0; r < kRows; r += 2) {
+      for (auto& lvl : scratch) {
+        lvl = static_cast<int>(rng.next_below(16));
+      }
+      crossbar.write_row(r, scratch, kWriteEnergyPj);
+    }
+    sweep.add_row({std::to_string(pass),
+                   Table::num(crossbar.corrupted_fraction() * 100, 1),
+                   Table::num(crossbar.mean_level_error(), 2)});
+  }
+  sweep.print(std::cout);
+  std::cout << "(paper: the stored image is severely corrupted after 4 "
+               "writes to adjoining rows)\n\n";
+
+  // The same experiment against COMET's MR-isolated cells: write lines,
+  // hammer neighbouring lines, read back through the full loss/gain/
+  // classification chain.
+  comet::core::CometMemory comet_mem;
+  const auto line = comet_mem.config().line_bytes();
+  std::vector<std::uint8_t> data(line), readback(line), hammer(line);
+  for (std::size_t i = 0; i < line; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7 + 13);
+  }
+  comet_mem.write_line(0, data);
+  int errors = 0;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (auto& b : hammer) b = static_cast<std::uint8_t>(rng.next_u64());
+    // Adjacent rows of the same subarray live one bank-interleave step
+    // apart in the address space.
+    comet_mem.write_line(line * comet_mem.config().channels *
+                             comet_mem.config().banks,
+                         hammer);
+    const auto result = comet_mem.read_line(0, readback);
+    if (!result.correct || readback != data) ++errors;
+  }
+  std::cout << "=== COMET (MR-isolated cells), same experiment ===\n"
+            << "read errors after 4 adjacent-row writes: " << errors
+            << "   (paper: crosstalk-free by construction)\n";
+  return errors == 0 ? 0 : 1;
+}

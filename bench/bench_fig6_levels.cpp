@@ -1,0 +1,52 @@
+// Regenerates paper Fig. 6: programming latency and optical transmission
+// of the 16 crystalline-fraction levels of the 4-bit GST cell, for both
+// programming case studies (crystalline reset / amorphous reset), plus
+// the reset-pulse energies of Section III.B (880 pJ / 280 pJ).
+
+#include <iostream>
+
+#include "materials/mlc_levels.hpp"
+#include "materials/pcm_material.hpp"
+#include "materials/thermal_model.hpp"
+#include "photonics/gst_cell.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace comet::materials;
+  using comet::util::Table;
+
+  const auto& gst = PcmMaterial::get(Pcm::kGst);
+  const comet::photonics::GstCell cell(
+      gst, comet::photonics::GstCellGeometry::paper());
+  const PcmThermalModel thermal(GstThermalCalibration::calibrated());
+
+  for (const auto mode : {ProgrammingMode::kAmorphousReset,
+                          ProgrammingMode::kCrystallineReset}) {
+    const auto table =
+        MlcLevelTable::build(4, mode, thermal, cell.transmission_curve());
+    const bool amorphous = mode == ProgrammingMode::kAmorphousReset;
+    std::cout << "=== Fig. 6 (" << (amorphous ? "case 2: amorphous reset"
+                                              : "case 1: crystalline reset")
+              << ") ===\n";
+    Table rows({"level", "transmission", "crystalline fraction",
+                "write latency (ns)", "write energy (pJ)"});
+    for (const auto& level : table.levels()) {
+      rows.add_row({std::to_string(level.index),
+                    Table::num(level.transmission, 3),
+                    Table::num(level.crystalline_fraction, 3),
+                    Table::num(level.write_latency_ns, 1),
+                    Table::num(level.write_energy_pj, 1)});
+    }
+    rows.print(std::cout);
+    std::cout << "level spacing: " << Table::num(table.level_spacing(), 3)
+              << " (paper: ~6 %)\n"
+              << "reset pulse:   " << Table::num(table.reset().latency_ns, 1)
+              << " ns, " << Table::num(table.reset().energy_pj, 1)
+              << " pJ  (paper: "
+              << (amorphous ? "~56 ns, 280 pJ" : "~210 ns, 880 pJ") << ")\n"
+              << "max write:     "
+              << Table::num(table.max_write_latency_ns(), 1)
+              << " ns  (Table II max write: 170 ns)\n\n";
+  }
+  return 0;
+}

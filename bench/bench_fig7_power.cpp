@@ -1,0 +1,70 @@
+// Regenerates paper Fig. 7: stacked operating-power breakdown of COMET at
+// bit densities b = 1, 2 and 4 (COMET-1b / -2b / -4b), plus the Table I
+// parameters and the itemized worst-case launch-path loss budget.
+
+#include <iostream>
+
+#include "core/comet_config.hpp"
+#include "core/power_model.hpp"
+#include "photonics/losses.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using comet::util::Table;
+  const auto losses = comet::photonics::LossParameters::paper();
+
+  Table table_i({"Table I parameter", "value"});
+  table_i.add_row({"coupling loss", "1 dB"});
+  table_i.add_row({"MR drop loss", Table::num(losses.mr_drop_loss_db, 2) + " dB"});
+  table_i.add_row({"MR through loss", Table::num(losses.mr_through_loss_db, 2) + " dB"});
+  table_i.add_row({"EO MR drop loss", Table::num(losses.eo_mr_drop_loss_db, 2) + " dB"});
+  table_i.add_row({"EO MR through loss", Table::num(losses.eo_mr_through_loss_db, 2) + " dB"});
+  table_i.add_row({"propagation loss", Table::num(losses.propagation_loss_db_per_cm, 2) + " dB/cm"});
+  table_i.add_row({"bending loss", Table::num(losses.bending_loss_db_per_90deg, 2) + " dB/90deg"});
+  table_i.add_row({"SOA gain", Table::num(losses.soa_gain_db, 1) + " dB"});
+  table_i.add_row({"laser wall-plug efficiency", Table::num(losses.laser_wall_plug_efficiency * 100, 0) + " %"});
+  table_i.add_row({"EO tuning power", Table::num(losses.eo_tuning_power_uw_per_nm, 1) + " uW/nm"});
+  table_i.add_row({"max power at GST cell", Table::num(losses.max_power_at_cell_mw, 1) + " mW"});
+  table_i.add_row({"intra-subarray SOA power", Table::num(losses.intra_subarray_soa_power_mw, 1) + " mW"});
+  std::cout << "=== Table I: loss & power parameters ===\n";
+  table_i.print(std::cout);
+
+  const comet::core::CometConfig configs[] = {
+      comet::core::CometConfig::comet_1b(),
+      comet::core::CometConfig::comet_2b(),
+      comet::core::CometConfig::comet_4b(),
+  };
+
+  std::cout << "\n=== Launch-path loss budget (COMET-4b) ===\n";
+  {
+    const comet::core::CometPowerModel model(configs[2], losses);
+    const auto budget = model.launch_path_budget();
+    Table loss_table({"path element", "dB each", "count", "total dB"});
+    for (const auto& item : budget.items()) {
+      loss_table.add_row({item.name, Table::num(item.db_each, 2),
+                          Table::num(item.count, 0),
+                          Table::num(item.total_db(), 2)});
+    }
+    loss_table.add_row({"TOTAL", "", "", Table::num(budget.total_db(), 2)});
+    loss_table.print(std::cout);
+  }
+
+  std::cout << "\n=== Fig. 7: COMET power stacks ===\n";
+  Table stacks({"config", "wavelengths", "laser (W)", "SOA (W)",
+                "EO tuning (W)", "interface (W)", "TOTAL (W)"});
+  for (const auto& config : configs) {
+    const comet::core::CometPowerModel model(config, losses);
+    const auto stack = model.breakdown();
+    stacks.add_row({stack.label, std::to_string(config.wavelengths()),
+                    Table::num(stack.component_w("laser"), 2),
+                    Table::num(stack.component_w("soa"), 2),
+                    Table::num(stack.component_w("eo_tuning"), 4),
+                    Table::num(stack.component_w("interface"), 2),
+                    Table::num(stack.total_w(), 2)});
+  }
+  stacks.print(std::cout);
+  std::cout << "\nPaper shape: total power drops steeply from COMET-1b to\n"
+               "COMET-4b (fewer wavelengths -> less laser + SOA power),\n"
+               "which is why b = 4 is the chosen design point.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates paper Fig. 8: operating-power stacks of the corrected
+// COSMOS vs COMET-4b, including the paper's headline "COMET consumes
+// only 26 % of the power of the best-known prior OPCM architecture".
+
+#include <iostream>
+
+#include "core/comet_config.hpp"
+#include "core/power_model.hpp"
+#include "cosmos/cosmos_memory.hpp"
+#include "photonics/losses.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using comet::util::Table;
+  const auto losses = comet::photonics::LossParameters::paper();
+
+  const comet::core::CometPowerModel comet_model(
+      comet::core::CometConfig::comet_4b(), losses);
+  const comet::cosmos::CosmosPowerModel cosmos_model(
+      comet::cosmos::CosmosConfig::paper(), losses);
+
+  const auto comet_stack = comet_model.breakdown();
+  const auto cosmos_stack = cosmos_model.breakdown();
+
+  std::cout << "=== COSMOS launch-path loss budget ===\n";
+  {
+    Table loss_table({"path element", "dB each", "count", "total dB"});
+    const auto budget = cosmos_model.launch_path_budget();
+    for (const auto& item : budget.items()) {
+      loss_table.add_row({item.name, Table::num(item.db_each, 2),
+                          Table::num(item.count, 0),
+                          Table::num(item.total_db(), 2)});
+    }
+    loss_table.add_row({"TOTAL", "", "", Table::num(budget.total_db(), 2)});
+    loss_table.print(std::cout);
+  }
+
+  std::cout << "\n=== Fig. 8: power stacks ===\n";
+  Table stacks({"component", "COSMOS (W)", "COMET-4b (W)"});
+  for (const auto& name : {"laser", "soa", "eo_tuning", "interface"}) {
+    stacks.add_row({name, Table::num(cosmos_stack.component_w(name), 2),
+                    Table::num(comet_stack.component_w(name), 2)});
+  }
+  stacks.add_row({"TOTAL", Table::num(cosmos_stack.total_w(), 2),
+                  Table::num(comet_stack.total_w(), 2)});
+  stacks.print(std::cout);
+
+  const double ratio = comet_stack.total_w() / cosmos_stack.total_w();
+  std::cout << "\nCOMET / COSMOS power = " << Table::num(ratio * 100.0, 1)
+            << " %  (paper: ~26 %)\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Verifies Table II of the paper (architectural timing of the photonic
+// memory systems) against the models, then uses google-benchmark to time
+// the functional COMET stack itself (line write/read through the full
+// material + photonic machinery) — the host-side cost of simulating one
+// access, useful for sizing large experiments.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/comet_memory.hpp"
+#include "cosmos/cosmos_memory.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+void print_table2() {
+  using comet::util::Table;
+  const auto losses = comet::photonics::LossParameters::paper();
+  const auto comet_d = comet::core::CometMemory::device_model(
+      comet::core::CometConfig::comet_4b(), losses);
+  const auto cosmos_d = comet::cosmos::cosmos_device_model(
+      comet::cosmos::CosmosConfig::paper(), losses);
+
+  Table t({"parameter", "COMET (model)", "COMET (paper)", "COSMOS (model)",
+           "COSMOS (paper)"});
+  t.add_row({"banks", "4", "4", "16", "8 (Table II) / 16 (Sec IV.B)"});
+  t.add_row({"bus width (bits)", "256", "256", "128", "128"});
+  t.add_row({"burst length", "4", "4", "8", "8"});
+  t.add_row({"read occupancy (ns)",
+             Table::num(comet::util::ps_to_ns(comet_d.timing.read_occupancy_ps), 0),
+             "10 (+2 MR tuning)",
+             Table::num(comet::util::ps_to_ns(cosmos_d.timing.read_occupancy_ps), 0),
+             "25 (+ subtractive passes)"});
+  t.add_row({"write occupancy (ns)",
+             Table::num(comet::util::ps_to_ns(comet_d.timing.write_occupancy_ps), 0),
+             "170 (+2 MR tuning)",
+             Table::num(comet::util::ps_to_ns(cosmos_d.timing.write_occupancy_ps), 0),
+             "1600"});
+  t.add_row({"interface delay (ns)",
+             Table::num(comet::util::ps_to_ns(comet_d.timing.interface_ps), 0), "105",
+             Table::num(comet::util::ps_to_ns(cosmos_d.timing.interface_ps), 0), "105"});
+  t.add_row({"data burst (ns)",
+             Table::num(comet::util::ps_to_ns(comet_d.timing.burst_ps), 0), "4 x 1",
+             Table::num(comet::util::ps_to_ns(cosmos_d.timing.burst_ps), 0), "8 x 1"});
+  std::cout << "=== Table II: architectural timing ===\n";
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void bm_comet_write_line(benchmark::State& state) {
+  comet::core::CometMemory memory;
+  const auto line = memory.config().line_bytes();
+  std::vector<std::uint8_t> data(line, 0xA5);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.write_line(addr, data));
+    addr += line;
+    if (addr > (1ull << 22)) addr = 0;
+  }
+}
+BENCHMARK(bm_comet_write_line);
+
+void bm_comet_read_line(benchmark::State& state) {
+  comet::core::CometMemory memory;
+  const auto line = memory.config().line_bytes();
+  std::vector<std::uint8_t> data(line, 0x5A), out(line);
+  memory.write_line(0, data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.read_line(0, out));
+  }
+}
+BENCHMARK(bm_comet_read_line);
+
+void bm_pack_levels(benchmark::State& state) {
+  std::vector<std::uint8_t> data(128, 0xC3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        comet::core::CometMemory::pack_levels(data, 4));
+  }
+}
+BENCHMARK(bm_pack_levels);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

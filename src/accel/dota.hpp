@@ -1,0 +1,78 @@
+#pragma once
+
+#include "accel/transformer.hpp"
+#include "memsim/device.hpp"
+#include "memsim/system.hpp"
+
+/// DOTA: a dynamically-operated photonic tensor core transformer
+/// accelerator (paper Section IV.D, Fig. 10).
+///
+/// The case study quantifies how the main memory choice changes the
+/// accelerator's energy-per-bit of data movement. Three mechanisms are
+/// modelled:
+///
+///  1. Memory energy: the memory's background power amortized over the
+///     achieved streaming bandwidth (measured by replaying a streaming
+///     weight/activation trace through the trace simulator), plus its
+///     dynamic per-bit energy.
+///  2. Electro-optic conversion: an *electronic* memory feeding the
+///     photonic core pays a DAC + modulator-driver conversion on every
+///     bit; photonic memories (COMET, COSMOS) inject light directly.
+///  3. Utilization: DOTA's dynamic operation keeps the photonic core
+///     busier on larger models, so the demanded streaming bandwidth
+///     (compute rate / arithmetic intensity) grows from DeiT-T to
+///     DeiT-B; memories that cannot keep up stretch execution and burn
+///     background power over more time per bit.
+namespace comet::accel {
+
+struct DotaConfig {
+  /// Photonic tensor cores run at tens of TOPS (the point of optical
+  /// compute); 20 TOPS keeps DeiT-B's streaming demand in the tens of
+  /// GB/s, which is where the memory choice starts to matter.
+  double peak_tops = 20.0;
+  double utilization_tiny = 0.35;    ///< Core utilization on DeiT-T.
+  double utilization_base = 0.80;    ///< Core utilization on DeiT-B.
+  /// High-speed DAC + modulator driver feeding the photonic core from an
+  /// electronic memory (tens of pJ/bit at >= 8-bit resolution).
+  double eo_conversion_pj_per_bit = 85.0;
+  double accel_overhead_pj_per_bit = 10.0; ///< Buffers/NoC/control.
+
+  static DotaConfig paper();
+};
+
+/// Per-(memory, model) case-study result.
+struct DotaResult {
+  std::string memory_name;
+  std::string model_name;
+  double demanded_bw_gbps = 0.0;   ///< Compute-rate / intensity.
+  double achieved_bw_gbps = 0.0;   ///< Streaming bandwidth of the memory.
+  double effective_bw_gbps = 0.0;  ///< min(demanded, achieved).
+  double memory_epb = 0.0;         ///< Background + dynamic [pJ/bit].
+  double conversion_epb = 0.0;     ///< E/O conversion [pJ/bit].
+  double overhead_epb = 0.0;       ///< Accelerator-side movement overhead.
+  double total_epb() const {
+    return memory_epb + conversion_epb + overhead_epb;
+  }
+};
+
+class DotaSystem {
+ public:
+  /// `memory_is_photonic` controls the conversion term (mechanism 2).
+  DotaSystem(const DotaConfig& config, memsim::DeviceModel memory,
+             bool memory_is_photonic);
+
+  /// Evaluates one inference workload. Streaming bandwidth is measured
+  /// with a deterministic synthetic weight-stream trace (seeded).
+  DotaResult evaluate(const TransformerModel& model) const;
+
+  /// Measured streaming bandwidth of the attached memory [GB/s].
+  double streaming_bandwidth_gbps() const { return streaming_bw_gbps_; }
+
+ private:
+  DotaConfig config_;
+  memsim::MemorySystem memory_;
+  bool photonic_;
+  double streaming_bw_gbps_;
+};
+
+}  // namespace comet::accel

@@ -1,0 +1,53 @@
+#include "accel/transformer.hpp"
+
+namespace comet::accel {
+
+TransformerModel TransformerModel::deit_tiny() {
+  return TransformerModel{.name = "DeiT-T", .hidden = 192, .heads = 3};
+}
+
+TransformerModel TransformerModel::deit_base() {
+  return TransformerModel{.name = "DeiT-B", .hidden = 768, .heads = 12};
+}
+
+std::uint64_t TransformerModel::parameters() const {
+  const auto d = static_cast<std::uint64_t>(hidden);
+  // Per layer: QKV + output projection (4 d^2) + MLP (2 * mlp_ratio d^2).
+  const std::uint64_t per_layer = 4 * d * d + 2 * mlp_ratio * d * d;
+  // Patch embedding: 16x16x3 -> d.
+  const std::uint64_t patch_embed = 16ull * 16 * 3 * d;
+  return layers * per_layer + patch_embed;
+}
+
+std::uint64_t TransformerModel::macs_per_inference() const {
+  const auto d = static_cast<std::uint64_t>(hidden);
+  const auto n = static_cast<std::uint64_t>(seq_len);
+  // GEMMs: every weight is used once per token.
+  const std::uint64_t gemm = parameters() * n;
+  // Attention score and value products: 2 * n^2 * d per layer.
+  const std::uint64_t attention = 2ull * layers * n * n * d;
+  return gemm + attention;
+}
+
+std::uint64_t TransformerModel::weight_traffic_bytes() const {
+  return parameters() * static_cast<std::uint64_t>(bytes_per_value);
+}
+
+std::uint64_t TransformerModel::activation_traffic_bytes() const {
+  const auto d = static_cast<std::uint64_t>(hidden);
+  const auto n = static_cast<std::uint64_t>(seq_len);
+  // Layer inputs/outputs spill to memory between layers (DOTA's on-chip
+  // buffering holds one layer's working set, not the residual stream).
+  return 2ull * layers * n * d * bytes_per_value;
+}
+
+std::uint64_t TransformerModel::total_traffic_bytes() const {
+  return weight_traffic_bytes() + activation_traffic_bytes();
+}
+
+double TransformerModel::arithmetic_intensity() const {
+  return static_cast<double>(macs_per_inference()) /
+         static_cast<double>(total_traffic_bytes());
+}
+
+}  // namespace comet::accel

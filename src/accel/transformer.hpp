@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// Vision-transformer workload models for the DOTA case study (paper
+/// Section IV.D, Fig. 10). DeiT-T and DeiT-B follow the standard ViT
+/// arithmetic: 12 encoder layers of hidden size d with 4d MLPs over a
+/// 197-token sequence (224x224 image, 16x16 patches, +1 class token).
+namespace comet::accel {
+
+struct TransformerModel {
+  std::string name;
+  int layers = 12;
+  int hidden = 192;        ///< Embedding dimension d.
+  int heads = 3;
+  int mlp_ratio = 4;
+  int seq_len = 197;
+  int bytes_per_value = 2; ///< fp16 weights/activations.
+
+  static TransformerModel deit_tiny();  ///< d=192, ~5.5 M params.
+  static TransformerModel deit_base();  ///< d=768, ~86 M params.
+
+  /// Encoder parameter count: per layer 4 d^2 (attention) + 2*4 d^2
+  /// (MLP) = 12 d^2, plus the patch embedding.
+  std::uint64_t parameters() const;
+
+  /// MACs per single-image inference (GEMMs + attention products).
+  std::uint64_t macs_per_inference() const;
+
+  /// Weight bytes streamed from main memory per inference (no on-chip
+  /// weight residency — DOTA streams weights into the photonic core).
+  std::uint64_t weight_traffic_bytes() const;
+
+  /// Activation bytes exchanged with main memory per inference.
+  std::uint64_t activation_traffic_bytes() const;
+
+  /// Total main-memory traffic per inference.
+  std::uint64_t total_traffic_bytes() const;
+
+  /// MACs per traffic byte — the arithmetic intensity that sets the
+  /// bandwidth demand at a given compute rate.
+  double arithmetic_intensity() const;
+};
+
+}  // namespace comet::accel

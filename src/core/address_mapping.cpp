@@ -1,0 +1,95 @@
+#include "core/address_mapping.hpp"
+
+#include <stdexcept>
+
+namespace comet::core {
+
+AddressMapper::AddressMapper(const CometConfig& config) : config_(config) {
+  config_.validate();
+}
+
+MappedAddress AddressMapper::map(const FlatAddress& flat) const {
+  const auto mr = static_cast<std::uint64_t>(config_.rows_per_subarray);
+  const auto mc = static_cast<std::uint64_t>(config_.cols_per_subarray);
+  const auto grid = static_cast<std::uint64_t>(config_.subarray_grid_dim());
+
+  if (flat.row >= config_.rows_per_bank()) {
+    throw std::out_of_range("AddressMapper::map: row out of range");
+  }
+  const std::uint64_t id1 = flat.row / mr;    // eq. (2)
+  const std::uint64_t id2 = flat.column / mc; // eq. (3)
+
+  MappedAddress m;
+  m.channel = flat.channel;
+  m.bank = flat.bank;
+  m.subarray_id = id2 * grid + id1;           // eq. (4)
+  m.subarray_row = flat.row % mr;             // eq. (5)
+  m.subarray_col = flat.column % mc;          // eq. (6)
+  return m;
+}
+
+FlatAddress AddressMapper::unmap(const MappedAddress& mapped) const {
+  const auto mr = static_cast<std::uint64_t>(config_.rows_per_subarray);
+
+  // COMET fixes S_c = 1 (M_c = N_c, Section III.E), so ID2 of eq. (3) is
+  // structurally zero and eq. (4) degenerates to SubarrayID = ID1; the
+  // inverse therefore recovers ID1 directly. (The paper's grid form of
+  // eq. (4) is not invertible for ID1 >= sqrt(S_r) otherwise.)
+  const std::uint64_t id1 = mapped.subarray_id;
+
+  FlatAddress flat;
+  flat.channel = mapped.channel;
+  flat.bank = mapped.bank;
+  flat.row = id1 * mr + mapped.subarray_row;
+  flat.column = mapped.subarray_col;
+  return flat;
+}
+
+FlatAddress AddressMapper::decode(std::uint64_t byte_address) const {
+  const std::uint64_t line = config_.line_bytes();
+  const auto channels = static_cast<std::uint64_t>(config_.channels);
+  const auto banks = static_cast<std::uint64_t>(config_.banks);
+  const auto mc = static_cast<std::uint64_t>(config_.cols_per_subarray);
+  const auto bits = static_cast<std::uint64_t>(config_.bits_per_cell);
+
+  const std::uint64_t line_index = byte_address / line;
+  FlatAddress flat;
+  flat.channel = static_cast<int>(line_index % channels);
+  const std::uint64_t in_channel = line_index / channels;
+  flat.bank = static_cast<int>(in_channel % banks);
+  const std::uint64_t in_bank = in_channel / banks;
+
+  // One row stores M_c cells x b bits; lines fill a row before moving on.
+  const std::uint64_t row_bits = mc * bits;
+  const std::uint64_t lines_per_row = row_bits / (line * 8) == 0
+                                          ? 1
+                                          : row_bits / (line * 8);
+  flat.row = in_bank / lines_per_row;
+  const std::uint64_t line_in_row = in_bank % lines_per_row;
+  flat.column = line_in_row * (line * 8 / bits) % mc;
+  return flat;
+}
+
+std::uint64_t AddressMapper::encode(const FlatAddress& flat) const {
+  const std::uint64_t line = config_.line_bytes();
+  const auto channels = static_cast<std::uint64_t>(config_.channels);
+  const auto banks = static_cast<std::uint64_t>(config_.banks);
+  const auto mc = static_cast<std::uint64_t>(config_.cols_per_subarray);
+  const auto bits = static_cast<std::uint64_t>(config_.bits_per_cell);
+
+  const std::uint64_t row_bits = mc * bits;
+  const std::uint64_t lines_per_row =
+      row_bits / (line * 8) == 0 ? 1 : row_bits / (line * 8);
+  const std::uint64_t cells_per_line = line * 8 / bits;
+  const std::uint64_t line_in_row =
+      (flat.column % mc) / (cells_per_line == 0 ? 1 : cells_per_line);
+
+  const std::uint64_t in_bank = flat.row * lines_per_row + line_in_row;
+  const std::uint64_t in_channel =
+      in_bank * banks + static_cast<std::uint64_t>(flat.bank);
+  const std::uint64_t line_index =
+      in_channel * channels + static_cast<std::uint64_t>(flat.channel);
+  return line_index * line;
+}
+
+}  // namespace comet::core

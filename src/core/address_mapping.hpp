@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/comet_config.hpp"
+
+/// COMET address mapping (paper Section III.F, equations 1–6).
+///
+/// The memory controller's flat {Channel, Row, Bank, Column} view is
+/// mapped onto {Channel, SubarrayID, SubarrayROW, Bank, SubarrayCOL}:
+///
+///   ID1          = int(RowID / M_r)                       (2)
+///   ID2          = int(ColumnID / M_c)                    (3)
+///   SubarrayID   = ID2 * sqrt(S_r) + ID1                  (4)
+///   SubarrayROW  = RowID mod M_r                          (5)
+///   SubarrayCOL  = ColumnID mod M_c                       (6)
+///
+/// With S_c = 1 (M_c = N_c) ID2 is always 0 in the shipped configs, but
+/// the mapping is implemented in full generality so subarray-column
+/// splits can be explored.
+namespace comet::core {
+
+/// Controller-side flat coordinates.
+struct FlatAddress {
+  int channel = 0;
+  int bank = 0;
+  std::uint64_t row = 0;     ///< RowID in [0, N_r).
+  std::uint64_t column = 0;  ///< ColumnID in [0, N_c).
+};
+
+/// Device-side physical coordinates.
+struct MappedAddress {
+  int channel = 0;
+  int bank = 0;
+  std::uint64_t subarray_id = 0;
+  std::uint64_t subarray_row = 0;
+  std::uint64_t subarray_col = 0;
+};
+
+class AddressMapper {
+ public:
+  explicit AddressMapper(const CometConfig& config);
+
+  /// Equations (2)–(6).
+  MappedAddress map(const FlatAddress& flat) const;
+
+  /// Inverse of map(); map(unmap(m)) == m for valid coordinates.
+  FlatAddress unmap(const MappedAddress& mapped) const;
+
+  /// Decodes a physical byte address into flat coordinates: cache lines
+  /// interleave over channels, then banks; within a bank the address
+  /// fills columns before rows (a row of M_c cells holds M_c * b bits).
+  FlatAddress decode(std::uint64_t byte_address) const;
+
+  /// Inverse of decode() back to a byte address.
+  std::uint64_t encode(const FlatAddress& flat) const;
+
+  const CometConfig& config() const { return config_; }
+
+ private:
+  CometConfig config_;
+};
+
+}  // namespace comet::core

@@ -1,0 +1,50 @@
+#include "core/bank.hpp"
+
+#include <stdexcept>
+
+namespace comet::core {
+
+Bank::Bank(const CometConfig& config, const materials::MlcLevelTable* table,
+           const GainLut* lut, const photonics::LossParameters& losses)
+    : config_(config), table_(table), lut_(lut), switch_(losses) {}
+
+Subarray& Bank::subarray(std::uint64_t subarray_id) {
+  if (subarray_id >= static_cast<std::uint64_t>(config_.subarrays)) {
+    throw std::out_of_range("Bank: subarray id out of range");
+  }
+  auto it = subarrays_.find(subarray_id);
+  if (it == subarrays_.end()) {
+    it = subarrays_
+             .emplace(subarray_id,
+                      std::make_unique<Subarray>(config_, table_, lut_))
+             .first;
+  }
+  return *it->second;
+}
+
+double Bank::steer_to(std::uint64_t subarray_id) {
+  if (coupled_ == static_cast<std::int64_t>(subarray_id)) return 0.0;
+  coupled_ = static_cast<std::int64_t>(subarray_id);
+  // Decouple the old subarray's switch and couple the new one; the two
+  // GST transitions overlap, so one transition latency is charged.
+  return photonics::GstSwitch::transition_latency_ns();
+}
+
+RowOpResult Bank::write_row(std::uint64_t subarray_id, int row,
+                            std::span<const int> levels) {
+  const double steer_ns = steer_to(subarray_id);
+  auto result = subarray(subarray_id).write_row(row, levels);
+  result.latency_ns += steer_ns;
+  result.energy_pj += steer_ns > 0.0 ? switch_.transition_energy_pj() : 0.0;
+  return result;
+}
+
+RowOpResult Bank::read_row(std::uint64_t subarray_id, int row) {
+  const double steer_ns = steer_to(subarray_id);
+  auto result = subarray(subarray_id).read_row(row);
+  result.latency_ns += steer_ns;
+  result.energy_pj += steer_ns > 0.0 ? switch_.transition_energy_pj() : 0.0;
+  return result;
+}
+
+}  // namespace comet::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "core/subarray.hpp"
+#include "photonics/gst_switch.hpp"
+
+/// One COMET bank (paper Fig. 5d): S_r subarrays behind GST waveguide
+/// switches that steer the bank's wavelength set to exactly one subarray
+/// at a time. Steering to a *different* subarray costs the 100 ns GST
+/// transition; repeated accesses to the currently-coupled subarray do
+/// not. Subarray cell storage is allocated lazily — an 8 GB bank holds
+/// millions of cells, and functional studies touch only a few subarrays.
+namespace comet::core {
+
+class Bank {
+ public:
+  Bank(const CometConfig& config, const materials::MlcLevelTable* table,
+       const GainLut* lut, const photonics::LossParameters& losses);
+
+  /// Programs a full row of a subarray. Latency includes any GST switch
+  /// steering transition.
+  RowOpResult write_row(std::uint64_t subarray_id, int row,
+                        std::span<const int> levels);
+
+  /// Reads a full row of a subarray.
+  RowOpResult read_row(std::uint64_t subarray_id, int row);
+
+  /// Subarray currently coupled to the wavelengths (-1 before first use).
+  std::int64_t coupled_subarray() const { return coupled_; }
+
+  /// Number of subarrays materialized so far.
+  std::size_t materialized_subarrays() const { return subarrays_.size(); }
+
+  /// Direct subarray access for fault injection (materializes it).
+  Subarray& subarray(std::uint64_t subarray_id);
+
+ private:
+  double steer_to(std::uint64_t subarray_id);
+
+  CometConfig config_;
+  const materials::MlcLevelTable* table_;
+  const GainLut* lut_;
+  photonics::GstSwitch switch_;
+  std::int64_t coupled_ = -1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Subarray>> subarrays_;
+};
+
+}  // namespace comet::core

@@ -1,0 +1,79 @@
+#include "core/comet_config.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace comet::core {
+
+CometConfig CometConfig::comet_1b() {
+  CometConfig c;
+  c.cols_per_subarray = 1024;
+  c.bits_per_cell = 1;
+  return c;
+}
+
+CometConfig CometConfig::comet_2b() {
+  CometConfig c;
+  c.cols_per_subarray = 512;
+  c.bits_per_cell = 2;
+  return c;
+}
+
+CometConfig CometConfig::comet_4b() { return CometConfig{}; }
+
+std::uint64_t CometConfig::rows_per_bank() const {
+  return static_cast<std::uint64_t>(subarrays) * rows_per_subarray;
+}
+
+std::uint64_t CometConfig::cells_per_bank() const {
+  return rows_per_bank() * static_cast<std::uint64_t>(cols_per_subarray);
+}
+
+std::uint64_t CometConfig::bits_per_chip() const {
+  return static_cast<std::uint64_t>(banks) * cells_per_bank() *
+         static_cast<std::uint64_t>(bits_per_cell);
+}
+
+std::uint64_t CometConfig::capacity_bytes() const {
+  return bits_per_chip() / 8 * static_cast<std::uint64_t>(channels);
+}
+
+std::uint64_t CometConfig::line_bytes() const {
+  return static_cast<std::uint64_t>(bus_width_bits) * burst_length / 8;
+}
+
+std::uint64_t CometConfig::active_soas() const {
+  return static_cast<std::uint64_t>(banks) * rows_per_subarray *
+         cols_per_subarray / static_cast<std::uint64_t>(rows_per_soa);
+}
+
+std::uint64_t CometConfig::tuned_mrs_per_access() const {
+  return static_cast<std::uint64_t>(banks) * 2 *
+         static_cast<std::uint64_t>(cols_per_subarray);
+}
+
+int CometConfig::subarray_grid_dim() const {
+  return static_cast<int>(std::lround(std::sqrt(double(subarrays))));
+}
+
+void CometConfig::validate() const {
+  if (banks < 1 || subarrays < 1 || rows_per_subarray < 1 ||
+      cols_per_subarray < 1 || channels < 1) {
+    throw std::invalid_argument("CometConfig: non-positive geometry");
+  }
+  if (bits_per_cell < 1 || bits_per_cell > 5) {
+    throw std::invalid_argument("CometConfig: bits_per_cell outside [1,5]");
+  }
+  const int dim = subarray_grid_dim();
+  if (dim * dim != subarrays) {
+    throw std::invalid_argument("CometConfig: S_r must be a perfect square");
+  }
+  if (rows_per_soa < 1) {
+    throw std::invalid_argument("CometConfig: rows_per_soa < 1");
+  }
+  if (bus_width_bits < 8 || burst_length < 1) {
+    throw std::invalid_argument("CometConfig: bad bus shape");
+  }
+}
+
+}  // namespace comet::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+
+/// COMET architecture configuration (paper Sections III.C–III.F, IV.A,
+/// Table II).
+///
+/// A COMET chip is B MDM-parallel banks of N_r x N_c OPCM cells at b
+/// bits/cell. Each bank is split into S_r subarrays of M_r x M_c cells
+/// (S_c = 1, i.e. M_c = N_c: the SOA-based loss mitigation lets a row
+/// span the full column count). The paper's 8 GB evaluation point is
+/// (B x S_r x M_r x M_c x b) = (4 x 4096 x 512 x 256 x 4).
+///
+/// Note on capacity: that geometry yields 8.59 Gbit ~ 1.07 GB per chip;
+/// the paper nonetheless calls the system 8 GB. We model the stated
+/// geometry per chip and reach 8 GB with 8 channels (see DESIGN.md,
+/// "known paper inconsistencies").
+namespace comet::core {
+
+struct CometConfig {
+  // --- Geometry.
+  int banks = 4;              ///< B = MDM degree.
+  int subarrays = 4096;       ///< S_r per bank (S_c = 1).
+  int rows_per_subarray = 512;   ///< M_r.
+  int cols_per_subarray = 256;   ///< M_c = N_c = WDM degree.
+  int bits_per_cell = 4;      ///< b.
+  int channels = 8;           ///< System channels (chips).
+
+  // --- Table II timing [ns].
+  double read_ns = 10.0;
+  double max_write_ns = 170.0;
+  double erase_ns = 210.0;
+  double burst_ns = 1.0;
+  double interface_ns = 105.0;
+  double mr_tuning_ns = 2.0;       ///< EO row-access tuning [36].
+  double gst_switch_ns = 100.0;    ///< Subarray steering switch [39].
+
+  // --- Table II link shape.
+  int bus_width_bits = 256;
+  int burst_length = 4;
+
+  // --- Loss-management layout (Section III.E).
+  int rows_per_soa = 46;      ///< SOA stage every 46 rows (0.33 dB/row).
+
+  /// The three Fig. 7 design points. Reducing M_c (= N_c) as b grows
+  /// keeps the cache-line capacity and bandwidth constant while cutting
+  /// WDM degree and SOA power (Section IV.A).
+  static CometConfig comet_1b();
+  static CometConfig comet_2b();
+  static CometConfig comet_4b();
+
+  // --- Derived quantities.
+  std::uint64_t rows_per_bank() const;        ///< N_r = S_r * M_r.
+  std::uint64_t cells_per_bank() const;       ///< N_r * N_c.
+  std::uint64_t bits_per_chip() const;        ///< B * N_r * N_c * b.
+  std::uint64_t capacity_bytes() const;       ///< All channels.
+  int wavelengths() const { return cols_per_subarray; }
+  std::uint64_t line_bytes() const;           ///< Bus width x burst length.
+
+  /// SOAs energized during one access: (B * M_r * M_c) / 46 (Sec. III.E).
+  std::uint64_t active_soas() const;
+
+  /// MRs tuned during one access: B * 2 * M_c (Section III.E).
+  std::uint64_t tuned_mrs_per_access() const;
+
+  /// sqrt(S_r): the subarrays are laid out as a square for addressing.
+  int subarray_grid_dim() const;
+
+  /// Throws std::invalid_argument on inconsistent geometry (S_r must be a
+  /// perfect square; b in [1,5]; everything positive).
+  void validate() const;
+};
+
+}  // namespace comet::core

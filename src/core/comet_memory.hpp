@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/address_mapping.hpp"
+#include "core/bank.hpp"
+#include "core/comet_config.hpp"
+#include "core/power_model.hpp"
+#include "memsim/device.hpp"
+#include "photonics/gst_cell.hpp"
+
+/// The COMET main memory (paper Fig. 5e): the full functional stack from
+/// byte addresses down to GST crystalline fractions, plus the timing/
+/// energy descriptor used by the trace-driven simulator.
+///
+/// The functional model is end-to-end honest: a cache line is packed
+/// into b-bit levels, programmed into real OPCM cells through the
+/// calibrated thermal model, and read back through the row-loss /
+/// LUT-gain / classification chain — so data-integrity studies (drift,
+/// crosstalk injection) exercise the same machinery the paper's
+/// reliability arguments rest on.
+namespace comet::core {
+
+/// Latency/energy/integrity summary of one line access.
+struct LineAccessResult {
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+  bool correct = true;  ///< Read only: data classified without error.
+};
+
+class CometMemory {
+ public:
+  explicit CometMemory(
+      const CometConfig& config = CometConfig::comet_4b(),
+      materials::ProgrammingMode mode =
+          materials::ProgrammingMode::kAmorphousReset);
+
+  const CometConfig& config() const { return config_; }
+  const materials::MlcLevelTable& level_table() const { return table_; }
+  const GainLut& gain_lut() const { return lut_; }
+
+  /// Writes one cache line; `data` must be exactly line_bytes() long and
+  /// `address` line-aligned.
+  LineAccessResult write_line(std::uint64_t address,
+                              std::span<const std::uint8_t> data);
+
+  /// Reads one cache line back through the interface decision chain.
+  LineAccessResult read_line(std::uint64_t address,
+                             std::span<std::uint8_t> out);
+
+  /// Packs bytes into b-bit level codes (b in {1, 2, 4} divides 8).
+  static std::vector<int> pack_levels(std::span<const std::uint8_t> bytes,
+                                      int bits_per_cell);
+
+  /// Inverse of pack_levels().
+  static void unpack_levels(std::span<const int> levels, int bits_per_cell,
+                            std::span<std::uint8_t> out);
+
+  /// Direct bank access for fault injection (channel-major indexing).
+  Bank& bank(int channel, int bank_index);
+
+  /// Timing/energy descriptor for the trace-driven simulator.
+  /// `serialize_subarray_switch` charges the 100 ns GST steering on every
+  /// subarray change instead of hiding it under the 105 ns interface
+  /// pipeline (the default, speculative-steering assumption).
+  /// `serialize_erase` keeps the 210 ns pre-write erase on the bank
+  /// instead of hiding it behind DyPhase-style background pre-resets
+  /// ([19]). The ablation bench sweeps both assumptions.
+  static memsim::DeviceModel device_model(
+      const CometConfig& config,
+      const photonics::LossParameters& losses,
+      bool serialize_subarray_switch = false,
+      bool serialize_erase = false);
+
+ private:
+  CometConfig config_;
+  photonics::GstCell cell_optics_;
+  materials::PcmThermalModel thermal_;
+  materials::MlcLevelTable table_;
+  GainLut lut_;
+  AddressMapper mapper_;
+  std::vector<std::unique_ptr<Bank>> banks_;  // channels x banks
+};
+
+}  // namespace comet::core

@@ -1,0 +1,70 @@
+#include "core/gain_lut.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace comet::core {
+
+GainLut::GainLut(const CometConfig& config,
+                 const photonics::LossParameters& losses)
+    : config_(config), losses_(losses) {
+  config_.validate();
+  const double relative_spacing =
+      1.0 / static_cast<double>(1 << config_.bits_per_cell);
+  tolerance_db_ = -util::ratio_to_db(1.0 - relative_spacing);
+  rows_per_step_ = tolerance_db_ / losses_.eo_mr_through_loss_db;
+
+  // Entries cover one SOA span (46 rows); the trim repeats every span.
+  const int span = config_.rows_per_soa;
+  int entries = static_cast<int>(std::floor(span / rows_per_step_));
+  if (entries < 1) entries = 1;
+  if (entries > span) entries = span;
+
+  // Each entry's gain is the mean loss of the rows it serves: centred
+  // compensation halves the worst-case residual relative to end-of-step
+  // compensation, which is what keeps the residual inside the b-bit
+  // tolerance for every shipped configuration.
+  gains_db_.resize(static_cast<std::size_t>(entries));
+  const double step_rows = static_cast<double>(span) / entries;
+  std::vector<double> sums(static_cast<std::size_t>(entries), 0.0);
+  std::vector<int> counts(static_cast<std::size_t>(entries), 0);
+  for (int r = 0; r < span; ++r) {
+    int e = static_cast<int>(r / step_rows);
+    if (e >= entries) e = entries - 1;
+    sums[static_cast<std::size_t>(e)] +=
+        r * losses_.eo_mr_through_loss_db;
+    ++counts[static_cast<std::size_t>(e)];
+  }
+  for (int e = 0; e < entries; ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    gains_db_[i] = counts[i] > 0 ? sums[i] / counts[i] : 0.0;
+  }
+}
+
+double GainLut::row_loss_db(int row) const {
+  if (row < 0 || row >= config_.rows_per_subarray) {
+    throw std::out_of_range("GainLut: row out of range");
+  }
+  return static_cast<double>(row % config_.rows_per_soa) *
+         losses_.eo_mr_through_loss_db;
+}
+
+int GainLut::entry_for_row(int row) const {
+  if (row < 0 || row >= config_.rows_per_subarray) {
+    throw std::out_of_range("GainLut: row out of range");
+  }
+  const int in_span = row % config_.rows_per_soa;
+  const double step_rows =
+      static_cast<double>(config_.rows_per_soa) / entries();
+  int entry = static_cast<int>(in_span / step_rows);
+  if (entry >= entries()) entry = entries() - 1;
+  return entry;
+}
+
+double GainLut::gain_db_for_row(int row) const {
+  return gains_db_[static_cast<std::size_t>(entry_for_row(row))];
+}
+
+}  // namespace comet::core

@@ -1,0 +1,64 @@
+#include "core/opcm_cell.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace comet::core {
+
+OpcmCell::OpcmCell(const materials::MlcLevelTable* table) : table_(table) {
+  if (table_ == nullptr) {
+    throw std::invalid_argument("OpcmCell: null level table");
+  }
+  // Reset state: level 0 in amorphous-reset mode has fraction 0; in
+  // crystalline-reset mode, levels()[0] still records its fraction.
+  fraction_ = table_->levels().front().crystalline_fraction;
+}
+
+CellOpResult OpcmCell::program(int level) {
+  const auto& levels = table_->levels();
+  if (level < 0 || level >= static_cast<int>(levels.size())) {
+    throw std::out_of_range("OpcmCell::program: level out of range");
+  }
+  const auto& target = levels[static_cast<std::size_t>(level)];
+  level_ = level;
+  fraction_ = target.crystalline_fraction;
+  return CellOpResult{
+      .latency_ns = table_->reset().latency_ns + target.write_latency_ns,
+      .energy_pj = table_->reset().energy_pj + target.write_energy_pj,
+  };
+}
+
+double OpcmCell::transmission() const {
+  // Drift moves the fraction off the programmed point; interpolate the
+  // transmission between the surrounding level entries.
+  const auto& levels = table_->levels();
+  const auto& nominal = levels[static_cast<std::size_t>(level_)];
+  if (fraction_ == nominal.crystalline_fraction) return nominal.transmission;
+  // Piecewise-linear over the table's (fraction, transmission) pairs.
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    if (fraction_ <= levels[i].crystalline_fraction) {
+      const auto& lo = levels[i - 1];
+      const auto& hi = levels[i];
+      const double span = hi.crystalline_fraction - lo.crystalline_fraction;
+      if (span <= 0.0) return lo.transmission;
+      const double w = (fraction_ - lo.crystalline_fraction) / span;
+      return lo.transmission + w * (hi.transmission - lo.transmission);
+    }
+  }
+  return levels.back().transmission;
+}
+
+int OpcmCell::read(double loss_db, double gain_db) const {
+  const double net_db = gain_db - loss_db;
+  const double seen =
+      transmission() * util::db_to_ratio(net_db);
+  return table_->classify(seen);
+}
+
+void OpcmCell::drift(double delta_fraction) {
+  fraction_ = std::clamp(fraction_ + delta_fraction, 0.0, 1.0);
+}
+
+}  // namespace comet::core

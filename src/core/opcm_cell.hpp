@@ -1,0 +1,51 @@
+#pragma once
+
+#include "materials/mlc_levels.hpp"
+
+/// One OPCM multi-level cell (paper Fig. 5b): a GST element whose
+/// crystalline fraction encodes b bits as one of 2^b transmission levels.
+/// The cell is behavioural — programming uses the calibrated level table
+/// (latency/energy per level) and readout classifies the stored
+/// transmission after the caller-supplied path loss and trim gain, which
+/// is exactly the decision the electrical interface makes.
+namespace comet::core {
+
+/// Latency/energy of one cell operation.
+struct CellOpResult {
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+};
+
+class OpcmCell {
+ public:
+  /// The cell references (not owns) a level table shared by its subarray.
+  explicit OpcmCell(const materials::MlcLevelTable* table);
+
+  /// Programs the cell to a level: reset pulse followed by the level's
+  /// write pulse. Throws std::out_of_range for an invalid level.
+  CellOpResult program(int level);
+
+  /// Stored level index (reset state = 0 until programmed).
+  int stored_level() const { return level_; }
+
+  /// Crystalline fraction currently in the cell.
+  double fraction() const { return fraction_; }
+
+  /// Readout transmission of the stored state.
+  double transmission() const;
+
+  /// Classifies the stored level as seen through `loss_db` of path loss
+  /// compensated by `gain_db` of SOA trim: the interface's decision.
+  int read(double loss_db = 0.0, double gain_db = 0.0) const;
+
+  /// Injects crystalline-fraction drift (thermo-optic crosstalk, ageing);
+  /// clamped to [0, 1]. Used by corruption studies and fault injection.
+  void drift(double delta_fraction);
+
+ private:
+  const materials::MlcLevelTable* table_;
+  int level_ = 0;
+  double fraction_ = 0.0;
+};
+
+}  // namespace comet::core

@@ -1,0 +1,67 @@
+#include "core/subarray.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace comet::core {
+
+Subarray::Subarray(const CometConfig& config,
+                   const materials::MlcLevelTable* table, const GainLut* lut)
+    : config_(config), table_(table), lut_(lut) {
+  if (table_ == nullptr || lut_ == nullptr) {
+    throw std::invalid_argument("Subarray: null table or LUT");
+  }
+  cells_.reserve(static_cast<std::size_t>(rows()) * cols());
+  for (int i = 0; i < rows() * cols(); ++i) {
+    cells_.emplace_back(table_);
+  }
+}
+
+OpcmCell& Subarray::cell(int row, int col) {
+  if (row < 0 || row >= rows() || col < 0 || col >= cols()) {
+    throw std::out_of_range("Subarray::cell: out of range");
+  }
+  return cells_[static_cast<std::size_t>(row) * cols() +
+                static_cast<std::size_t>(col)];
+}
+
+const OpcmCell& Subarray::cell(int row, int col) const {
+  return const_cast<Subarray*>(this)->cell(row, col);
+}
+
+RowOpResult Subarray::write_row(int row, std::span<const int> levels) {
+  if (static_cast<int>(levels.size()) != cols()) {
+    throw std::invalid_argument("Subarray::write_row: need M_c levels");
+  }
+  RowOpResult result;
+  result.latency_ns = config_.mr_tuning_ns;
+  double slowest = 0.0;
+  for (int col = 0; col < cols(); ++col) {
+    const auto op = cell(row, col).program(levels[static_cast<size_t>(col)]);
+    slowest = std::max(slowest, op.latency_ns);
+    result.energy_pj += op.energy_pj;
+  }
+  // Columns program in parallel on their own wavelengths; the row is
+  // held open for the slowest level.
+  result.latency_ns += slowest;
+  return result;
+}
+
+RowOpResult Subarray::read_row(int row) const {
+  RowOpResult result;
+  result.latency_ns = config_.mr_tuning_ns + config_.read_ns;
+  result.levels.reserve(static_cast<std::size_t>(cols()));
+  const double loss_db = lut_->row_loss_db(row);
+  const double gain_db = lut_->gain_db_for_row(row);
+  for (int col = 0; col < cols(); ++col) {
+    const auto& c = cell(row, col);
+    const int seen = c.read(loss_db, gain_db);
+    result.levels.push_back(seen);
+    if (seen != c.stored_level()) result.correct = false;
+  }
+  // Read pulse energy: 1 mW per wavelength for the read duration.
+  result.energy_pj += cols() * 1.0 /*mW*/ * config_.read_ns;
+  return result;
+}
+
+}  // namespace comet::core

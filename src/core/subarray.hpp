@@ -1,0 +1,55 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/comet_config.hpp"
+#include "core/gain_lut.hpp"
+#include "core/opcm_cell.hpp"
+#include "materials/mlc_levels.hpp"
+
+/// One M_r x M_c OPCM subarray (paper Fig. 5c).
+///
+/// A row access EO-tunes the row's MRs (2 ns), then all M_c column
+/// wavelengths operate on the row's cells in parallel: a write programs
+/// every cell simultaneously (row latency = slowest level in the row),
+/// a read launches the read pulse and classifies each column's
+/// transmission at the interface after the row's accumulated MR through
+/// loss and the LUT trim gain. Intra-subarray SOA stages every 46 rows
+/// keep the residual loss within the level-spacing tolerance.
+namespace comet::core {
+
+/// Result of one row operation.
+struct RowOpResult {
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+  std::vector<int> levels;  ///< Read only: classified levels per column.
+  bool correct = true;      ///< Read only: matched the stored levels.
+};
+
+class Subarray {
+ public:
+  Subarray(const CometConfig& config,
+           const materials::MlcLevelTable* table, const GainLut* lut);
+
+  int rows() const { return config_.rows_per_subarray; }
+  int cols() const { return config_.cols_per_subarray; }
+
+  /// Programs a full row; `levels` must have M_c entries.
+  RowOpResult write_row(int row, std::span<const int> levels);
+
+  /// Reads a full row through the loss/gain chain.
+  RowOpResult read_row(int row) const;
+
+  /// Direct cell access for fault-injection studies.
+  OpcmCell& cell(int row, int col);
+  const OpcmCell& cell(int row, int col) const;
+
+ private:
+  CometConfig config_;
+  const materials::MlcLevelTable* table_;
+  const GainLut* lut_;
+  std::vector<OpcmCell> cells_;  // row-major M_r x M_c
+};
+
+}  // namespace comet::core

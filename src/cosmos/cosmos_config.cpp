@@ -1,0 +1,42 @@
+#include "cosmos/cosmos_config.hpp"
+
+#include <stdexcept>
+
+namespace comet::cosmos {
+
+CosmosConfig CosmosConfig::paper() { return CosmosConfig{}; }
+
+std::uint64_t CosmosConfig::line_bytes() const {
+  return static_cast<std::uint64_t>(bus_width_bits) * burst_length / 8;
+}
+
+std::uint64_t CosmosConfig::bits_per_chip() const {
+  return static_cast<std::uint64_t>(banks) * rows * cols * bits_per_cell;
+}
+
+std::uint64_t CosmosConfig::capacity_bytes() const {
+  return bits_per_chip() / 8 * channels;
+}
+
+int CosmosConfig::wavelengths() const {
+  return 2 * subarray_cols;  // row-access + column-access combs
+}
+
+int CosmosConfig::active_soas() const {
+  return soa_arrays_per_subarray * subarray_cols * banks;
+}
+
+void CosmosConfig::validate() const {
+  if (banks < 1 || rows == 0 || cols == 0 || channels < 1) {
+    throw std::invalid_argument("CosmosConfig: non-positive geometry");
+  }
+  if (bits_per_cell != 2) {
+    throw std::invalid_argument(
+        "CosmosConfig: corrected COSMOS is 2 bits/cell");
+  }
+  if (subarray_rows < 1 || subarray_cols < 1) {
+    throw std::invalid_argument("CosmosConfig: bad subarray shape");
+  }
+}
+
+}  // namespace comet::cosmos

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+/// COSMOS baseline configuration (paper Section IV.B, Table II).
+///
+/// COSMOS [20] is the only other published photonic main memory. The
+/// paper *corrects* its design assumptions before comparing:
+///
+///  * energy: the GST cells of [17] need 5 mW pulses (250–750 pJ), not
+///    the 0.5 mW COSMOS assumed; timing is stretched accordingly
+///    (write 1.6 us, erase 250 ns, read 25 ns — Table II);
+///  * bit density: the ~8 % thermo-optic crosstalk shift forces the
+///    level count down from 16 (4 bits) to 4 asymmetric levels at 9 %
+///    spacing (0.99 / 0.90 / 0.81 / 0.72), i.e. 2 bits/cell, giving the
+///    (16 x 16384 x 16384 x 2) geometry with 512 x 32 subarrays;
+///  * reads stay subtractive (read all – reset row – read all), which
+///    leaves a destructive restore on the bank after every read.
+namespace comet::cosmos {
+
+struct CosmosConfig {
+  // --- Geometry (corrected).
+  int banks = 16;                 ///< B = MDM degree 16.
+  std::uint64_t rows = 16384;     ///< N_r.
+  std::uint64_t cols = 16384;     ///< N_c.
+  int bits_per_cell = 2;          ///< Corrected from 4.
+  int subarray_rows = 32;         ///< M_r.
+  int subarray_cols = 32;         ///< M_c.
+  int channels = 8;               ///< System channels (8 GB total).
+
+  // --- Table II timing [ns].
+  double read_ns = 25.0;
+  double write_ns = 1600.0;
+  double erase_ns = 250.0;
+  double burst_ns = 1.0;
+  int burst_length = 8;
+  int bus_width_bits = 128;
+  double interface_ns = 105.0;
+  double pcm_switch_ns = 100.0;   ///< Subarray-row access switch (added).
+
+  // --- Corrected asymmetric transmission levels (Section IV.B).
+  std::array<double, 4> levels{0.99, 0.90, 0.81, 0.72};
+
+  // --- Loss/energy corrections.
+  double cell_power_mw = 5.0;     ///< Corrected write pulse power.
+  double worst_level_loss_db = 1.4;  ///< From transmission level 0.72.
+  int soa_arrays_per_subarray = 6;   ///< Row+column loss compensation.
+
+  static CosmosConfig paper();
+
+  std::uint64_t line_bytes() const;       ///< Bus width x burst length / 8.
+  std::uint64_t bits_per_chip() const;    ///< B x N_r x N_c x b.
+  std::uint64_t capacity_bytes() const;
+  int wavelengths() const;                ///< Row + column access combs.
+
+  /// SOAs energized for one subarray access.
+  int active_soas() const;
+
+  void validate() const;
+};
+
+}  // namespace comet::cosmos

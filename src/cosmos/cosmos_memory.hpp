@@ -1,0 +1,49 @@
+#pragma once
+
+#include "core/power_model.hpp"
+#include "cosmos/cosmos_config.hpp"
+#include "memsim/device.hpp"
+#include "photonics/losses.hpp"
+
+/// Corrected-COSMOS system models: the Fig. 8 power stack and the
+/// trace-simulator device descriptor.
+namespace comet::cosmos {
+
+/// COSMOS operating-power model (the left bar of Fig. 8).
+///
+/// The dominant term is the laser: write pulses must arrive at the cells
+/// at the corrected 5 mW through the lossy crossbar (worst-case cell
+/// traversals, 16-degree MDM excess, residual splitter stages), so the
+/// per-wavelength launch power is two orders of magnitude above COMET's.
+/// Six SOA arrays per subarray and the interface electronics complete
+/// the stack. COMET's stack lands at ~26 % of this total (paper,
+/// conclusions).
+class CosmosPowerModel {
+ public:
+  CosmosPowerModel(const CosmosConfig& config,
+                   const photonics::LossParameters& losses);
+
+  photonics::LossBudget launch_path_budget() const;
+
+  double laser_power_w() const;
+  double soa_power_w() const;
+  double interface_power_w() const;
+
+  core::PowerBreakdown breakdown() const;
+
+ private:
+  CosmosConfig config_;
+  photonics::LossParameters losses_;
+};
+
+/// Trace-simulator descriptor for the corrected COSMOS.
+///
+/// Reads are subtractive and destructive: the access itself is
+/// read(25 ns) + row reset(250 ns) + read(25 ns) on the latency path,
+/// followed by a posted restore write that keeps the bank occupied
+/// (partially coalesced by the controller's write buffer; the shipped
+/// value assumes ~45 % coalescing of the 1.6 us restore).
+memsim::DeviceModel cosmos_device_model(
+    const CosmosConfig& config, const photonics::LossParameters& losses);
+
+}  // namespace comet::cosmos

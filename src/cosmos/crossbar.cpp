@@ -1,0 +1,100 @@
+#include "cosmos/crossbar.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace comet::cosmos {
+
+Crossbar::Crossbar(int rows, int cols, int bits_per_cell,
+                   photonics::CrosstalkModel::Params crosstalk)
+    : rows_(rows),
+      cols_(cols),
+      levels_(1 << bits_per_cell),
+      crosstalk_(crosstalk),
+      fractions_(static_cast<std::size_t>(rows) * cols, 0.0),
+      written_(static_cast<std::size_t>(rows) * cols, 0) {
+  if (rows < 1 || cols < 1 || bits_per_cell < 1 || bits_per_cell > 5) {
+    throw std::invalid_argument("Crossbar: bad shape");
+  }
+}
+
+std::size_t Crossbar::index(int row, int col) const {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    throw std::out_of_range("Crossbar: cell out of range");
+  }
+  return static_cast<std::size_t>(row) * cols_ + static_cast<std::size_t>(col);
+}
+
+double Crossbar::level_to_fraction(int level) const {
+  return static_cast<double>(level) / static_cast<double>(levels_ - 1);
+}
+
+void Crossbar::set_state(int row, int col, int level) {
+  if (level < 0 || level >= levels_) {
+    throw std::out_of_range("Crossbar: level out of range");
+  }
+  fractions_[index(row, col)] = level_to_fraction(level);
+  written_[index(row, col)] = level;
+}
+
+void Crossbar::write(int row, int col, int level, double write_energy_pj) {
+  if (level < 0 || level >= levels_) {
+    throw std::out_of_range("Crossbar: level out of range");
+  }
+  fractions_[index(row, col)] = level_to_fraction(level);
+  written_[index(row, col)] = level;
+  // Thermo-optic crosstalk: the write pulse leaks into the row-adjacent
+  // cells of the same column and heats them towards crystallization.
+  const double shift = crosstalk_.fraction_shift(write_energy_pj);
+  for (const int neighbour : {row - 1, row + 1}) {
+    if (neighbour < 0 || neighbour >= rows_) continue;
+    auto& f = fractions_[index(neighbour, col)];
+    f = std::min(1.0, f + shift);
+  }
+}
+
+void Crossbar::write_row(int row, std::span<const int> levels,
+                         double write_energy_pj) {
+  if (static_cast<int>(levels.size()) != cols_) {
+    throw std::invalid_argument("Crossbar::write_row: need cols levels");
+  }
+  for (int col = 0; col < cols_; ++col) {
+    write(row, col, levels[static_cast<std::size_t>(col)], write_energy_pj);
+  }
+}
+
+int Crossbar::read(int row, int col) const {
+  const double f = fractions_[index(row, col)];
+  const double scaled = f * static_cast<double>(levels_ - 1);
+  int level = static_cast<int>(std::lround(scaled));
+  if (level < 0) level = 0;
+  if (level >= levels_) level = levels_ - 1;
+  return level;
+}
+
+double Crossbar::fraction(int row, int col) const {
+  return fractions_[index(row, col)];
+}
+
+double Crossbar::mean_level_error() const {
+  double sum = 0.0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      sum += std::abs(read(r, c) - written_[index(r, c)]);
+    }
+  }
+  return sum / static_cast<double>(fractions_.size());
+}
+
+double Crossbar::corrupted_fraction() const {
+  std::size_t corrupted = 0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (read(r, c) != written_[index(r, c)]) ++corrupted;
+    }
+  }
+  return static_cast<double>(corrupted) /
+         static_cast<double>(fractions_.size());
+}
+
+}  // namespace comet::cosmos

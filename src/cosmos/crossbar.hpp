@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "photonics/crosstalk.hpp"
+
+/// Functional COSMOS crossbar array (paper Figs. 1 & 2).
+///
+/// OPCM cells sit on bare waveguide crossings with *no* access-control
+/// isolation, so every write couples ~ -18 dB of its pulse energy into
+/// the row-adjacent cells and thermo-optically drifts their crystalline
+/// fraction. This class is the vehicle for the Fig. 2 corruption study:
+/// store data, perform writes, watch neighbours walk off their levels.
+///
+/// Cells store a crystalline fraction in [0, 1]; level l of L maps to
+/// fraction l / (L - 1), and readout classifies by nearest level after
+/// accumulated drift. The original (4-bit, uniform-level) and corrected
+/// (2-bit, 9 %-spaced) COSMOS variants differ only in L.
+namespace comet::cosmos {
+
+class Crossbar {
+ public:
+  /// `rows` x `cols` crossbar with 2^bits levels. Crosstalk parameters
+  /// default to the paper's calibration.
+  Crossbar(int rows, int cols, int bits_per_cell,
+           photonics::CrosstalkModel::Params crosstalk =
+               photonics::CrosstalkModel::paper());
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int levels() const { return levels_; }
+
+  /// Deposits a level without any crosstalk side effects — the "ideal"
+  /// initial state of a stored dataset (Fig. 2's original image).
+  void set_state(int row, int col, int level);
+
+  /// Writes a level into a cell with a pulse of `write_energy_pj`
+  /// (default: the 750 pJ GST transition of [17]). The pulse drifts both
+  /// row-neighbours' cells in the same column.
+  void write(int row, int col, int level, double write_energy_pj = 750.0);
+
+  /// Writes a whole row (one level per column).
+  void write_row(int row, std::span<const int> levels,
+                 double write_energy_pj = 750.0);
+
+  /// Classified readout of one cell.
+  int read(int row, int col) const;
+
+  /// Raw crystalline fraction of one cell.
+  double fraction(int row, int col) const;
+
+  /// Fraction of cells (over the whole array) whose classified level no
+  /// longer matches what was last written — the Fig. 2 corruption metric.
+  double corrupted_fraction() const;
+
+  /// Mean absolute level error across the array (drift severity).
+  double mean_level_error() const;
+
+ private:
+  double level_to_fraction(int level) const;
+  std::size_t index(int row, int col) const;
+
+  int rows_;
+  int cols_;
+  int levels_;
+  photonics::CrosstalkModel crosstalk_;
+  std::vector<double> fractions_;
+  std::vector<int> written_;
+};
+
+}  // namespace comet::cosmos

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "memsim/device.hpp"
+
+/// Electronic DRAM baselines of the paper's Fig. 9: 2D and 3D-stacked
+/// DDR3-1600 and DDR4-2400 systems, 8 GB each.
+///
+/// Timing follows the JEDEC speed grades (tRC-class row cycles, burst
+/// times from the pin rate); the controller is the conservative in-order
+/// NVMain-style configuration the paper evaluates (closed-page-leaning
+/// policy with a small exploitable-MLP window — DDR4's bank groups give
+/// it a slightly deeper window than DDR3). 3D variants model TSV
+/// stacking as extra independent channels, shorter interface latency and
+/// substantially lower per-bit I/O energy (HBM-class), which is exactly
+/// how the paper's 3D bars relate to its 2D bars (≈2.1× DDR3, ≈1.4×
+/// DDR4 bandwidth, with far better EPB).
+namespace comet::dram {
+
+/// Knobs shared by the four DRAM variants; exposed for ablation benches.
+struct DramConfig {
+  int channels;
+  int banks_per_channel;
+  std::uint64_t row_cycle_ns;     ///< Bank occupancy of one closed-page access.
+  std::uint64_t row_hit_saving_ns;///< Occupancy saved when the row is open.
+  double burst_ns;                ///< 64 B on the data bus.
+  std::uint64_t interface_ns;     ///< Controller + PHY latency.
+  int queue_depth;                ///< Exploitable MLP window.
+  double read_pj_per_bit;
+  double write_pj_per_bit;
+  double background_power_w;      ///< Refresh + PHY + peripheral.
+};
+
+DramConfig ddr3_2d_config();
+DramConfig ddr3_3d_config();
+DramConfig ddr4_2d_config();
+DramConfig ddr4_3d_config();
+
+/// Builds the full 8 GB DeviceModel from a config.
+memsim::DeviceModel make_dram(const DramConfig& config,
+                              const std::string& name);
+
+/// The four baselines by name.
+memsim::DeviceModel ddr3_2d();
+memsim::DeviceModel ddr3_3d();
+memsim::DeviceModel ddr4_2d();
+memsim::DeviceModel ddr4_3d();
+
+}  // namespace comet::dram

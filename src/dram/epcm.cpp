@@ -1,0 +1,50 @@
+#include "dram/epcm.hpp"
+
+#include "util/units.hpp"
+
+namespace comet::dram {
+
+EpcmConfig epcm_mm_config() {
+  return EpcmConfig{
+      .channels = 2,
+      .banks_per_channel = 16,
+      .read_ns = 50,             // PCM array sensing
+      .write_ns = 160,           // SET-dominated programming
+      .burst_ns = 5.0,
+      .interface_ns = 15,
+      .queue_depth = 2,
+      .read_pj_per_bit = 2.5,    // resistive sensing is cheap
+      .write_pj_per_bit = 35.0,  // programming current is not
+      .background_power_w = 0.25,// non-volatile: no refresh power
+  };
+}
+
+memsim::DeviceModel make_epcm(const EpcmConfig& c, const std::string& name) {
+  memsim::DeviceModel model;
+  model.name = name;
+  model.capacity_bytes = 8ull << 30;
+
+  auto& t = model.timing;
+  t.channels = c.channels;
+  t.banks_per_channel = c.banks_per_channel;
+  t.line_bytes = 64;
+  t.read_occupancy_ps = util::ns_to_ps(double(c.read_ns));
+  t.write_occupancy_ps = util::ns_to_ps(double(c.write_ns));
+  t.burst_ps = util::ns_to_ps(c.burst_ns);
+  t.interface_ps = util::ns_to_ps(double(c.interface_ns));
+  // PCM row buffers exist in some proposals; the paper's EPCM-MM baseline
+  // is modelled closed-page like its photonic counterparts.
+  t.has_row_buffer = false;
+  t.refresh_interval_ps = 0;  // non-volatile
+  t.queue_depth = c.queue_depth;
+
+  auto& e = model.energy;
+  e.read_pj_per_bit = c.read_pj_per_bit;
+  e.write_pj_per_bit = c.write_pj_per_bit;
+  e.background_power_w = c.background_power_w;
+  return model;
+}
+
+memsim::DeviceModel epcm_mm() { return make_epcm(epcm_mm_config(), "EPCM-MM"); }
+
+}  // namespace comet::dram

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "memsim/device.hpp"
+
+/// EPCM-MM: the electrically controlled phase-change main memory
+/// baseline ([24] in the paper's comparison set).
+///
+/// Electrical PCM reads are DRAM-class (sensing a resistive cell through
+/// an access transistor); writes are the slow, energy-hungry part
+/// (current-pulse SET/RESET with asymmetric latency, the classic EPCM
+/// weakness the paper cites: "asymmetric and high write latencies").
+/// There is no refresh — the cell is non-volatile — which is why the
+/// paper's Fig. 9b shows EPCM-MM among the best EPB bars despite its
+/// modest bandwidth.
+namespace comet::dram {
+
+struct EpcmConfig {
+  int channels;
+  int banks_per_channel;
+  std::uint64_t read_ns;         ///< Array read (sense) time.
+  std::uint64_t write_ns;        ///< SET/RESET programming pulse.
+  double burst_ns;
+  std::uint64_t interface_ns;
+  int queue_depth;
+  double read_pj_per_bit;
+  double write_pj_per_bit;
+  double background_power_w;     ///< No refresh: standby only.
+};
+
+EpcmConfig epcm_mm_config();
+
+memsim::DeviceModel make_epcm(const EpcmConfig& config,
+                              const std::string& name);
+
+/// The paper's EPCM-MM baseline (8 GB).
+memsim::DeviceModel epcm_mm();
+
+}  // namespace comet::dram

@@ -1,0 +1,51 @@
+#include "materials/crystallization.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace comet::materials {
+
+CrystallizationKinetics::CrystallizationKinetics(const Params& params)
+    : params_(params) {
+  if (params.peak_rate_per_s <= 0.0 || params.width_k <= 0.0 ||
+      params.avrami_exponent < 1.0 ||
+      params.onset_temperature_k >= params.melt_temperature_k) {
+    throw std::invalid_argument("CrystallizationKinetics: invalid params");
+  }
+}
+
+double CrystallizationKinetics::rate(double temp_k) const {
+  if (temp_k <= params_.onset_temperature_k ||
+      temp_k >= params_.melt_temperature_k) {
+    return 0.0;
+  }
+  const double z = (temp_k - params_.peak_temperature_k) / params_.width_k;
+  return params_.peak_rate_per_s * std::exp(-z * z);
+}
+
+double CrystallizationKinetics::time_to_fraction(double target,
+                                                 double temp_k) const {
+  if (target <= 0.0) return 0.0;
+  if (target >= 1.0) target = 1.0 - 1e-12;
+  const double k = rate(temp_k);
+  if (k <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::pow(-std::log(1.0 - target), 1.0 / params_.avrami_exponent) / k;
+}
+
+double CrystallizationKinetics::step(double x, double temp_k,
+                                     double dt_s) const {
+  const double k = rate(temp_k);
+  if (k <= 0.0) return x;
+  const double n = params_.avrami_exponent;
+  // Seed slightly above zero so the ODE can leave the X=0 fixed point of
+  // the (n-1)/n power law; physically this is the nucleation background.
+  const double x_eff = x < 1e-9 ? 1e-9 : x;
+  const double drive = std::pow(-std::log(1.0 - x_eff), (n - 1.0) / n);
+  double next = x_eff + n * k * drive * (1.0 - x_eff) * dt_s;
+  if (next < 0.0) next = 0.0;
+  if (next > 1.0 - 1e-12) next = 1.0 - 1e-12;
+  return next;
+}
+
+}  // namespace comet::materials

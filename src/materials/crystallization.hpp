@@ -1,0 +1,50 @@
+#pragma once
+
+/// Crystallization kinetics for PCM programming.
+///
+/// Crystal growth speed in GST-class materials is strongly non-monotonic
+/// in temperature: negligible below the crystallization onset T_g, peaking
+/// a few hundred kelvin above it, and collapsing again as the melt point
+/// T_l is approached. We model the growth *rate* with a Gaussian peak in
+/// temperature (the standard compact fit to measured GST growth-velocity
+/// data) and evolve the crystalline fraction X with
+/// Johnson–Mehl–Avrami–Kolmogorov (JMAK) kinetics:
+///
+///   X(t) = 1 - exp(-(k t)^n)           (constant temperature)
+///   dX/dt = n k [-ln(1-X)]^((n-1)/n) (1-X)   (incremental form)
+///
+/// The incremental form is path-consistent and is what the transient pulse
+/// simulator integrates while the lumped cell temperature evolves.
+namespace comet::materials {
+
+class CrystallizationKinetics {
+ public:
+  struct Params {
+    double peak_rate_per_s;     ///< k at the optimum growth temperature.
+    double peak_temperature_k;  ///< Temperature of maximum growth rate.
+    double width_k;             ///< Gaussian width of the rate peak.
+    double avrami_exponent;     ///< JMAK n (2 = 2-D growth in a thin film).
+    double onset_temperature_k; ///< T_g: no growth below this.
+    double melt_temperature_k;  ///< T_l: no growth at/above this (melt).
+  };
+
+  explicit CrystallizationKinetics(const Params& params);
+
+  /// JMAK rate constant k(T) [1/s]; zero outside (onset, melt).
+  double rate(double temp_k) const;
+
+  /// Closed-form time [s] to grow from X=0 to `target` at constant
+  /// temperature. Returns +inf if the rate at temp_k is zero.
+  double time_to_fraction(double target, double temp_k) const;
+
+  /// One explicit-Euler step of the incremental JMAK ODE. Returns the new
+  /// crystalline fraction, clamped to [0, 1).
+  double step(double x, double temp_k, double dt_s) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace comet::materials

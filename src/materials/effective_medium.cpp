@@ -1,0 +1,30 @@
+#include "materials/effective_medium.hpp"
+
+#include <stdexcept>
+
+namespace comet::materials {
+
+std::complex<double> lorentz_lorenz_mix(std::complex<double> eps_amorphous,
+                                        std::complex<double> eps_crystalline,
+                                        double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("lorentz_lorenz_mix: fraction outside [0,1]");
+  }
+  const auto ll = [](std::complex<double> eps) {
+    return (eps - 1.0) / (eps + 2.0);
+  };
+  const std::complex<double> f =
+      fraction * ll(eps_crystalline) + (1.0 - fraction) * ll(eps_amorphous);
+  // Invert (eps-1)/(eps+2) = f  =>  eps = (1 + 2f) / (1 - f).
+  return (1.0 + 2.0 * f) / (1.0 - f);
+}
+
+std::complex<double> effective_index(const PcmMaterial& material,
+                                     double lambda_nm, double fraction) {
+  const auto idx_a = material.complex_index(Phase::kAmorphous, lambda_nm);
+  const auto idx_c = material.complex_index(Phase::kCrystalline, lambda_nm);
+  const auto eps = lorentz_lorenz_mix(idx_a * idx_a, idx_c * idx_c, fraction);
+  return std::sqrt(eps);
+}
+
+}  // namespace comet::materials

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <complex>
+
+#include "materials/pcm_material.hpp"
+
+/// Effective-medium model for partially crystallized PCM.
+///
+/// Intermediate states of an OPCM multi-level cell are a nano-composite of
+/// crystalline grains in an amorphous matrix. Following the scheme the
+/// paper adopts from Wang et al. [27], the effective complex permittivity
+/// at crystalline volume fraction p is given by the Lorentz–Lorenz
+/// relation
+///
+///   (eps_eff - 1)/(eps_eff + 2) =
+///        p * (eps_c - 1)/(eps_c + 2) + (1-p) * (eps_a - 1)/(eps_a + 2)
+///
+/// which interpolates smoothly and physically between the two phases.
+namespace comet::materials {
+
+/// Mixes two complex permittivities at crystalline fraction p in [0, 1].
+/// Throws std::invalid_argument if p is outside [0, 1].
+std::complex<double> lorentz_lorenz_mix(std::complex<double> eps_amorphous,
+                                        std::complex<double> eps_crystalline,
+                                        double fraction);
+
+/// Effective complex refractive index of a material at a crystalline
+/// fraction p in [0, 1] and wavelength [nm].
+std::complex<double> effective_index(const PcmMaterial& material,
+                                     double lambda_nm, double fraction);
+
+}  // namespace comet::materials

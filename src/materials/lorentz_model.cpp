@@ -1,0 +1,64 @@
+#include "materials/lorentz_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/constants.hpp"
+
+namespace comet::materials {
+
+double omega_of_wavelength_nm(double lambda_nm) {
+  return 2.0 * util::kPi * util::kSpeedOfLight / (lambda_nm * 1e-9);
+}
+
+LorentzOscillator::LorentzOscillator(double eps_inf, double strength,
+                                     double omega0, double gamma)
+    : eps_inf_(eps_inf), strength_(strength), omega0_(omega0), gamma_(gamma) {
+  if (eps_inf < 1.0 || strength < 0.0 || omega0 <= 0.0 || gamma < 0.0) {
+    throw std::invalid_argument("LorentzOscillator: invalid parameters");
+  }
+}
+
+LorentzOscillator LorentzOscillator::fit(double n, double kappa,
+                                         double lambda_nm,
+                                         double resonance_nm,
+                                         double eps_inf) {
+  if (!(resonance_nm < lambda_nm)) {
+    throw std::invalid_argument(
+        "LorentzOscillator::fit: resonance must be blue of the fit point");
+  }
+  if (kappa < 0.0) {
+    throw std::invalid_argument("LorentzOscillator::fit: kappa must be >= 0");
+  }
+  const std::complex<double> index{n, kappa};
+  const std::complex<double> eps_target = index * index;
+  const double a = eps_target.real() - eps_inf;
+  const double b = eps_target.imag();
+  if (!(a > 0.0)) {
+    throw std::invalid_argument(
+        "LorentzOscillator::fit: need n^2 - kappa^2 > eps_inf");
+  }
+  const double omega = omega_of_wavelength_nm(lambda_nm);
+  const double omega0 = omega_of_wavelength_nm(resonance_nm);
+  const double d = omega0 * omega0 - omega * omega;  // > 0 by precondition
+  const double gamma = d * b / (a * omega);
+  const double strength =
+      a * (d * d + gamma * gamma * omega * omega) / (omega0 * omega0 * d);
+  return LorentzOscillator(eps_inf, strength, omega0, gamma);
+}
+
+std::complex<double> LorentzOscillator::permittivity(double omega) const {
+  const std::complex<double> denom{omega0_ * omega0_ - omega * omega,
+                                   -gamma_ * omega};
+  return eps_inf_ + strength_ * omega0_ * omega0_ / denom;
+}
+
+std::complex<double> LorentzOscillator::complex_index(double lambda_nm) const {
+  const std::complex<double> eps = permittivity(
+      omega_of_wavelength_nm(lambda_nm));
+  // Principal square root: Re >= 0, and Im >= 0 for Im(eps) >= 0, which is
+  // the physically absorbing branch under the exp(-i w t) convention.
+  return std::sqrt(eps);
+}
+
+}  // namespace comet::materials

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <complex>
+
+/// Lorentz-oscillator dielectric model for phase-change materials.
+///
+/// The paper models the refractive index and extinction coefficient of
+/// GST / GSST / Sb2Se3 in both phases "using the Lorenz model [27]"
+/// (Wang et al., npj Comput. Mater. 2021). We implement the same
+/// single-resonance Lorentz dielectric function
+///
+///     eps(w) = eps_inf + S * w0^2 / (w0^2 - w^2 - i*gamma*w)
+///
+/// and fit (S, gamma) per material state so that the complex refractive
+/// index at 1550 nm matches published ellipsometry values. The resonance
+/// frequency w0 sits in the visible/near-IR where these chalcogenides
+/// absorb, which gives the gentle normal dispersion across the C-band
+/// that Fig. 3 of the paper shows.
+namespace comet::materials {
+
+class LorentzOscillator {
+ public:
+  /// Direct construction from model parameters (angular frequencies in
+  /// rad/s, strength dimensionless).
+  LorentzOscillator(double eps_inf, double strength, double omega0,
+                    double gamma);
+
+  /// Fits (strength, gamma) so that the complex index at `lambda_nm`
+  /// equals n + i*kappa, with the resonance placed at `resonance_nm`.
+  /// Requires n^2 - kappa^2 > eps_inf and resonance_nm < lambda_nm.
+  /// Throws std::invalid_argument otherwise.
+  static LorentzOscillator fit(double n, double kappa, double lambda_nm,
+                               double resonance_nm, double eps_inf = 1.0);
+
+  /// Complex relative permittivity at angular frequency w [rad/s].
+  std::complex<double> permittivity(double omega) const;
+
+  /// Complex refractive index n + i*kappa at a vacuum wavelength [nm].
+  std::complex<double> complex_index(double lambda_nm) const;
+
+  /// Real refractive index at a vacuum wavelength [nm].
+  double n(double lambda_nm) const { return complex_index(lambda_nm).real(); }
+
+  /// Extinction coefficient at a vacuum wavelength [nm].
+  double kappa(double lambda_nm) const {
+    return complex_index(lambda_nm).imag();
+  }
+
+  double eps_inf() const { return eps_inf_; }
+  double strength() const { return strength_; }
+  double omega0() const { return omega0_; }
+  double gamma() const { return gamma_; }
+
+ private:
+  double eps_inf_;
+  double strength_;
+  double omega0_;
+  double gamma_;
+};
+
+/// Angular frequency [rad/s] of a vacuum wavelength [nm].
+double omega_of_wavelength_nm(double lambda_nm);
+
+}  // namespace comet::materials

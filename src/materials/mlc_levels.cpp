@@ -1,0 +1,125 @@
+#include "materials/mlc_levels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace comet::materials {
+
+double invert_transmission(const TransmissionOfFraction& transmission,
+                           double target, double lo, double hi) {
+  double t_lo = transmission(lo);  // brightest
+  double t_hi = transmission(hi);  // darkest
+  if (!(t_lo > t_hi)) {
+    throw std::invalid_argument(
+        "invert_transmission: curve must be strictly decreasing");
+  }
+  target = std::clamp(target, t_hi, t_lo);
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double t_mid = transmission(mid);
+    if (t_mid > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+MlcLevelTable MlcLevelTable::build(int bits, ProgrammingMode mode,
+                                   const PcmThermalModel& thermal,
+                                   const TransmissionOfFraction& transmission,
+                                   double deepest_fraction) {
+  if (bits < 1 || bits > 5) {
+    throw std::invalid_argument("MlcLevelTable: bits must be in [1, 5]");
+  }
+  if (deepest_fraction <= 0.0 || deepest_fraction > 1.0) {
+    throw std::invalid_argument("MlcLevelTable: bad deepest_fraction");
+  }
+  MlcLevelTable table;
+  table.bits_ = bits;
+  table.mode_ = mode;
+
+  const int n_levels = 1 << bits;
+  const double t_bright = transmission(0.0);
+  const double t_dark = transmission(deepest_fraction);
+  table.spacing_ = (t_bright - t_dark) / static_cast<double>(n_levels - 1);
+
+  table.levels_.reserve(static_cast<std::size_t>(n_levels));
+  for (int i = 0; i < n_levels; ++i) {
+    const double t_target =
+        t_bright - table.spacing_ * static_cast<double>(i);
+    const double fraction =
+        i == 0 ? 0.0
+               : invert_transmission(transmission, t_target, 0.0,
+                                     deepest_fraction);
+    MlcLevel level{};
+    level.index = i;
+    level.transmission = t_target;
+    level.crystalline_fraction = fraction;
+    if (mode == ProgrammingMode::kAmorphousReset) {
+      // Reset state is amorphous: level 0 is free, deeper levels grow
+      // crystal at the 1 mW write power.
+      level.write_latency_ns = thermal.crystallization_latency_ns(fraction);
+      level.write_energy_pj = thermal.crystallization_energy_pj(fraction);
+    } else {
+      // Reset state is crystalline (X = deepest usable): level i melts a
+      // growing share of the cell. The brightest level melts the most.
+      const double melt = 1.0 - fraction / deepest_fraction;
+      level.write_latency_ns = thermal.amorphization_latency_ns(melt);
+      level.write_energy_pj = thermal.amorphization_energy_pj(melt);
+    }
+    table.levels_.push_back(level);
+  }
+
+  if (mode == ProgrammingMode::kAmorphousReset) {
+    const auto reset = thermal.full_amorphization_reset();
+    table.reset_ = ResetPulse{thermal.amorphous_reset_latency_ns(),
+                              reset.energy_pj};
+  } else {
+    const auto reset = thermal.full_crystallization_reset();
+    table.reset_ = ResetPulse{thermal.crystalline_reset_latency_ns(),
+                              reset.energy_pj};
+  }
+  // In crystalline-reset mode the cells sit at the deepest fraction after
+  // reset, so level indexing runs dark-to-bright; we keep bright-to-dark
+  // indexing in both modes for a uniform architecture view (the memory
+  // controller remaps level codes, not the device model).
+  return table;
+}
+
+double MlcLevelTable::loss_tolerance_db() const {
+  // A uniform ladder of 2^b levels confuses neighbours once the readout
+  // has lost one level spacing relative to full scale: tolerance
+  // = -10 log10(1 - 1/2^b). Paper: 3.01 dB (b=1), 1.2 dB (b=2),
+  // 0.26 dB (b=4).
+  const double relative_spacing = 1.0 / static_cast<double>(1 << bits_);
+  return -util::ratio_to_db(1.0 - relative_spacing);
+}
+
+double MlcLevelTable::max_write_latency_ns() const {
+  double max_ns = 0.0;
+  for (const auto& level : levels_) {
+    max_ns = std::max(max_ns, level.write_latency_ns);
+  }
+  return max_ns;
+}
+
+int MlcLevelTable::classify(double measured_transmission) const {
+  int best = 0;
+  double best_dist = std::abs(levels_[0].transmission - measured_transmission);
+  for (const auto& level : levels_) {
+    const double dist =
+        std::abs(level.transmission - measured_transmission);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = level.index;
+    }
+  }
+  return best;
+}
+
+}  // namespace comet::materials

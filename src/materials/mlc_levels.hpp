@@ -1,0 +1,95 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "materials/thermal_model.hpp"
+
+/// Multi-level-cell programming table (paper Section III.B / Fig. 6).
+///
+/// The paper programs a 4-bit GST cell to 16 "distinctive and equally
+/// spaced transmission levels (with 6% spacing between transmission
+/// levels)" and reports, per level, the crystalline fraction, the
+/// programming latency and the readout transmission. This module builds
+/// that table for any bit density b: the level transmissions are spaced
+/// uniformly between the cell's amorphous (brightest) and deepest usable
+/// crystalline (darkest) transmission, each level's crystalline fraction
+/// is found by inverting the cell's transmission-vs-fraction curve, and
+/// latency/energy come from the calibrated thermal model for the two
+/// programming case studies of the paper:
+///
+///  * kAmorphousReset  (case 2): reset melts the cell (280 pJ); writes
+///    partially *crystallize* at 1 mW (slow levels up to ~170 ns).
+///  * kCrystallineReset (case 1): reset recrystallizes the cell (880 pJ);
+///    writes partially *amorphize* at 5 mW (fast, tens of ns).
+namespace comet::materials {
+
+/// Which state the reset pulse leaves the cell in (paper case studies).
+enum class ProgrammingMode { kCrystallineReset, kAmorphousReset };
+
+/// One programmable level of the MLC.
+struct MlcLevel {
+  int index;                   ///< 0 = reset state.
+  double transmission;         ///< Target readout transmission (0..1).
+  double crystalline_fraction; ///< X programmed into the cell.
+  double write_latency_ns;     ///< Programming pulse duration.
+  double write_energy_pj;      ///< Programming pulse energy.
+};
+
+/// Reset pulse summary for the selected programming mode.
+struct ResetPulse {
+  double latency_ns;
+  double energy_pj;
+};
+
+/// Maps a crystalline fraction in [0,1] to a readout transmission (0..1];
+/// must be continuous and strictly decreasing. Provided by the photonic
+/// GST cell model (photonics/gst_cell.hpp); materials stays optics-free.
+using TransmissionOfFraction = std::function<double(double)>;
+
+class MlcLevelTable {
+ public:
+  /// Builds the table for `bits` in [1, 5] (paper: GST supports up to
+  /// 5 bits/cell [17]; COMET evaluates b in {1, 2, 4}).
+  /// `deepest_fraction` bounds the most crystalline usable level.
+  static MlcLevelTable build(int bits, ProgrammingMode mode,
+                             const PcmThermalModel& thermal,
+                             const TransmissionOfFraction& transmission,
+                             double deepest_fraction = 0.95);
+
+  int bits() const { return bits_; }
+  ProgrammingMode mode() const { return mode_; }
+  const std::vector<MlcLevel>& levels() const { return levels_; }
+  const ResetPulse& reset() const { return reset_; }
+
+  /// Absolute transmission spacing between adjacent levels (paper: 6% for
+  /// b = 4).
+  double level_spacing() const { return spacing_; }
+
+  /// Worst-case readout loss [dB] the signal can absorb before one level
+  /// is confused with the next (paper: 3.01 / 1.2 / 0.26 dB for b=1/2/4).
+  double loss_tolerance_db() const;
+
+  /// Slowest write across levels — the architecture's max write time.
+  double max_write_latency_ns() const;
+
+  /// Nearest-level classification of a measured transmission; this is the
+  /// readout decision the electrical interface makes.
+  int classify(double measured_transmission) const;
+
+ private:
+  MlcLevelTable() = default;
+
+  int bits_ = 0;
+  ProgrammingMode mode_ = ProgrammingMode::kAmorphousReset;
+  double spacing_ = 0.0;
+  std::vector<MlcLevel> levels_;
+  ResetPulse reset_{};
+};
+
+/// Inverts a strictly decreasing transmission curve by bisection on
+/// fraction in [0, 1]. Exposed for testing.
+double invert_transmission(const TransmissionOfFraction& transmission,
+                           double target, double lo = 0.0, double hi = 1.0);
+
+}  // namespace comet::materials

@@ -1,0 +1,134 @@
+#include "materials/pcm_material.hpp"
+
+#include <stdexcept>
+
+#include "util/constants.hpp"
+
+namespace comet::materials {
+namespace {
+
+// Optical anchors at 1550 nm, (n, kappa), with the Lorentz resonance
+// placed where each material's interband absorption lives. Values match
+// the ranges reported for sputtered films in the integrated-photonic PCM
+// literature; the paper's Fig. 3 trends (GST with both the largest
+// Delta-n and the largest Delta-kappa over the C-band) follow from them.
+PcmMaterial make_gst() {
+  return PcmMaterial(
+      Pcm::kGst,
+      LorentzOscillator::fit(3.94, 0.013, util::kCBandCentreNm, 730.0),
+      LorentzOscillator::fit(6.51, 1.10, util::kCBandCentreNm, 1000.0),
+      ThermalProperties{
+          .melting_point_k = 873.0,
+          .crystallization_point_k = 423.0,
+          .density_kg_m3 = 6150.0,
+          .specific_heat_j_kg_k = 218.0,
+          .activation_energy_ev = 2.2,
+      });
+}
+
+PcmMaterial make_gsst() {
+  return PcmMaterial(
+      Pcm::kGsst,
+      LorentzOscillator::fit(3.33, 0.0004, util::kCBandCentreNm, 680.0),
+      LorentzOscillator::fit(5.08, 0.35, util::kCBandCentreNm, 950.0),
+      ThermalProperties{
+          .melting_point_k = 900.0,
+          .crystallization_point_k = 523.0,
+          .density_kg_m3 = 5900.0,
+          .specific_heat_j_kg_k = 212.0,
+          .activation_energy_ev = 2.3,
+      });
+}
+
+PcmMaterial make_sb2se3() {
+  return PcmMaterial(
+      Pcm::kSb2Se3,
+      LorentzOscillator::fit(3.28, 0.0001, util::kCBandCentreNm, 585.0),
+      LorentzOscillator::fit(4.05, 0.011, util::kCBandCentreNm, 775.0),
+      ThermalProperties{
+          .melting_point_k = 885.0,
+          .crystallization_point_k = 473.0,
+          .density_kg_m3 = 5810.0,
+          .specific_heat_j_kg_k = 231.0,
+          .activation_energy_ev = 1.9,
+      });
+}
+
+}  // namespace
+
+std::string_view to_string(Pcm pcm) {
+  switch (pcm) {
+    case Pcm::kGst:
+      return "GST";
+    case Pcm::kGsst:
+      return "GSST";
+    case Pcm::kSb2Se3:
+      return "Sb2Se3";
+  }
+  throw std::invalid_argument("to_string: unknown Pcm");
+}
+
+std::string_view to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kAmorphous:
+      return "amorphous";
+    case Phase::kCrystalline:
+      return "crystalline";
+  }
+  throw std::invalid_argument("to_string: unknown Phase");
+}
+
+const PcmMaterial& PcmMaterial::get(Pcm pcm) {
+  static const PcmMaterial gst = make_gst();
+  static const PcmMaterial gsst = make_gsst();
+  static const PcmMaterial sb2se3 = make_sb2se3();
+  switch (pcm) {
+    case Pcm::kGst:
+      return gst;
+    case Pcm::kGsst:
+      return gsst;
+    case Pcm::kSb2Se3:
+      return sb2se3;
+  }
+  throw std::invalid_argument("PcmMaterial::get: unknown Pcm");
+}
+
+PcmMaterial::PcmMaterial(Pcm id, LorentzOscillator amorphous,
+                         LorentzOscillator crystalline,
+                         ThermalProperties thermal)
+    : id_(id),
+      amorphous_(amorphous),
+      crystalline_(crystalline),
+      thermal_(thermal) {
+  if (thermal_.melting_point_k <= thermal_.crystallization_point_k) {
+    throw std::invalid_argument("PcmMaterial: T_melt must exceed T_cryst");
+  }
+}
+
+const LorentzOscillator& PcmMaterial::oscillator(Phase phase) const {
+  return phase == Phase::kAmorphous ? amorphous_ : crystalline_;
+}
+
+std::complex<double> PcmMaterial::complex_index(Phase phase,
+                                                double lambda_nm) const {
+  return oscillator(phase).complex_index(lambda_nm);
+}
+
+double PcmMaterial::n(Phase phase, double lambda_nm) const {
+  return complex_index(phase, lambda_nm).real();
+}
+
+double PcmMaterial::kappa(Phase phase, double lambda_nm) const {
+  return complex_index(phase, lambda_nm).imag();
+}
+
+double PcmMaterial::index_contrast(double lambda_nm) const {
+  return n(Phase::kCrystalline, lambda_nm) - n(Phase::kAmorphous, lambda_nm);
+}
+
+double PcmMaterial::kappa_contrast(double lambda_nm) const {
+  return kappa(Phase::kCrystalline, lambda_nm) -
+         kappa(Phase::kAmorphous, lambda_nm);
+}
+
+}  // namespace comet::materials

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <complex>
+#include <string_view>
+
+#include "materials/lorentz_model.hpp"
+
+/// Database of the three phase-change material candidates the paper
+/// compares in Section III.A / Fig. 3: Ge2Sb2Te5 (GST), Ge2Sb2Se4Te
+/// (GSST) and Sb2Se3. Optical anchor values (n, kappa at 1550 nm per
+/// phase) follow the integrated-photonics PCM literature (Wuttig 2017;
+/// Rios 2015; Zhang/Delaney for GSST and Sb2Se3); thermal constants are
+/// standard GST-class values. The paper's conclusion — GST has the
+/// highest C-band index contrast *and* the highest extinction contrast,
+/// making it the pick for OPCM cells — must emerge from these numbers.
+namespace comet::materials {
+
+/// The two stable phases of a PCM.
+enum class Phase { kAmorphous, kCrystalline };
+
+/// PCM candidates evaluated in the paper.
+enum class Pcm { kGst, kGsst, kSb2Se3 };
+
+/// Returns a human-readable name ("GST", "GSST", "Sb2Se3").
+std::string_view to_string(Pcm pcm);
+std::string_view to_string(Phase phase);
+
+/// Thermal constants for the lumped transient model.
+struct ThermalProperties {
+  double melting_point_k;          ///< T_l: full amorphization threshold.
+  double crystallization_point_k;  ///< T_g: onset of crystal growth.
+  double density_kg_m3;
+  double specific_heat_j_kg_k;
+  double activation_energy_ev;     ///< Arrhenius E_a for crystal growth.
+};
+
+/// One PCM candidate: Lorentz models for both phases plus thermal data.
+class PcmMaterial {
+ public:
+  /// Access the built-in database entry for a candidate.
+  static const PcmMaterial& get(Pcm pcm);
+
+  PcmMaterial(Pcm id, LorentzOscillator amorphous,
+              LorentzOscillator crystalline, ThermalProperties thermal);
+
+  Pcm id() const { return id_; }
+  std::string_view name() const { return to_string(id_); }
+  const ThermalProperties& thermal() const { return thermal_; }
+  const LorentzOscillator& oscillator(Phase phase) const;
+
+  /// Complex refractive index of a pure phase at a wavelength [nm].
+  std::complex<double> complex_index(Phase phase, double lambda_nm) const;
+
+  /// Real index n of a pure phase.
+  double n(Phase phase, double lambda_nm) const;
+
+  /// Extinction coefficient kappa of a pure phase.
+  double kappa(Phase phase, double lambda_nm) const;
+
+  /// n(crystalline) - n(amorphous): the key MLC design metric (Fig. 3).
+  double index_contrast(double lambda_nm) const;
+
+  /// kappa(crystalline) - kappa(amorphous).
+  double kappa_contrast(double lambda_nm) const;
+
+ private:
+  Pcm id_;
+  LorentzOscillator amorphous_;
+  LorentzOscillator crystalline_;
+  ThermalProperties thermal_;
+};
+
+}  // namespace comet::materials

@@ -1,0 +1,176 @@
+#include "materials/thermal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace comet::materials {
+
+double ThermalRC::temperature_at(double power_w, double t_s,
+                                 double t0_k) const {
+  const double t_ss = steady_state_k(power_w);
+  return t_ss + (t0_k - t_ss) * std::exp(-t_s / tau_s());
+}
+
+double ThermalRC::time_to_temperature(double power_w, double target_k) const {
+  const double t_ss = steady_state_k(power_w);
+  if (target_k <= ambient_k) return 0.0;
+  if (target_k >= t_ss) return std::numeric_limits<double>::infinity();
+  const double frac = (target_k - ambient_k) / (t_ss - ambient_k);
+  return -tau_s() * std::log(1.0 - frac);
+}
+
+GstThermalCalibration GstThermalCalibration::calibrated() {
+  const auto& gst = PcmMaterial::get(Pcm::kGst).thermal();
+  return GstThermalCalibration{
+      // tau = R*C = 12 ns: nanosecond-scale quench, far below GST's
+      // critical amorphization quench time, so molten regions freeze
+      // amorphous. R chosen so 1 mW sits in the growth window and 5 mW
+      // melts the full cell (see header).
+      .rc = ThermalRC{.heat_capacity_j_per_k = 8.45e-14,
+                      .thermal_resistance_k_per_w = 1.42e5,
+                      .ambient_k = 300.0},
+      .kinetics =
+          CrystallizationKinetics::Params{
+              .peak_rate_per_s = 6.43e7,
+              .peak_temperature_k = 650.0,
+              .width_k = 160.0,
+              .avrami_exponent = 2.0,
+              .onset_temperature_k = gst.crystallization_point_k,
+              .melt_temperature_k = gst.melting_point_k,
+          },
+      .melt_spread_k = 120.0,
+      .write_power_mw = 1.0,
+      .erase_growth_power_mw = 3.94,
+      .reset_power_mw = 5.0,
+      .reset_hold_ns = 11.0,
+      .erase_melt_preamble_ns = 25.0,
+  };
+}
+
+PcmThermalModel::PcmThermalModel(const GstThermalCalibration& cal)
+    : cal_(cal), kinetics_(cal.kinetics) {
+  // The write power must land strictly inside the growth window and the
+  // reset power must be able to melt the full cell; otherwise the
+  // calibration cannot program the cell at all.
+  const double t_write = cal_.rc.steady_state_k(cal_.write_power_mw * 1e-3);
+  if (t_write <= cal_.kinetics.onset_temperature_k ||
+      t_write >= cal_.kinetics.melt_temperature_k) {
+    throw std::invalid_argument(
+        "PcmThermalModel: write power outside crystallization window");
+  }
+  const double t_reset = cal_.rc.steady_state_k(cal_.reset_power_mw * 1e-3);
+  if (t_reset < cal_.kinetics.melt_temperature_k + cal_.melt_spread_k) {
+    throw std::invalid_argument(
+        "PcmThermalModel: reset power cannot melt the full cell");
+  }
+}
+
+PulseResult PcmThermalModel::apply_pulse(double power_mw, double duration_ns,
+                                         double x0, double dt_ns) const {
+  if (x0 < 0.0 || x0 > 1.0) {
+    throw std::invalid_argument("apply_pulse: x0 outside [0,1]");
+  }
+  const double power_w = power_mw * 1e-3;
+  const double t_melt = cal_.kinetics.melt_temperature_k;
+  double temp = cal_.rc.ambient_k;
+  double x = x0;
+  double melt_prev = 0.0;
+  double melt_peak = 0.0;
+  double peak_temp = temp;
+  const auto steps = static_cast<std::size_t>(duration_ns / dt_ns);
+  const double dt_s = dt_ns * 1e-9;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double dtemp =
+        (power_w - (temp - cal_.rc.ambient_k) /
+                       cal_.rc.thermal_resistance_k_per_w) /
+        cal_.rc.heat_capacity_j_per_k;
+    temp += dtemp * dt_s;
+    peak_temp = std::max(peak_temp, temp);
+    const double melt_cur =
+        std::clamp((temp - t_melt) / cal_.melt_spread_k, 0.0, 1.0);
+    if (melt_cur > melt_prev) {
+      // A newly molten shell destroys its share of the crystalline volume;
+      // the quench is ns-scale so it re-freezes amorphous.
+      x *= (1.0 - melt_cur) / (1.0 - melt_prev + 1e-12);
+      melt_prev = melt_cur;
+    }
+    melt_peak = std::max(melt_peak, melt_cur);
+    x = kinetics_.step(x, temp, dt_s);
+  }
+  return PulseResult{.final_fraction = std::clamp(x, 0.0, 1.0),
+                     .peak_temp_k = peak_temp,
+                     .melt_fraction = melt_peak,
+                     .energy_pj = power_mw * duration_ns};
+}
+
+double PcmThermalModel::crystallization_latency_ns(
+    double target_fraction) const {
+  if (target_fraction <= 1e-9) return 0.0;
+  const double power_w = cal_.write_power_mw * 1e-3;
+  const double t_rise_s = cal_.rc.time_to_temperature(
+      power_w, cal_.kinetics.onset_temperature_k);
+  const double t_ss = cal_.rc.steady_state_k(power_w);
+  const double t_kin_s = kinetics_.time_to_fraction(target_fraction, t_ss);
+  return (t_rise_s + t_kin_s) * 1e9;
+}
+
+double PcmThermalModel::crystallization_energy_pj(
+    double target_fraction) const {
+  return cal_.write_power_mw * crystallization_latency_ns(target_fraction);
+}
+
+double PcmThermalModel::amorphization_latency_ns(
+    double target_melt_fraction) const {
+  if (target_melt_fraction <= 0.0) return 0.0;
+  const double m = std::min(target_melt_fraction, 1.0);
+  const double power_w = cal_.reset_power_mw * 1e-3;
+  const double target_k =
+      cal_.kinetics.melt_temperature_k + m * cal_.melt_spread_k;
+  return cal_.rc.time_to_temperature(power_w, target_k) * 1e9;
+}
+
+double PcmThermalModel::amorphization_energy_pj(
+    double target_melt_fraction) const {
+  return cal_.reset_power_mw * amorphization_latency_ns(target_melt_fraction);
+}
+
+PulseResult PcmThermalModel::full_amorphization_reset() const {
+  const double duration_ns = amorphous_reset_latency_ns();
+  const double power_w = cal_.reset_power_mw * 1e-3;
+  return PulseResult{
+      .final_fraction = 0.0,
+      .peak_temp_k = cal_.rc.temperature_at(power_w, duration_ns * 1e-9,
+                                            cal_.rc.ambient_k),
+      .melt_fraction = 1.0,
+      .energy_pj = cal_.reset_power_mw * duration_ns};
+}
+
+PulseResult PcmThermalModel::full_crystallization_reset() const {
+  const double growth_temp =
+      cal_.rc.steady_state_k(cal_.erase_growth_power_mw * 1e-3);
+  const double growth_ns =
+      kinetics_.time_to_fraction(0.99, growth_temp) * 1e9;
+  const double energy_pj =
+      cal_.reset_power_mw * cal_.erase_melt_preamble_ns +
+      cal_.erase_growth_power_mw * growth_ns;
+  return PulseResult{.final_fraction = 0.99,
+                     .peak_temp_k = cal_.kinetics.melt_temperature_k +
+                                    cal_.melt_spread_k,
+                     .melt_fraction = 1.0,
+                     .energy_pj = energy_pj};
+}
+
+double PcmThermalModel::crystalline_reset_latency_ns() const {
+  const double growth_temp =
+      cal_.rc.steady_state_k(cal_.erase_growth_power_mw * 1e-3);
+  return cal_.erase_melt_preamble_ns +
+         kinetics_.time_to_fraction(0.99, growth_temp) * 1e9;
+}
+
+double PcmThermalModel::amorphous_reset_latency_ns() const {
+  return amorphization_latency_ns(1.0) + cal_.reset_hold_ns;
+}
+
+}  // namespace comet::materials

@@ -1,0 +1,120 @@
+#pragma once
+
+#include "materials/crystallization.hpp"
+#include "materials/pcm_material.hpp"
+
+/// Lumped transient thermal model of a GST-on-waveguide cell.
+///
+/// The paper obtains programming latency/energy from Ansys Lumerical HEAT
+/// by defining "a local uniform heat source in the Si waveguide to mimic
+/// the power of the optical mode". We substitute a lumped thermal-RC
+/// equivalent of that setup: the write pulse power P heats one thermal
+/// mass C_th coupled to the substrate through a resistance R_th,
+///
+///     dT/dt = (P - (T - T_amb)/R_th) / C_th,
+///
+/// which has the closed-form rise T(t) = T_amb + P R (1 - e^{-t/tau}).
+/// Melting is modelled with a two-zone front: the molten volume fraction
+/// grows linearly from 0 at T_l to 1 at T_l + melt_spread (a quenched
+/// molten region amorphizes because tau is in the nanosecond range, far
+/// below GST's critical quench time).
+///
+/// GstThermalCalibration::calibrated() fixes (R_th, C_th, melt_spread,
+/// pulse powers, hold times, kinetics) so that the model lands on the
+/// paper's published device results:
+///   * 1 mW write pulses sit in the crystallization window (Table I);
+///   * amorphizing reset: 5 mW, ~56 ns, ~280 pJ (case study 2);
+///   * crystallizing reset: melt preamble + growth, ~210 ns, ~880 pJ
+///     (case study 1 / Table II erase);
+///   * slowest MLC write <= ~170 ns (Table II max write).
+namespace comet::materials {
+
+/// Lumped thermal RC stage with closed-form step response.
+struct ThermalRC {
+  double heat_capacity_j_per_k;
+  double thermal_resistance_k_per_w;
+  double ambient_k;
+
+  double tau_s() const { return heat_capacity_j_per_k * thermal_resistance_k_per_w; }
+
+  /// Steady-state temperature under constant power [W].
+  double steady_state_k(double power_w) const {
+    return ambient_k + power_w * thermal_resistance_k_per_w;
+  }
+
+  /// Temperature after heating for t_s from start temperature t0_k.
+  double temperature_at(double power_w, double t_s, double t0_k) const;
+
+  /// Time to reach target_k from ambient under constant power; +inf if the
+  /// steady state never reaches it.
+  double time_to_temperature(double power_w, double target_k) const;
+};
+
+/// Result of applying one rectangular optical pulse.
+struct PulseResult {
+  double final_fraction;  ///< Crystalline fraction after the pulse.
+  double peak_temp_k;     ///< Maximum lumped temperature reached.
+  double melt_fraction;   ///< Fraction of the cell that was molten.
+  double energy_pj;       ///< Electrical/optical pulse energy consumed.
+};
+
+/// Fixed constants for the calibrated GST cell.
+struct GstThermalCalibration {
+  ThermalRC rc;
+  CrystallizationKinetics::Params kinetics;
+  double melt_spread_k;        ///< Two-zone melt front width.
+  double write_power_mw;       ///< Table I: max power at GST cell (1 mW).
+  double erase_growth_power_mw;///< Below-melt anneal power for erase.
+  double reset_power_mw;       ///< Amorphizing (melt) pulse power (5 mW).
+  double reset_hold_ns;        ///< Hold after full melt before quench.
+  double erase_melt_preamble_ns; ///< Homogenizing melt stage of erase.
+
+  /// The calibration used throughout the repository (GST).
+  static GstThermalCalibration calibrated();
+};
+
+/// Transient programming model of one GST cell.
+class PcmThermalModel {
+ public:
+  explicit PcmThermalModel(const GstThermalCalibration& cal);
+
+  const GstThermalCalibration& calibration() const { return cal_; }
+  const CrystallizationKinetics& kinetics() const { return kinetics_; }
+
+  /// Integrates temperature + JMAK over one rectangular pulse.
+  /// `x0` is the starting crystalline fraction.
+  PulseResult apply_pulse(double power_mw, double duration_ns, double x0,
+                          double dt_ns = 0.05) const;
+
+  /// Latency [ns] of a crystallizing write from X=0 to `target_fraction`
+  /// at the calibrated 1 mW write power: thermal rise to the growth
+  /// window plus closed-form JMAK time at the steady-state temperature.
+  double crystallization_latency_ns(double target_fraction) const;
+
+  /// Energy [pJ] of that crystallizing write.
+  double crystallization_energy_pj(double target_fraction) const;
+
+  /// Latency [ns] of a partial-amorphization write that melts the given
+  /// volume fraction at the calibrated 5 mW reset power.
+  double amorphization_latency_ns(double target_melt_fraction) const;
+
+  /// Energy [pJ] of that partial-amorphization write.
+  double amorphization_energy_pj(double target_melt_fraction) const;
+
+  /// Full amorphizing reset (case study 2): pulse power, duration, energy.
+  PulseResult full_amorphization_reset() const;
+
+  /// Full crystallizing reset (case study 1): melt preamble + growth
+  /// anneal. Returns the aggregate duration/energy in the PulseResult
+  /// (duration retrievable via crystalline_reset_latency_ns()).
+  PulseResult full_crystallization_reset() const;
+
+  double crystalline_reset_latency_ns() const;
+  double amorphous_reset_latency_ns() const;
+
+ private:
+  GstThermalCalibration cal_;
+  CrystallizationKinetics kinetics_;
+};
+
+}  // namespace comet::materials

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+/// Memory request record shared by traces, controllers and devices.
+/// The simulator's native clock tick is 1 ps (see util/units.hpp) so that
+/// photonic (ns) and DRAM (sub-ns) events share one integer timeline.
+namespace comet::memsim {
+
+enum class Op : std::uint8_t { kRead, kWrite };
+
+struct Request {
+  std::uint64_t id = 0;
+  std::uint64_t arrival_ps = 0;  ///< When the request reaches the controller.
+  Op op = Op::kRead;
+  std::uint64_t address = 0;     ///< Physical byte address.
+  std::uint32_t size_bytes = 64; ///< Cache-line size of the request.
+};
+
+}  // namespace comet::memsim

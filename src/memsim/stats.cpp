@@ -1,0 +1,36 @@
+#include "memsim/stats.hpp"
+
+namespace comet::memsim {
+
+double SimStats::bandwidth_gbps() const {
+  if (span_ps == 0) return 0.0;
+  const double seconds = static_cast<double>(span_ps) * 1e-12;
+  return static_cast<double>(bytes_transferred) / seconds / 1e9;
+}
+
+double SimStats::epb_pj_per_bit() const {
+  if (bytes_transferred == 0) return 0.0;
+  const double bits = static_cast<double>(bytes_transferred) * 8.0;
+  return (dynamic_energy_pj + background_energy_pj) / bits;
+}
+
+double SimStats::avg_latency_ns() const {
+  const auto n = read_latency_ns.count() + write_latency_ns.count();
+  if (n == 0) return 0.0;
+  return (read_latency_ns.sum() + write_latency_ns.sum()) /
+         static_cast<double>(n);
+}
+
+double SimStats::bank_utilization(int total_banks) const {
+  if (span_ps == 0 || total_banks <= 0) return 0.0;
+  const double span_ns = static_cast<double>(span_ps) * 1e-3;
+  return total_bank_busy_ns / (span_ns * total_banks);
+}
+
+double SimStats::bw_per_epb() const {
+  const double epb = epb_pj_per_bit();
+  if (epb == 0.0) return 0.0;
+  return bandwidth_gbps() / epb;
+}
+
+}  // namespace comet::memsim

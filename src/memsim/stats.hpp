@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.hpp"
+
+/// Aggregate results of one trace replay against one architecture.
+namespace comet::memsim {
+
+struct SimStats {
+  std::string device_name;
+  std::string workload_name;
+
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t span_ps = 0;  ///< First arrival to last completion.
+
+  util::RunningStats read_latency_ns;
+  util::RunningStats write_latency_ns;
+  util::RunningStats queue_delay_ns;
+
+  double dynamic_energy_pj = 0.0;
+  double background_energy_pj = 0.0;
+
+  /// Total bank-busy time accumulated across all banks [ns]; divide by
+  /// span x bank count for average bank utilization.
+  double total_bank_busy_ns = 0.0;
+
+  /// Average bank utilization in [0, 1] given the total bank count.
+  double bank_utilization(int total_banks) const;
+
+  /// Achieved bandwidth [GB/s].
+  double bandwidth_gbps() const;
+
+  /// Total energy per transferred bit [pJ/bit].
+  double epb_pj_per_bit() const;
+
+  /// Mean latency across reads and writes [ns].
+  double avg_latency_ns() const;
+
+  /// Fig. 9c metric: bandwidth per unit energy-per-bit
+  /// [(GB/s) / (pJ/bit)].
+  double bw_per_epb() const;
+};
+
+}  // namespace comet::memsim

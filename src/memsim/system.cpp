@@ -1,0 +1,190 @@
+#include "memsim/system.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace comet::memsim {
+namespace {
+
+struct BankState {
+  std::uint64_t free_ps = 0;
+  std::uint64_t open_row = ~0ull;
+  std::uint64_t current_region = ~0ull;
+};
+
+struct ChannelState {
+  std::vector<BankState> banks;
+  std::deque<std::uint64_t> inflight_completions;
+};
+
+/// Controller address hash (NVMain-style bank/channel interleaving):
+/// spreads hot lines over channels and banks so that Zipf-skewed streams
+/// do not serialize on one bank. Applied identically to every device.
+std::uint64_t mix_line_index(std::uint64_t line) {
+  std::uint64_t x = line;
+  x ^= x >> 13;
+  x *= 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  return x;
+}
+
+/// Pushes `t` past any refresh window it falls into.
+std::uint64_t avoid_refresh(std::uint64_t t, const DeviceTiming& timing) {
+  if (timing.refresh_interval_ps == 0) return t;
+  const std::uint64_t phase = t % timing.refresh_interval_ps;
+  if (phase < timing.refresh_duration_ps) {
+    return t - phase + timing.refresh_duration_ps;
+  }
+  return t;
+}
+
+}  // namespace
+
+MemorySystem::MemorySystem(DeviceModel model) : model_(std::move(model)) {
+  model_.validate();
+}
+
+SimStats MemorySystem::run(const std::vector<Request>& requests,
+                           const std::string& workload_name) const {
+  const DeviceTiming& t = model_.timing;
+
+  SimStats stats;
+  stats.device_name = model_.name;
+  stats.workload_name = workload_name;
+  if (requests.empty()) return stats;
+
+  std::vector<ChannelState> channels(static_cast<std::size_t>(t.channels));
+  for (auto& ch : channels) {
+    ch.banks.resize(static_cast<std::size_t>(t.banks_per_channel));
+  }
+
+  std::uint64_t prev_arrival = 0;
+  std::uint64_t first_arrival = requests.front().arrival_ps;
+  std::uint64_t last_completion = 0;
+
+  for (const auto& req : requests) {
+    if (req.arrival_ps < prev_arrival) {
+      throw std::invalid_argument("MemorySystem::run: unsorted trace");
+    }
+    prev_arrival = req.arrival_ps;
+
+    const std::uint64_t line_index =
+        mix_line_index(req.address / t.line_bytes);
+    auto& ch = channels[line_index % static_cast<std::uint64_t>(t.channels)];
+
+    // One request may need several device accesses: large requests span
+    // lines, and narrow-subarray architectures (corrected COSMOS) need
+    // several accesses per line.
+    const std::uint64_t lines_needed =
+        (req.size_bytes + t.line_bytes - 1) / t.line_bytes;
+    const std::uint64_t accesses =
+        lines_needed * static_cast<std::uint64_t>(t.accesses_per_line);
+
+    std::uint64_t earliest = req.arrival_ps;
+    // Bounded outstanding window: with queue_depth requests in flight,
+    // service waits for the oldest to complete.
+    if (ch.inflight_completions.size() >=
+        static_cast<std::size_t>(t.queue_depth)) {
+      earliest = std::max(earliest, ch.inflight_completions.front());
+      ch.inflight_completions.pop_front();
+    }
+
+    // Resolve the serving bank set.
+    const std::uint64_t bank_index =
+        (line_index / static_cast<std::uint64_t>(t.channels)) %
+        static_cast<std::uint64_t>(t.banks_per_channel);
+    const std::uint64_t row = req.address / t.row_size_bytes;
+    const std::uint64_t region =
+        t.region_size_bytes ? req.address / t.region_size_bytes : 0;
+
+    std::uint64_t bank_free = 0;
+    if (t.line_striped_across_banks) {
+      for (const auto& bank : ch.banks) {
+        bank_free = std::max(bank_free, bank.free_ps);
+      }
+    } else {
+      bank_free = ch.banks[bank_index].free_ps;
+    }
+
+    std::uint64_t start = std::max(earliest, bank_free);
+    start = avoid_refresh(start, t);
+
+    // Per-access occupancy, adjusted by the row buffer / region switch.
+    std::uint64_t per_access = req.op == Op::kRead ? t.read_occupancy_ps
+                                                   : t.write_occupancy_ps;
+    BankState& lead_bank =
+        t.line_striped_across_banks ? ch.banks.front() : ch.banks[bank_index];
+    if (t.has_row_buffer && lead_bank.open_row == row &&
+        per_access > t.row_hit_saving_ps) {
+      per_access -= t.row_hit_saving_ps;
+    }
+    std::uint64_t occupancy = per_access * accesses;
+    if (t.region_size_bytes && lead_bank.current_region != region) {
+      occupancy += t.region_switch_ps;
+    }
+
+    const std::uint64_t busy_until = start + occupancy;
+    // Data beats pipeline on the channel link (WDM/MDM links and DDR
+    // buses are provisioned to match the banks' burst bandwidth), so the
+    // burst contributes latency but never blocks another bank's access.
+    const std::uint64_t transfer_end = busy_until + t.burst_ps * accesses;
+    const std::uint64_t completion = transfer_end + t.interface_ps;
+    // Off-latency-path restore/erase work keeps the bank busy longer.
+    const std::uint64_t tail =
+        (req.op == Op::kRead ? t.read_tail_ps : t.write_tail_ps) * accesses;
+    const std::uint64_t bank_busy_until =
+        std::max(transfer_end, busy_until + tail);
+
+    // Commit state.
+    if (t.line_striped_across_banks) {
+      for (auto& bank : ch.banks) {
+        bank.free_ps = bank_busy_until;
+        bank.open_row = row;
+        bank.current_region = region;
+      }
+    } else {
+      auto& bank = ch.banks[bank_index];
+      bank.free_ps = bank_busy_until;
+      bank.open_row = row;
+      bank.current_region = region;
+    }
+    ch.inflight_completions.push_back(completion);
+
+    // Statistics.
+    const double latency_ns =
+        static_cast<double>(completion - req.arrival_ps) * 1e-3;
+    const double queue_ns =
+        static_cast<double>(start - req.arrival_ps) * 1e-3;
+    const double bits = static_cast<double>(req.size_bytes) * 8.0;
+    stats.queue_delay_ns.add(queue_ns);
+    stats.total_bank_busy_ns +=
+        static_cast<double>(bank_busy_until - start) * 1e-3 *
+        (t.line_striped_across_banks ? t.banks_per_channel : 1);
+    if (req.op == Op::kRead) {
+      ++stats.reads;
+      stats.read_latency_ns.add(latency_ns);
+      stats.dynamic_energy_pj += bits * model_.energy.read_pj_per_bit;
+    } else {
+      ++stats.writes;
+      stats.write_latency_ns.add(latency_ns);
+      stats.dynamic_energy_pj += bits * model_.energy.write_pj_per_bit;
+    }
+    stats.bytes_transferred += req.size_bytes;
+    last_completion = std::max(last_completion, completion);
+  }
+
+  stats.span_ps = last_completion - first_arrival;
+  // W * ps = 1e-12 J = 1 pJ per (W * ps): power[W] x time[ps] -> pJ.
+  stats.background_energy_pj = model_.energy.background_power_w *
+                               static_cast<double>(stats.span_ps);
+  // Activity-gated power (dynamic laser management, [43]): charged only
+  // for the fraction of time banks are actually busy.
+  const int total_banks = t.channels * t.banks_per_channel;
+  stats.background_energy_pj += model_.energy.gateable_background_power_w *
+                                static_cast<double>(stats.span_ps) *
+                                stats.bank_utilization(total_banks);
+  return stats;
+}
+
+}  // namespace comet::memsim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/device.hpp"
+#include "memsim/request.hpp"
+#include "memsim/stats.hpp"
+
+/// Trace-replay engine (the NVMain-2.0 substitute).
+///
+/// One generic controller serves every architecture in the study, driven
+/// entirely by the DeviceModel descriptor: requests are interleaved over
+/// channels by line address, queued FCFS per channel with a bounded
+/// outstanding window (the controller's exploitable memory-level
+/// parallelism), scheduled onto banks honouring occupancy, row-buffer
+/// hits, refresh blocking and photonic region-switch penalties, and
+/// charged per-bit dynamic energy plus always-on background power.
+namespace comet::memsim {
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(DeviceModel model);
+
+  const DeviceModel& model() const { return model_; }
+
+  /// Replays the request stream (must be sorted by arrival time) and
+  /// returns aggregate statistics. Throws std::invalid_argument on an
+  /// unsorted stream.
+  SimStats run(const std::vector<Request>& requests,
+               const std::string& workload_name = "") const;
+
+ private:
+  DeviceModel model_;
+};
+
+}  // namespace comet::memsim

@@ -1,0 +1,59 @@
+#include "memsim/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace comet::memsim {
+
+std::vector<Request> read_trace(std::istream& in, const TraceConfig& config) {
+  if (config.cpu_clock_ghz <= 0.0) {
+    throw std::invalid_argument("read_trace: bad cpu clock");
+  }
+  const double ps_per_cycle = 1e3 / config.cpu_clock_ghz;
+  std::vector<Request> requests;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t cycle = 0;
+    std::string op;
+    std::string addr;
+    if (!(ls >> cycle >> op >> addr)) {
+      throw std::runtime_error("read_trace: malformed line " +
+                               std::to_string(line_no));
+    }
+    Request req;
+    req.id = requests.size();
+    req.arrival_ps =
+        static_cast<std::uint64_t>(static_cast<double>(cycle) * ps_per_cycle);
+    if (op == "R" || op == "r") {
+      req.op = Op::kRead;
+    } else if (op == "W" || op == "w") {
+      req.op = Op::kWrite;
+    } else {
+      throw std::runtime_error("read_trace: bad op on line " +
+                               std::to_string(line_no));
+    }
+    req.address = std::stoull(addr, nullptr, 16);
+    req.size_bytes = config.line_bytes;
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+void write_trace(std::ostream& out, const std::vector<Request>& requests,
+                 const TraceConfig& config) {
+  const double cycles_per_ps = config.cpu_clock_ghz / 1e3;
+  for (const auto& req : requests) {
+    const auto cycle = static_cast<std::uint64_t>(
+        static_cast<double>(req.arrival_ps) * cycles_per_ps);
+    out << cycle << ' ' << (req.op == Op::kRead ? 'R' : 'W') << " 0x"
+        << std::hex << req.address << std::dec << '\n';
+  }
+}
+
+}  // namespace comet::memsim

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "memsim/request.hpp"
+
+/// NVMain-style text traces.
+///
+/// The paper evaluates with "memory traces from the SPEC benchmark suite"
+/// replayed through a modified NVMain 2.0. We support NVMain's simple
+/// text format, one access per line:
+///
+///     <cycle> <R|W> <hex address>
+///
+/// Cycles are converted to picoseconds with a configurable CPU clock
+/// (NVMain traces are recorded in CPU cycles).
+namespace comet::memsim {
+
+struct TraceConfig {
+  double cpu_clock_ghz = 2.0;     ///< Trace cycle -> time conversion.
+  std::uint32_t line_bytes = 64;  ///< Request size attached to records.
+};
+
+/// Parses a trace stream. Throws std::runtime_error on malformed lines.
+std::vector<Request> read_trace(std::istream& in, const TraceConfig& config);
+
+/// Serializes requests back to the text format (cycles re-derived from
+/// arrival times with the same clock).
+void write_trace(std::ostream& out, const std::vector<Request>& requests,
+                 const TraceConfig& config);
+
+}  // namespace comet::memsim

@@ -1,0 +1,188 @@
+#include "memsim/trace_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace comet::memsim {
+
+std::vector<WorkloadProfile> spec_like_profiles() {
+  // Classes follow the standard SPEC CPU memory characterizations:
+  // lbm/libquantum stream, mcf/omnetpp pointer-chase with hot sets,
+  // gcc/xalancbmk mixed, milc/leslie3d strided scientific kernels.
+  return {
+      WorkloadProfile{.name = "mcf_like",
+                      .pattern = Pattern::kPointerChase,
+                      .read_fraction = 0.92,
+                      .locality = 0.1,
+                      .zipf_exponent = 0.9,
+                      .working_set_bytes = 2ull << 30,
+                      .avg_interarrival_ns = 4.0},
+      WorkloadProfile{.name = "lbm_like",
+                      .pattern = Pattern::kStreaming,
+                      .read_fraction = 0.55,
+                      .locality = 0.9,
+                      .zipf_exponent = 0.0,
+                      .working_set_bytes = 1ull << 30,
+                      .avg_interarrival_ns = 3.0},
+      WorkloadProfile{.name = "gcc_like",
+                      .pattern = Pattern::kMixed,
+                      .read_fraction = 0.75,
+                      .locality = 0.55,
+                      .zipf_exponent = 0.6,
+                      .working_set_bytes = 512ull << 20,
+                      .avg_interarrival_ns = 10.0},
+      WorkloadProfile{.name = "milc_like",
+                      .pattern = Pattern::kStrided,
+                      .read_fraction = 0.7,
+                      .locality = 0.35,
+                      .zipf_exponent = 0.0,
+                      .working_set_bytes = 1ull << 30,
+                      .avg_interarrival_ns = 5.0,
+                      .stride_bytes = 512},
+      WorkloadProfile{.name = "omnetpp_like",
+                      .pattern = Pattern::kPointerChase,
+                      .read_fraction = 0.8,
+                      .locality = 0.2,
+                      .zipf_exponent = 1.1,
+                      .working_set_bytes = 256ull << 20,
+                      .avg_interarrival_ns = 8.0},
+      WorkloadProfile{.name = "xalancbmk_like",
+                      .pattern = Pattern::kMixed,
+                      .read_fraction = 0.85,
+                      .locality = 0.45,
+                      .zipf_exponent = 0.8,
+                      .working_set_bytes = 512ull << 20,
+                      .avg_interarrival_ns = 6.0},
+      WorkloadProfile{.name = "leslie3d_like",
+                      .pattern = Pattern::kStrided,
+                      .read_fraction = 0.65,
+                      .locality = 0.5,
+                      .zipf_exponent = 0.0,
+                      .working_set_bytes = 2ull << 30,
+                      .avg_interarrival_ns = 4.0,
+                      .stride_bytes = 1024},
+      WorkloadProfile{.name = "libquantum_like",
+                      .pattern = Pattern::kStreaming,
+                      .read_fraction = 0.78,
+                      .locality = 0.95,
+                      .zipf_exponent = 0.0,
+                      .working_set_bytes = 128ull << 20,
+                      .avg_interarrival_ns = 2.5},
+  };
+}
+
+WorkloadProfile profile_by_name(const std::string& name) {
+  for (auto& p : spec_like_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("profile_by_name: unknown profile " + name);
+}
+
+TraceGenerator::TraceGenerator(WorkloadProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)), seed_(seed) {
+  if (profile_.read_fraction < 0.0 || profile_.read_fraction > 1.0 ||
+      profile_.locality < 0.0 || profile_.locality > 1.0 ||
+      profile_.working_set_bytes == 0 || profile_.avg_interarrival_ns <= 0) {
+    throw std::invalid_argument("TraceGenerator: invalid profile");
+  }
+}
+
+std::vector<Request> TraceGenerator::generate(
+    std::size_t count, std::uint32_t line_bytes) const {
+  if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0) {
+    throw std::invalid_argument("TraceGenerator: line size must be 2^k");
+  }
+  util::Rng rng(seed_);
+  std::vector<Request> requests;
+  requests.reserve(count);
+
+  const std::uint64_t lines = profile_.working_set_bytes / line_bytes;
+  constexpr std::uint64_t kRowBytes = 4096;
+  const std::uint64_t lines_per_row = kRowBytes / line_bytes;
+  // Hot set for Zipf patterns: 4096 hot lines spread over the set.
+  constexpr std::uint64_t kHotLines = 4096;
+
+  double clock_ps = 0.0;
+  std::uint64_t current_line = 0;
+  std::uint64_t stream_pos = rng.next_below(lines);
+  bool in_burst = false;
+  int burst_left = 0;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    clock_ps += rng.next_exponential(profile_.avg_interarrival_ns * 1e3);
+
+    std::uint64_t line = 0;
+    switch (profile_.pattern) {
+      case Pattern::kStreaming: {
+        if (rng.next_bool(1.0 - profile_.locality)) {
+          stream_pos = rng.next_below(lines);  // stream restart
+        } else {
+          stream_pos = (stream_pos + 1) % lines;
+        }
+        line = stream_pos;
+        break;
+      }
+      case Pattern::kStrided: {
+        const std::uint64_t stride_lines =
+            std::max<std::uint64_t>(1, profile_.stride_bytes / line_bytes);
+        if (rng.next_bool(1.0 - profile_.locality)) {
+          stream_pos = rng.next_below(lines);
+        } else {
+          stream_pos = (stream_pos + stride_lines) % lines;
+        }
+        line = stream_pos;
+        break;
+      }
+      case Pattern::kRandom: {
+        line = rng.next_below(lines);
+        break;
+      }
+      case Pattern::kPointerChase: {
+        if (rng.next_bool(profile_.locality)) {
+          // Stay within the current row (short dependent run).
+          const std::uint64_t row = current_line / lines_per_row;
+          line = row * lines_per_row + rng.next_below(lines_per_row);
+        } else {
+          // Jump to a Zipf-hot line scattered over the working set.
+          const std::uint64_t hot = rng.next_zipf(
+              std::min(kHotLines, lines), profile_.zipf_exponent);
+          line = (hot * 2654435761ull) % lines;
+        }
+        break;
+      }
+      case Pattern::kMixed: {
+        if (!in_burst && rng.next_bool(0.25)) {
+          in_burst = true;
+          burst_left = static_cast<int>(4 + rng.next_below(12));
+          stream_pos = rng.next_below(lines);
+        }
+        if (in_burst) {
+          stream_pos = (stream_pos + 1) % lines;
+          line = stream_pos;
+          if (--burst_left <= 0) in_burst = false;
+        } else if (rng.next_bool(profile_.zipf_exponent > 0 ? 0.5 : 0.0)) {
+          const std::uint64_t hot = rng.next_zipf(
+              std::min(kHotLines, lines), profile_.zipf_exponent);
+          line = (hot * 2654435761ull) % lines;
+        } else {
+          line = rng.next_below(lines);
+        }
+        break;
+      }
+    }
+    current_line = line;
+
+    Request req;
+    req.id = i;
+    req.arrival_ps = static_cast<std::uint64_t>(clock_ps);
+    req.op = rng.next_bool(profile_.read_fraction) ? Op::kRead : Op::kWrite;
+    req.address = line * line_bytes;
+    req.size_bytes = line_bytes;
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+}  // namespace comet::memsim

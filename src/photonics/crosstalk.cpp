@@ -1,0 +1,43 @@
+#include "photonics/crosstalk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace comet::photonics {
+
+CrosstalkModel::Params CrosstalkModel::paper() {
+  return Params{
+      .coupling_db = -17.75,
+      // 12.6 pJ coupled -> 8 % shift (Section II.B).
+      .fraction_shift_per_pj = 0.08 / 12.6,
+  };
+}
+
+CrosstalkModel::CrosstalkModel(const Params& params) : params_(params) {
+  if (params.coupling_db >= 0.0 || params.fraction_shift_per_pj < 0.0) {
+    throw std::invalid_argument("CrosstalkModel: invalid parameters");
+  }
+}
+
+double CrosstalkModel::coupled_energy_pj(double write_energy_pj) const {
+  if (write_energy_pj < 0.0) {
+    throw std::invalid_argument("CrosstalkModel: negative energy");
+  }
+  return write_energy_pj * util::db_to_ratio(params_.coupling_db);
+}
+
+double CrosstalkModel::fraction_shift(double write_energy_pj) const {
+  return coupled_energy_pj(write_energy_pj) * params_.fraction_shift_per_pj;
+}
+
+int CrosstalkModel::writes_to_corruption(
+    double write_energy_pj, double level_spacing_fraction) const {
+  const double per_write = fraction_shift(write_energy_pj);
+  if (per_write <= 0.0) return -1;  // never corrupts
+  return static_cast<int>(
+      std::ceil(0.5 * level_spacing_fraction / per_write));
+}
+
+}  // namespace comet::photonics

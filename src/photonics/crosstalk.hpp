@@ -1,0 +1,47 @@
+#pragma once
+
+/// Crossbar write-crosstalk and thermo-optic corruption model (paper
+/// Section II.B, Figs. 1b & 2).
+///
+/// In the COSMOS crossbar, a write pulse on one row couples ~ -18 dB of
+/// its energy into the adjacent rows' cells. That stray energy heats the
+/// neighbouring GST through the thermo-optic effect and shifts its
+/// crystalline fraction: the paper quantifies an ~8 % refractive-index /
+/// crystalline-fraction shift per adjacent 750 pJ write — enough to walk
+/// a 4-bit cell (6 % level spacing) into the next level after a single
+/// neighbouring write. COMET's MR-gated cells are immune by isolation.
+namespace comet::photonics {
+
+class CrosstalkModel {
+ public:
+  struct Params {
+    double coupling_db;              ///< Row-to-adjacent-row coupling (negative dB).
+    double fraction_shift_per_pj;    ///< Crystalline-fraction drift per coupled pJ.
+  };
+
+  /// Calibrated to the paper: -17.75 dB coupling so a 750 pJ write leaks
+  /// ~12.6 pJ, and 8 % fraction shift for those 12.6 pJ.
+  static Params paper();
+
+  explicit CrosstalkModel(const Params& params);
+
+  const Params& params() const { return params_; }
+
+  /// Energy [pJ] coupled into one adjacent cell by a write of the given
+  /// energy [pJ].
+  double coupled_energy_pj(double write_energy_pj) const;
+
+  /// Crystalline-fraction drift caused in an adjacent cell by one write
+  /// of the given energy. Always towards crystallization (heating).
+  double fraction_shift(double write_energy_pj) const;
+
+  /// Number of adjacent writes before a cell with the given level spacing
+  /// (in fraction units) is misread, i.e. drift exceeds half a level.
+  int writes_to_corruption(double write_energy_pj,
+                           double level_spacing_fraction) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace comet::photonics

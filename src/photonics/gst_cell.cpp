@@ -1,0 +1,104 @@
+#include "photonics/gst_cell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "materials/effective_medium.hpp"
+#include "util/constants.hpp"
+#include "util/units.hpp"
+
+namespace comet::photonics {
+namespace {
+
+// Confinement model constants, calibrated against the paper's cell
+// endpoints (see header): the evanescent interaction saturates over a
+// ~10 nm decay length above the core, topping out near 35 % for thick
+// films, and varies only weakly (a few percent) with width around the
+// 480 nm single-mode point.
+constexpr double kGammaMax = 0.35;
+constexpr double kThicknessDecayNm = 10.0;
+constexpr double kWidthSensitivity = 0.05;
+constexpr double kNominalWidthNm = 480.0;
+
+// Effective index of the bare 480x220 nm silicon strip mode and of bulk
+// silicon, used for the index-mismatch facet reflection.
+constexpr double kBareEffectiveIndex = 2.4;
+constexpr double kSiliconIndex = 3.48;
+
+}  // namespace
+
+GstCellGeometry GstCellGeometry::paper() {
+  return GstCellGeometry{.width_nm = 480.0, .thickness_nm = 20.0,
+                         .length_um = 2.0};
+}
+
+GstCell::GstCell(const materials::PcmMaterial& material,
+                 GstCellGeometry geometry)
+    : material_(material), geometry_(geometry) {
+  if (geometry.width_nm <= 0.0 || geometry.thickness_nm < 0.0 ||
+      geometry.length_um <= 0.0) {
+    throw std::invalid_argument("GstCell: invalid geometry");
+  }
+}
+
+double GstCell::confinement() const {
+  const double thickness_term =
+      1.0 - std::exp(-geometry_.thickness_nm / kThicknessDecayNm);
+  const double width_term =
+      1.0 + kWidthSensitivity *
+                (geometry_.width_nm - kNominalWidthNm) / kNominalWidthNm;
+  const double gamma = kGammaMax * thickness_term * width_term;
+  return gamma < 0.0 ? 0.0 : (gamma > 1.0 ? 1.0 : gamma);
+}
+
+double GstCell::absorption(double fraction, double lambda_nm) const {
+  const auto index =
+      materials::effective_index(material_, lambda_nm, fraction);
+  const double alpha_per_um = 4.0 * util::kPi * index.imag() *
+                              confinement() / (lambda_nm * 1e-3);
+  return 1.0 - std::exp(-alpha_per_um * geometry_.length_um);
+}
+
+double GstCell::facet_reflection(double fraction, double lambda_nm) const {
+  // First-order perturbation: the film pulls the waveguide's effective
+  // index up by Gamma * (n_pcm - n_si); the reflection at each facet is
+  // the Fresnel step between the bare and film-loaded sections.
+  const auto index =
+      materials::effective_index(material_, lambda_nm, fraction);
+  const double n_loaded =
+      kBareEffectiveIndex + confinement() * (index.real() - kSiliconIndex);
+  const double r = (n_loaded - kBareEffectiveIndex) /
+                   (n_loaded + kBareEffectiveIndex);
+  return r * r;
+}
+
+double GstCell::transmission(double fraction, double lambda_nm) const {
+  const double pass = 1.0 - absorption(fraction, lambda_nm);
+  const double r = facet_reflection(fraction, lambda_nm);
+  return (1.0 - r) * (1.0 - r) * pass;
+}
+
+double GstCell::amorphous_insertion_loss_db(double lambda_nm) const {
+  return util::transmission_to_loss_db(transmission(0.0, lambda_nm));
+}
+
+double GstCell::crystalline_extinction_db(double lambda_nm) const {
+  return util::transmission_to_loss_db(transmission(1.0, lambda_nm));
+}
+
+double GstCell::transmission_contrast(double lambda_nm) const {
+  return transmission(0.0, lambda_nm) - transmission(1.0, lambda_nm);
+}
+
+double GstCell::absorption_contrast(double lambda_nm) const {
+  return absorption(1.0, lambda_nm) - absorption(0.0, lambda_nm);
+}
+
+materials::TransmissionOfFraction GstCell::transmission_curve(
+    double lambda_nm) const {
+  return [this, lambda_nm](double fraction) {
+    return transmission(fraction, lambda_nm);
+  };
+}
+
+}  // namespace comet::photonics

@@ -1,0 +1,29 @@
+#include "photonics/gst_switch.hpp"
+
+namespace comet::photonics {
+
+GstSwitch::GstSwitch(const LossParameters& losses) : losses_(losses) {}
+
+double GstSwitch::set_state(State next) {
+  if (next == state_) return 0.0;
+  state_ = next;
+  return transition_latency_ns();
+}
+
+double GstSwitch::coupling_loss_db() const {
+  return losses_.gst_switch_loss_db;
+}
+
+double GstSwitch::blocking_isolation_db() const {
+  // Crystalline GST on the coupler: same extinction class as the memory
+  // cell's crystalline state (~20+ dB).
+  return 21.8;
+}
+
+double GstSwitch::transition_energy_pj() const {
+  // Switch GST volume is a few times the memory cell's; scale the cell's
+  // 880 pJ crystallizing reset accordingly.
+  return 2000.0;
+}
+
+}  // namespace comet::photonics

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "photonics/losses.hpp"
+
+/// Electrically controlled GST waveguide switch (paper Section III.C,
+/// Fig. 5d inset; device from ReSiPI [39]).
+///
+/// COMET inserts a GST element at each subarray's waveguide coupler:
+/// crystalline GST spoils the coupling (subarray deselected), amorphous
+/// GST lets the wavelengths couple in (selected). This replaces power-
+/// hungry optical splitters: instead of dividing the laser power over all
+/// S_r subarrays, the full power is steered to the one being accessed,
+/// at the cost of 0.2 dB insertion loss and a 100 ns switching delay.
+namespace comet::photonics {
+
+class GstSwitch {
+ public:
+  /// Switch states mirror the PCM phase.
+  enum class State { kCoupling /*amorphous*/, kBlocking /*crystalline*/ };
+
+  explicit GstSwitch(const LossParameters& losses);
+
+  State state() const { return state_; }
+
+  /// Moves the switch; returns the time the transition takes [ns]
+  /// (0 when already in the requested state, 100 ns otherwise [39]).
+  double set_state(State next);
+
+  /// Insertion loss for light passing a *coupling* switch [dB].
+  double coupling_loss_db() const;
+
+  /// Isolation of a *blocking* switch [dB] (crystalline GST extinction;
+  /// light into a deselected subarray is suppressed by this much).
+  double blocking_isolation_db() const;
+
+  /// Electrical energy of one phase transition [pJ]. ReSiPI-class
+  /// switches report nJ-scale transitions; the value only matters for
+  /// the (rare) subarray-steering events, not per-access energy.
+  double transition_energy_pj() const;
+
+  /// Transition latency [ns] (paper: 100 ns).
+  static double transition_latency_ns() { return 100.0; }
+
+ private:
+  LossParameters losses_;
+  State state_ = State::kBlocking;
+};
+
+}  // namespace comet::photonics

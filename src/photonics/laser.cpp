@@ -1,0 +1,31 @@
+#include "photonics/laser.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace comet::photonics {
+
+Laser::Laser(double wall_plug_efficiency, int num_wavelengths)
+    : efficiency_(wall_plug_efficiency), num_wavelengths_(num_wavelengths) {
+  if (efficiency_ <= 0.0 || efficiency_ > 1.0 || num_wavelengths_ <= 0) {
+    throw std::invalid_argument("Laser: invalid parameters");
+  }
+}
+
+double Laser::optical_power_per_wavelength_mw(double required_at_target_mw,
+                                              double path_loss_db) const {
+  if (required_at_target_mw < 0.0 || path_loss_db < 0.0) {
+    throw std::invalid_argument("Laser: negative power or loss");
+  }
+  return required_at_target_mw * util::db_to_ratio(path_loss_db);
+}
+
+double Laser::electrical_power_w(double required_at_target_mw,
+                                 double path_loss_db) const {
+  const double optical_mw = optical_power_per_wavelength_mw(
+      required_at_target_mw, path_loss_db);
+  return optical_mw * 1e-3 * num_wavelengths_ / efficiency_;
+}
+
+}  // namespace comet::photonics

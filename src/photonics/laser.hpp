@@ -1,0 +1,34 @@
+#pragma once
+
+#include "photonics/losses.hpp"
+
+/// Off-chip comb laser model.
+///
+/// COMET assumes an off-chip laser supplying the N_c column wavelengths
+/// (Section III.C). The electrical power the laser burns is the optical
+/// power demanded at the GST cells, multiplied back up through the path
+/// losses and divided by the wall-plug efficiency (Table I: 20 %).
+namespace comet::photonics {
+
+class Laser {
+ public:
+  Laser(double wall_plug_efficiency, int num_wavelengths);
+
+  int num_wavelengths() const { return num_wavelengths_; }
+  double wall_plug_efficiency() const { return efficiency_; }
+
+  /// Optical power the laser must emit per wavelength [mW] so that
+  /// `required_at_target_mw` arrives after `path_loss_db` of loss.
+  double optical_power_per_wavelength_mw(double required_at_target_mw,
+                                         double path_loss_db) const;
+
+  /// Total electrical (wall-plug) power [W] across all wavelengths.
+  double electrical_power_w(double required_at_target_mw,
+                            double path_loss_db) const;
+
+ private:
+  double efficiency_;
+  int num_wavelengths_;
+};
+
+}  // namespace comet::photonics

@@ -1,0 +1,34 @@
+#include "photonics/losses.hpp"
+
+namespace comet::photonics {
+
+LossParameters LossParameters::paper() {
+  return LossParameters{
+      .coupling_loss_db = 1.0,
+      .mr_drop_loss_db = 0.5,
+      .mr_through_loss_db = 0.02,
+      .eo_mr_drop_loss_db = 1.6,
+      .eo_mr_through_loss_db = 0.33,
+      .propagation_loss_db_per_cm = 0.1,
+      .bending_loss_db_per_90deg = 0.01,
+      .gst_switch_loss_db = 0.2,
+      .soa_gain_db = 20.0,
+      .intra_subarray_soa_gain_db = 15.2,
+      .laser_wall_plug_efficiency = 0.2,
+      .eo_tuning_power_uw_per_nm = 4.0,
+      .max_power_at_cell_mw = 1.0,
+      .intra_subarray_soa_power_mw = 1.4,
+  };
+}
+
+void LossBudget::add(std::string name, double db_each, double count) {
+  items_.push_back(Item{std::move(name), db_each, count});
+}
+
+double LossBudget::total_db() const {
+  double total = 0.0;
+  for (const auto& item : items_) total += item.total_db();
+  return total;
+}
+
+}  // namespace comet::photonics

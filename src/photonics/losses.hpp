@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// Optical loss and power parameters (paper Table I) and an itemized
+/// loss-budget accumulator used by the laser-power models.
+namespace comet::photonics {
+
+/// The loss/power constants of Table I. All losses are positive dB.
+struct LossParameters {
+  double coupling_loss_db;          ///< Fiber-to-chip coupler [33].
+  double mr_drop_loss_db;           ///< Passive MR drop [34].
+  double mr_through_loss_db;        ///< Passive MR through [35].
+  double eo_mr_drop_loss_db;        ///< EO-tuned (carrier-injected) MR drop [36].
+  double eo_mr_through_loss_db;     ///< EO-tuned MR through [36].
+  double propagation_loss_db_per_cm;///< Strip waveguide [37].
+  double bending_loss_db_per_90deg; ///< [38].
+  double gst_switch_loss_db;        ///< Amorphous GST coupler switch [39].
+  double soa_gain_db;               ///< Max SOA gain (Table I: 20 dB).
+  double intra_subarray_soa_gain_db;///< In-array SOA stage gain [29]: 15.2 dB.
+  double laser_wall_plug_efficiency;///< 0.2 (20 %).
+
+  double eo_tuning_power_uw_per_nm; ///< P_EO [25]: 4 uW/nm.
+  double max_power_at_cell_mw;      ///< Table I: 1 mW.
+  double intra_subarray_soa_power_mw;///< [29]: 1.4 mW for 0 dBm out.
+
+  /// The exact values of Table I.
+  static LossParameters paper();
+};
+
+/// Itemized accumulation of a signal path's losses, so benches can print
+/// where the dB go. Gains are negative contributions.
+class LossBudget {
+ public:
+  /// Adds `count` instances of an item of `db_each` (positive = loss).
+  void add(std::string name, double db_each, double count = 1.0);
+
+  /// Total path loss [dB]; gains subtract.
+  double total_db() const;
+
+  struct Item {
+    std::string name;
+    double db_each;
+    double count;
+    double total_db() const { return db_each * count; }
+  };
+  const std::vector<Item>& items() const { return items_; }
+
+ private:
+  std::vector<Item> items_;
+};
+
+}  // namespace comet::photonics

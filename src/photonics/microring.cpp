@@ -1,0 +1,79 @@
+#include "photonics/microring.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/constants.hpp"
+
+namespace comet::photonics {
+namespace {
+// Group index of a 480x220 nm silicon strip waveguide near 1550 nm.
+constexpr double kGroupIndex = 4.2;
+// Thermo-optic tuning figures for a doped-heater silicon MR (Pintus [24]):
+// microsecond-scale settling, ~ 1 mW/nm of shift.
+constexpr double kThermalLatencyNs = 4000.0;
+constexpr double kThermalPowerMwPerNm = 1.0;
+// EO carrier-injection switching latency demonstrated in [36].
+constexpr double kEoLatencyNs = 2.0;
+}  // namespace
+
+Microring::Design Microring::comet_access_design(double resonance_nm) {
+  return Design{
+      .radius_um = 6.0,
+      .q_factor = 8000.0,
+      .resonance_nm = resonance_nm,
+      .tuning_range_nm = 1.0,
+      .mechanism = TuningMechanism::kElectroOptic,
+  };
+}
+
+Microring::Microring(const Design& design, const LossParameters& losses)
+    : design_(design), losses_(losses) {
+  if (design.radius_um <= 0.0 || design.q_factor <= 0.0 ||
+      design.resonance_nm <= 0.0) {
+    throw std::invalid_argument("Microring: invalid design");
+  }
+}
+
+double Microring::linewidth_nm() const {
+  return design_.resonance_nm / design_.q_factor;
+}
+
+double Microring::fsr_nm() const {
+  const double circumference_m = 2.0 * util::kPi * design_.radius_um * 1e-6;
+  const double lambda_m = design_.resonance_nm * 1e-9;
+  return lambda_m * lambda_m / (kGroupIndex * circumference_m) * 1e9;
+}
+
+double Microring::drop_transfer(double lambda_nm, double resonance_nm) const {
+  const double delta = 2.0 * (lambda_nm - resonance_nm) / linewidth_nm();
+  return 1.0 / (1.0 + delta * delta);
+}
+
+double Microring::tuning_latency_ns() const {
+  return design_.mechanism == TuningMechanism::kElectroOptic
+             ? kEoLatencyNs
+             : kThermalLatencyNs;
+}
+
+double Microring::tuning_power_w(double shift_nm) const {
+  shift_nm = std::abs(shift_nm);
+  if (design_.mechanism == TuningMechanism::kElectroOptic) {
+    return losses_.eo_tuning_power_uw_per_nm * 1e-6 * shift_nm;
+  }
+  return kThermalPowerMwPerNm * 1e-3 * shift_nm;
+}
+
+double Microring::drop_loss_db() const {
+  return design_.mechanism == TuningMechanism::kElectroOptic
+             ? losses_.eo_mr_drop_loss_db
+             : losses_.mr_drop_loss_db;
+}
+
+double Microring::through_loss_db() const {
+  return design_.mechanism == TuningMechanism::kElectroOptic
+             ? losses_.eo_mr_through_loss_db
+             : losses_.mr_through_loss_db;
+}
+
+}  // namespace comet::photonics

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "photonics/losses.hpp"
+
+/// Microring resonator (MR) access-control model.
+///
+/// COMET gates every GST cell with an add-drop microring (6 um radius,
+/// design from Poon et al. [36]). Tuning the ring into resonance routes
+/// the column wavelength through the cell; off resonance the light passes
+/// by on the bus. The paper's key circuit-level decision is *electro-
+/// optic* (carrier-injection) tuning with ~2 ns latency instead of
+/// thermo-optic tuning with us-scale latency, at the price of higher
+/// drop/through losses (Table I: 1.6/0.33 dB EO vs 0.5/0.02 dB passive).
+namespace comet::photonics {
+
+/// The two tuning mechanisms compared in Section II.B.
+enum class TuningMechanism { kElectroOptic, kThermal };
+
+class Microring {
+ public:
+  struct Design {
+    double radius_um;            ///< 6 um per [36].
+    double q_factor;             ///< Loaded Q; sets the linewidth.
+    double resonance_nm;         ///< Nominal resonance wavelength.
+    double tuning_range_nm;      ///< Max resonance shift the tuner covers.
+    TuningMechanism mechanism;
+  };
+
+  /// The COMET access-MR design: EO tuned, 6 um radius.
+  static Design comet_access_design(double resonance_nm);
+
+  Microring(const Design& design, const LossParameters& losses);
+
+  const Design& design() const { return design_; }
+
+  /// Resonance linewidth (FWHM) [nm] from the loaded Q.
+  double linewidth_nm() const;
+
+  /// Free spectral range [nm] approximated from the ring circumference
+  /// and a group index of 4.2 (silicon strip waveguide near 1550 nm).
+  double fsr_nm() const;
+
+  /// Lorentzian drop-port power transmission at wavelength `lambda_nm`
+  /// when the ring resonance sits at `resonance_nm` (excludes the fixed
+  /// drop insertion loss, which `drop_loss_db` reports).
+  double drop_transfer(double lambda_nm, double resonance_nm) const;
+
+  /// Tuning latency [ns]: ~2 ns for EO carrier injection [36],
+  /// ~microseconds for thermo-optic heaters [24].
+  double tuning_latency_ns() const;
+
+  /// Electrical tuning power [W] for a resonance shift [nm]:
+  /// P_EO = 4 uW/nm for EO [25]; thermo-optic heaters burn ~ mW-scale
+  /// power per nm of shift.
+  double tuning_power_w(double shift_nm) const;
+
+  /// Insertion losses seen by a signal when the ring is actively tuned
+  /// (in-resonance, drop path) or idle (through path) [dB].
+  double drop_loss_db() const;
+  double through_loss_db() const;
+
+ private:
+  Design design_;
+  LossParameters losses_;
+};
+
+}  // namespace comet::photonics

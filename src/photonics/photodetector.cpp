@@ -1,0 +1,45 @@
+#include "photonics/photodetector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace comet::photonics {
+
+Photodetector::Params Photodetector::typical() {
+  return Params{
+      .sensitivity_dbm = -20.0,
+      .resolution_mw = 0.002,
+      .responsivity_a_w = 1.0,
+  };
+}
+
+Photodetector::Photodetector(const Params& params) : params_(params) {
+  if (params.resolution_mw <= 0.0 || params.responsivity_a_w <= 0.0) {
+    throw std::invalid_argument("Photodetector: invalid parameters");
+  }
+}
+
+bool Photodetector::detectable(double power_mw) const {
+  return power_mw >= util::dbm_to_mw(params_.sensitivity_dbm);
+}
+
+bool Photodetector::distinguishable(double level_a_mw,
+                                    double level_b_mw) const {
+  return std::abs(level_a_mw - level_b_mw) >= params_.resolution_mw;
+}
+
+double Photodetector::max_tolerable_loss_db(
+    double launch_power_mw, double level_gap_transmission) const {
+  if (launch_power_mw <= 0.0 || level_gap_transmission <= 0.0) {
+    throw std::invalid_argument("Photodetector: invalid readout setup");
+  }
+  // The level gap at the detector is launch * gap * 10^{-loss/10}; it must
+  // stay above the resolvable step.
+  const double gap_at_launch_mw = launch_power_mw * level_gap_transmission;
+  if (gap_at_launch_mw <= params_.resolution_mw) return 0.0;
+  return util::ratio_to_db(gap_at_launch_mw / params_.resolution_mw);
+}
+
+}  // namespace comet::photonics

@@ -1,0 +1,44 @@
+#pragma once
+
+/// Readout photodetector / level-discrimination model.
+///
+/// The electrical interface demodulates readout wavelengths with an MR
+/// bank and photodetectors. For an MLC readout to succeed, the power gap
+/// between adjacent transmission levels at the detector must exceed the
+/// detector's resolvable power step; this model turns a detector
+/// sensitivity floor and dynamic range into a maximum tolerable path
+/// loss for a given bit density — the quantity the paper's gain-LUT
+/// design (Section IV.A) is built around.
+namespace comet::photonics {
+
+class Photodetector {
+ public:
+  struct Params {
+    double sensitivity_dbm;   ///< Minimum detectable average power.
+    double resolution_mw;     ///< Smallest resolvable power step.
+    double responsivity_a_w;  ///< Photocurrent per optical watt.
+  };
+
+  /// A typical integrated Ge-on-Si receiver for on-chip readout.
+  static Params typical();
+
+  explicit Photodetector(const Params& params);
+
+  const Params& params() const { return params_; }
+
+  /// True if `power_mw` is detectable at all.
+  bool detectable(double power_mw) const;
+
+  /// True if two adjacent level powers [mW] can be told apart.
+  bool distinguishable(double level_a_mw, double level_b_mw) const;
+
+  /// Maximum path loss [dB] a readout at `launch_power_mw` with the given
+  /// adjacent-level transmission gap can tolerate before levels merge.
+  double max_tolerable_loss_db(double launch_power_mw,
+                               double level_gap_transmission) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace comet::photonics

@@ -1,0 +1,46 @@
+#include "photonics/soa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace comet::photonics {
+
+Soa::Params Soa::intra_subarray() {
+  return Params{
+      .gain_db = 15.2,
+      .max_output_mw = 5.0,
+      .electrical_power_mw = 1.4,
+      .noise_figure_db = 7.0,
+  };
+}
+
+Soa::Params Soa::interface_stage() {
+  return Params{
+      .gain_db = 20.0,
+      .max_output_mw = 10.0,
+      .electrical_power_mw = 2.8,
+      .noise_figure_db = 7.0,
+  };
+}
+
+Soa::Soa(const Params& params) : params_(params) {
+  if (params.gain_db < 0.0 || params.max_output_mw <= 0.0 ||
+      params.electrical_power_mw < 0.0) {
+    throw std::invalid_argument("Soa: invalid parameters");
+  }
+}
+
+double Soa::amplify_mw(double input_mw) const {
+  if (input_mw < 0.0) throw std::invalid_argument("Soa: negative input");
+  const double amplified = input_mw * util::db_to_ratio(params_.gain_db);
+  return std::min(amplified, params_.max_output_mw);
+}
+
+double Soa::effective_gain_db(double input_mw) const {
+  if (input_mw <= 0.0) return 0.0;
+  return util::ratio_to_db(amplify_mw(input_mw) / input_mw);
+}
+
+}  // namespace comet::photonics

@@ -1,0 +1,44 @@
+#pragma once
+
+/// Semiconductor optical amplifier (SOA) model.
+///
+/// COMET places SOA stages inside subarrays (every 46 rows, Section
+/// III.E) and at the electrical interface to keep readout levels above
+/// the discrimination floor. The intra-subarray stages follow Lin et al.
+/// [29]: 15.2 dB gain, 1.4 mW electrical power for 0 dBm (1 mW) output.
+namespace comet::photonics {
+
+class Soa {
+ public:
+  struct Params {
+    double gain_db;                ///< Small-signal gain.
+    double max_output_mw;          ///< Output saturation power.
+    double electrical_power_mw;    ///< Bias power when enabled.
+    double noise_figure_db;        ///< ASE noise figure (typ. 7 dB).
+  };
+
+  /// Intra-subarray stage per [29] / Table I.
+  static Params intra_subarray();
+
+  /// Interface-level gain-tuning stage (Table I: up to 20 dB).
+  static Params interface_stage();
+
+  explicit Soa(const Params& params);
+
+  const Params& params() const { return params_; }
+
+  /// Amplifies an input optical power [mW], clipping at saturation.
+  double amplify_mw(double input_mw) const;
+
+  /// Gain actually applied to the given input after saturation [dB].
+  double effective_gain_db(double input_mw) const;
+
+  /// Electrical power drawn while enabled [mW] (0 when gated off; COMET
+  /// only enables SOAs in the subarray being accessed).
+  double power_when_enabled_mw() const { return params_.electrical_power_mw; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace comet::photonics

@@ -1,0 +1,40 @@
+#include "photonics/waveguide.hpp"
+
+#include <stdexcept>
+
+namespace comet::photonics {
+
+WaveguidePath::WaveguidePath(const LossParameters& losses) : losses_(losses) {}
+
+double WaveguidePath::path_loss_db(double length_cm, int bends_90deg) const {
+  if (length_cm < 0.0 || bends_90deg < 0) {
+    throw std::invalid_argument("WaveguidePath: negative path");
+  }
+  return length_cm * losses_.propagation_loss_db_per_cm +
+         bends_90deg * losses_.bending_loss_db_per_90deg;
+}
+
+MdmLink::MdmLink(int degree, double per_mode_excess_db)
+    : degree_(degree), per_mode_excess_db_(per_mode_excess_db) {
+  if (degree < 1 || per_mode_excess_db < 0.0) {
+    throw std::invalid_argument("MdmLink: invalid parameters");
+  }
+}
+
+double MdmLink::mode_excess_loss_db(int mode) const {
+  if (mode < 0 || mode >= degree_) {
+    throw std::invalid_argument("MdmLink: mode out of range");
+  }
+  return mode * per_mode_excess_db_;
+}
+
+double MdmLink::worst_mode_excess_loss_db() const {
+  return mode_excess_loss_db(degree_ - 1);
+}
+
+double MdmLink::required_width_nm() const {
+  constexpr double kSingleModeWidthNm = 480.0;
+  return kSingleModeWidthNm * (1.0 + 0.5 * (degree_ - 1));
+}
+
+}  // namespace comet::photonics

@@ -1,0 +1,45 @@
+#include "photonics/wavelength_grid.hpp"
+
+#include <stdexcept>
+
+#include "util/constants.hpp"
+#include "util/units.hpp"
+
+namespace comet::photonics {
+
+WavelengthGrid::WavelengthGrid(int channels, double lo_nm, double hi_nm) {
+  if (channels < 1 || !(hi_nm > lo_nm)) {
+    throw std::invalid_argument("WavelengthGrid: invalid plan");
+  }
+  grid_.reserve(static_cast<std::size_t>(channels));
+  if (channels == 1) {
+    grid_.push_back(0.5 * (lo_nm + hi_nm));
+    return;
+  }
+  const double step = (hi_nm - lo_nm) / (channels - 1);
+  for (int i = 0; i < channels; ++i) {
+    grid_.push_back(lo_nm + step * i);
+  }
+}
+
+double WavelengthGrid::channel_nm(int i) const {
+  if (i < 0 || i >= channels()) {
+    throw std::out_of_range("WavelengthGrid: channel index");
+  }
+  return grid_[static_cast<std::size_t>(i)];
+}
+
+double WavelengthGrid::spacing_nm() const {
+  if (grid_.size() < 2) return 0.0;
+  return grid_[1] - grid_[0];
+}
+
+double WavelengthGrid::spacing_ghz() const {
+  if (grid_.size() < 2) return 0.0;
+  const double centre_nm = 0.5 * (grid_.front() + grid_.back());
+  const double f_lo = util::wavelength_nm_to_hz(centre_nm + spacing_nm() / 2);
+  const double f_hi = util::wavelength_nm_to_hz(centre_nm - spacing_nm() / 2);
+  return (f_hi - f_lo) * 1e-9;
+}
+
+}  // namespace comet::photonics

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+/// WDM channel plan. COMET assigns one C-band wavelength per subarray
+/// column (N_c wavelengths per bank); this class lays the channels out
+/// evenly over [1530, 1565] nm and answers spacing/occupancy questions.
+namespace comet::photonics {
+
+class WavelengthGrid {
+ public:
+  /// Evenly spaced `channels` across [lo_nm, hi_nm] inclusive.
+  WavelengthGrid(int channels, double lo_nm = 1530.0, double hi_nm = 1565.0);
+
+  int channels() const { return static_cast<int>(grid_.size()); }
+  double channel_nm(int i) const;
+  double spacing_nm() const;
+  const std::vector<double>& all() const { return grid_; }
+
+  /// Channel spacing expressed in GHz at the band centre; dense WDM
+  /// feasibility checks compare this against modulator linewidths.
+  double spacing_ghz() const;
+
+ private:
+  std::vector<double> grid_;
+};
+
+}  // namespace comet::photonics

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// Aligned-console-table and CSV emission for the bench harnesses. Every
+/// bench prints the rows/series of the paper figure it regenerates through
+/// this class so output formats stay uniform.
+namespace comet::util {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; cells are pre-formatted strings. Row width must match
+  /// the header count (throws std::invalid_argument otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Scientific notation, for power/energy spans of many decades.
+  static std::string sci(double v, int precision = 2);
+
+  /// Renders with aligned columns and a header underline.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-ish; cells containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace comet::util

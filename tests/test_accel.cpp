@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "accel/dota.hpp"
+#include "accel/transformer.hpp"
+#include "core/comet_memory.hpp"
+#include "cosmos/cosmos_memory.hpp"
+#include "dram/dram_device.hpp"
+#include "photonics/losses.hpp"
+
+namespace ca = comet::accel;
+namespace cc = comet::core;
+namespace cp = comet::photonics;
+
+// -------------------------------------------------------- transformer
+
+TEST(Transformer, DeiTParameterCounts) {
+  // Literature: DeiT-T ~5.5-5.9 M params, DeiT-B ~86 M.
+  const auto tiny = ca::TransformerModel::deit_tiny();
+  const auto base = ca::TransformerModel::deit_base();
+  EXPECT_NEAR(tiny.parameters() / 1e6, 5.5, 0.8);
+  EXPECT_NEAR(base.parameters() / 1e6, 86.0, 5.0);
+}
+
+TEST(Transformer, DeiTMacCounts) {
+  // Literature: ~1.3 GMACs (DeiT-T), ~17.6 GMACs (DeiT-B).
+  EXPECT_NEAR(ca::TransformerModel::deit_tiny().macs_per_inference() / 1e9,
+              1.3, 0.3);
+  EXPECT_NEAR(ca::TransformerModel::deit_base().macs_per_inference() / 1e9,
+              17.6, 2.0);
+}
+
+TEST(Transformer, TrafficDominatedByWeights) {
+  for (const auto& m : {ca::TransformerModel::deit_tiny(),
+                        ca::TransformerModel::deit_base()}) {
+    EXPECT_GT(m.weight_traffic_bytes(), m.activation_traffic_bytes())
+        << m.name;
+    EXPECT_EQ(m.total_traffic_bytes(),
+              m.weight_traffic_bytes() + m.activation_traffic_bytes());
+  }
+}
+
+TEST(Transformer, IntensitySimilarAcrossScales) {
+  // Both DeiT variants run ~100-250 MACs per streamed byte.
+  const double t = ca::TransformerModel::deit_tiny().arithmetic_intensity();
+  const double b = ca::TransformerModel::deit_base().arithmetic_intensity();
+  EXPECT_GT(t, 50.0);
+  EXPECT_LT(t, 300.0);
+  EXPECT_GT(b, 50.0);
+  EXPECT_LT(b, 300.0);
+}
+
+// -------------------------------------------------------------- DOTA
+
+namespace {
+
+ca::DotaSystem make_dota(comet::memsim::DeviceModel device, bool photonic) {
+  return ca::DotaSystem(ca::DotaConfig::paper(), std::move(device), photonic);
+}
+
+}  // namespace
+
+TEST(Dota, PhotonicMemorySkipsConversion) {
+  const auto losses = cp::LossParameters::paper();
+  const auto comet = make_dota(
+      cc::CometMemory::device_model(cc::CometConfig::comet_4b(), losses),
+      true);
+  const auto ddr4 = make_dota(comet::dram::ddr4_3d(), false);
+  const auto model = ca::TransformerModel::deit_base();
+  EXPECT_DOUBLE_EQ(comet.evaluate(model).conversion_epb, 0.0);
+  EXPECT_GT(ddr4.evaluate(model).conversion_epb, 0.0);
+}
+
+TEST(Dota, DemandGrowsWithModelSize) {
+  const auto ddr4 = make_dota(comet::dram::ddr4_3d(), false);
+  const auto tiny = ddr4.evaluate(ca::TransformerModel::deit_tiny());
+  const auto base = ddr4.evaluate(ca::TransformerModel::deit_base());
+  EXPECT_GT(base.demanded_bw_gbps, tiny.demanded_bw_gbps);
+}
+
+TEST(Dota, EffectiveBandwidthCappedByMemory) {
+  const auto ddr4 = make_dota(comet::dram::ddr4_3d(), false);
+  const auto r = ddr4.evaluate(ca::TransformerModel::deit_base());
+  EXPECT_LE(r.effective_bw_gbps, r.achieved_bw_gbps + 1e-9);
+  EXPECT_LE(r.effective_bw_gbps, r.demanded_bw_gbps + 1e-9);
+}
+
+TEST(Dota, CometStreamsFasterThanDram) {
+  const auto losses = cp::LossParameters::paper();
+  const auto comet = make_dota(
+      cc::CometMemory::device_model(cc::CometConfig::comet_4b(), losses),
+      true);
+  const auto ddr4 = make_dota(comet::dram::ddr4_3d(), false);
+  EXPECT_GT(comet.streaming_bandwidth_gbps(),
+            10.0 * ddr4.streaming_bandwidth_gbps());
+}
+
+TEST(Dota, Fig10CometBeatsElectronicAndGapGrows) {
+  // Paper Fig. 10: COMET+DOTA has 1.3x (DeiT-T) and 2.06x (DeiT-B)
+  // lower EPB than 3D_DDR4+DOTA — the gap grows with model size.
+  const auto losses = cp::LossParameters::paper();
+  const auto comet = make_dota(
+      cc::CometMemory::device_model(cc::CometConfig::comet_4b(), losses),
+      true);
+  const auto ddr4 = make_dota(comet::dram::ddr4_3d(), false);
+
+  const auto tiny = ca::TransformerModel::deit_tiny();
+  const auto base = ca::TransformerModel::deit_base();
+  const double gain_tiny =
+      ddr4.evaluate(tiny).total_epb() / comet.evaluate(tiny).total_epb();
+  const double gain_base =
+      ddr4.evaluate(base).total_epb() / comet.evaluate(base).total_epb();
+  EXPECT_GT(gain_tiny, 1.0);
+  EXPECT_LT(gain_tiny, 2.0);
+  EXPECT_GT(gain_base, gain_tiny);
+  EXPECT_NEAR(gain_base, 2.06, 0.6);
+}
+
+TEST(Dota, Fig10CometBeatsCosmos) {
+  const auto losses = cp::LossParameters::paper();
+  const auto comet = make_dota(
+      cc::CometMemory::device_model(cc::CometConfig::comet_4b(), losses),
+      true);
+  const auto cosmos = make_dota(
+      comet::cosmos::cosmos_device_model(comet::cosmos::CosmosConfig::paper(),
+                                         losses),
+      true);
+  for (const auto& model : {ca::TransformerModel::deit_tiny(),
+                            ca::TransformerModel::deit_base()}) {
+    EXPECT_GT(cosmos.evaluate(model).total_epb(),
+              comet.evaluate(model).total_epb())
+        << model.name;
+  }
+}

@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/address_mapping.hpp"
+#include "core/bank.hpp"
+#include "core/comet_config.hpp"
+#include "core/comet_memory.hpp"
+#include "core/gain_lut.hpp"
+#include "core/opcm_cell.hpp"
+#include "core/power_model.hpp"
+#include "core/subarray.hpp"
+#include "util/rng.hpp"
+
+namespace cc = comet::core;
+namespace cm = comet::materials;
+namespace cp = comet::photonics;
+
+// ------------------------------------------------------------- config
+
+TEST(CometConfig, PaperGeometry4b) {
+  const auto c = cc::CometConfig::comet_4b();
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.banks, 4);
+  EXPECT_EQ(c.subarrays, 4096);
+  EXPECT_EQ(c.rows_per_subarray, 512);
+  EXPECT_EQ(c.cols_per_subarray, 256);
+  EXPECT_EQ(c.bits_per_cell, 4);
+  // (B x S_r x M_r x M_c x b) = 8.59 Gbit per chip.
+  EXPECT_EQ(c.bits_per_chip(), 4ull * 4096 * 512 * 256 * 4);
+}
+
+TEST(CometConfig, BitDensitySweepKeepsLineCapacity) {
+  // Section IV.A: M_c halves as b doubles, so a row always stores one
+  // 128-byte line and the chip capacity stays constant.
+  for (const auto& c : {cc::CometConfig::comet_1b(), cc::CometConfig::comet_2b(),
+                        cc::CometConfig::comet_4b()}) {
+    EXPECT_EQ(std::uint64_t(c.cols_per_subarray) * c.bits_per_cell, 1024u);
+    EXPECT_EQ(c.bits_per_chip(), cc::CometConfig::comet_4b().bits_per_chip());
+  }
+}
+
+TEST(CometConfig, LineBytesFromBus) {
+  EXPECT_EQ(cc::CometConfig::comet_4b().line_bytes(), 128u);  // 256 b x 4
+}
+
+TEST(CometConfig, ActiveSoasMatchPaperFormula) {
+  // (B x M_r x M_c) / 46 = 4 x 512 x 256 / 46 = 11397.
+  EXPECT_EQ(cc::CometConfig::comet_4b().active_soas(), 11397u);
+}
+
+TEST(CometConfig, TunedMrsPerAccess) {
+  EXPECT_EQ(cc::CometConfig::comet_4b().tuned_mrs_per_access(),
+            4ull * 2 * 256);
+}
+
+TEST(CometConfig, ValidateRejectsNonSquareSubarrays) {
+  auto c = cc::CometConfig::comet_4b();
+  c.subarrays = 4095;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(CometConfig, ValidateRejectsBadBits) {
+  auto c = cc::CometConfig::comet_4b();
+  c.bits_per_cell = 6;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+// ----------------------------------------------------- address mapping
+
+class AddressMapperTest : public ::testing::Test {
+ protected:
+  cc::AddressMapper mapper_{cc::CometConfig::comet_4b()};
+};
+
+TEST_F(AddressMapperTest, PaperEquations) {
+  // Row 1000, column 100 with M_r = 512, M_c = 256, sqrt(S_r) = 64:
+  // ID1 = 1, ID2 = 0, SubarrayID = 1, ROW = 488, COL = 100.
+  const auto m = mapper_.map({.channel = 0, .bank = 2, .row = 1000,
+                              .column = 100});
+  EXPECT_EQ(m.subarray_id, 1u);
+  EXPECT_EQ(m.subarray_row, 488u);
+  EXPECT_EQ(m.subarray_col, 100u);
+  EXPECT_EQ(m.bank, 2);
+}
+
+TEST_F(AddressMapperTest, MapUnmapRoundTrip) {
+  comet::util::Rng rng(3);
+  const auto& config = mapper_.config();
+  for (int i = 0; i < 200; ++i) {
+    cc::FlatAddress flat;
+    flat.channel = static_cast<int>(rng.next_below(config.channels));
+    flat.bank = static_cast<int>(rng.next_below(config.banks));
+    flat.row = rng.next_below(config.rows_per_bank());
+    flat.column = rng.next_below(config.cols_per_subarray);
+    const auto mapped = mapper_.map(flat);
+    const auto back = mapper_.unmap(mapped);
+    EXPECT_EQ(back.channel, flat.channel);
+    EXPECT_EQ(back.bank, flat.bank);
+    EXPECT_EQ(back.row, flat.row);
+    EXPECT_EQ(back.column, flat.column);
+  }
+}
+
+TEST_F(AddressMapperTest, DecodeEncodeRoundTrip) {
+  comet::util::Rng rng(5);
+  const auto line = mapper_.config().line_bytes();
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t addr = rng.next_below(1u << 30) / line * line;
+    const auto flat = mapper_.decode(addr);
+    EXPECT_EQ(mapper_.encode(flat), addr);
+  }
+}
+
+TEST_F(AddressMapperTest, ConsecutiveLinesInterleaveChannels) {
+  const auto line = mapper_.config().line_bytes();
+  const auto a = mapper_.decode(0);
+  const auto b = mapper_.decode(line);
+  EXPECT_NE(a.channel, b.channel);
+}
+
+TEST_F(AddressMapperTest, RowRangeChecked) {
+  EXPECT_THROW(
+      mapper_.map({.channel = 0, .bank = 0,
+                   .row = mapper_.config().rows_per_bank(), .column = 0}),
+      std::out_of_range);
+}
+
+// ------------------------------------------------------------ gain LUT
+
+class GainLutTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GainLutTest, EntryCountMatchesPaper) {
+  auto config = cc::CometConfig::comet_4b();
+  config.bits_per_cell = GetParam();
+  const cc::GainLut lut(config, cp::LossParameters::paper());
+  // Paper Section IV.A: 5 entries (b=1), 12 (b=2), 46 (b=4).
+  const int expected = GetParam() == 1 ? 5 : GetParam() == 2 ? 12 : 46;
+  EXPECT_EQ(lut.entries(), expected);
+}
+
+TEST_P(GainLutTest, ResidualWithinTolerance) {
+  auto config = cc::CometConfig::comet_4b();
+  config.bits_per_cell = GetParam();
+  const cc::GainLut lut(config, cp::LossParameters::paper());
+  for (int row = 0; row < config.rows_per_subarray; ++row) {
+    const double residual =
+        std::abs(lut.gain_db_for_row(row) - lut.row_loss_db(row));
+    EXPECT_LE(residual, lut.tolerance_db() * 0.75) << "row " << row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitDensities, GainLutTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST(GainLut, RowLossGrowsWithinSpanAndResets) {
+  const cc::GainLut lut(cc::CometConfig::comet_4b(),
+                        cp::LossParameters::paper());
+  EXPECT_DOUBLE_EQ(lut.row_loss_db(0), 0.0);
+  EXPECT_NEAR(lut.row_loss_db(45), 45 * 0.33, 1e-9);
+  EXPECT_DOUBLE_EQ(lut.row_loss_db(46), 0.0);  // SOA stage resets the level
+}
+
+TEST(GainLut, RejectsOutOfRangeRow) {
+  const cc::GainLut lut(cc::CometConfig::comet_4b(),
+                        cp::LossParameters::paper());
+  EXPECT_THROW(lut.row_loss_db(-1), std::out_of_range);
+  EXPECT_THROW(lut.gain_db_for_row(512), std::out_of_range);
+}
+
+// ----------------------------------------------------------- power
+
+TEST(PowerModel, Comet4bStack) {
+  const cc::CometPowerModel model(cc::CometConfig::comet_4b(),
+                                  cp::LossParameters::paper());
+  const auto stack = model.breakdown();
+  // SOA dominates (Section III.E), total ~ 22 W.
+  EXPECT_NEAR(stack.total_w(), 22.4, 2.0);
+  EXPECT_GT(stack.component_w("soa"), stack.component_w("laser"));
+  EXPECT_NEAR(stack.component_w("soa"), 15.96, 0.5);
+  EXPECT_LT(stack.component_w("eo_tuning"), 0.05);  // uW-scale per MR
+}
+
+TEST(PowerModel, PowerDropsWithBitDensity) {
+  const cp::LossParameters losses = cp::LossParameters::paper();
+  const double p1 =
+      cc::CometPowerModel(cc::CometConfig::comet_1b(), losses).breakdown().total_w();
+  const double p2 =
+      cc::CometPowerModel(cc::CometConfig::comet_2b(), losses).breakdown().total_w();
+  const double p4 =
+      cc::CometPowerModel(cc::CometConfig::comet_4b(), losses).breakdown().total_w();
+  EXPECT_GT(p1, 1.8 * p2);
+  EXPECT_GT(p2, 1.8 * p4);
+}
+
+TEST(PowerModel, UnknownComponentThrows) {
+  const cc::CometPowerModel model(cc::CometConfig::comet_4b(),
+                                  cp::LossParameters::paper());
+  EXPECT_THROW(model.breakdown().component_w("flux_capacitor"),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- OPCM cell
+
+class OpcmCellTest : public ::testing::Test {
+ protected:
+  OpcmCellTest()
+      : optics_(cm::PcmMaterial::get(cm::Pcm::kGst),
+                cp::GstCellGeometry::paper()),
+        thermal_(cm::GstThermalCalibration::calibrated()),
+        table_(cm::MlcLevelTable::build(
+            4, cm::ProgrammingMode::kAmorphousReset, thermal_,
+            optics_.transmission_curve())) {}
+
+  cp::GstCell optics_;
+  cm::PcmThermalModel thermal_;
+  cm::MlcLevelTable table_;
+};
+
+TEST_F(OpcmCellTest, ProgramReadRoundTrip) {
+  cc::OpcmCell cell(&table_);
+  for (int level = 0; level < 16; ++level) {
+    const auto op = cell.program(level);
+    EXPECT_GT(op.energy_pj, 0.0);
+    EXPECT_EQ(cell.read(), level);
+  }
+}
+
+TEST_F(OpcmCellTest, ReadSurvivesCompensatedLoss) {
+  cc::OpcmCell cell(&table_);
+  cell.program(7);
+  // 5 dB of loss fully compensated by 5 dB of gain.
+  EXPECT_EQ(cell.read(5.0, 5.0), 7);
+}
+
+TEST_F(OpcmCellTest, UncompensatedLossCorruptsRead) {
+  cc::OpcmCell cell(&table_);
+  cell.program(3);
+  EXPECT_NE(cell.read(3.0, 0.0), 3);  // 3 dB >> 0.28 dB tolerance at b=4
+}
+
+TEST_F(OpcmCellTest, DriftWalksLevels) {
+  cc::OpcmCell cell(&table_);
+  cell.program(5);
+  cell.drift(0.08);  // the paper's crosstalk-shift magnitude
+  EXPECT_NE(cell.read(), 5);
+}
+
+TEST_F(OpcmCellTest, RejectsBadLevel) {
+  cc::OpcmCell cell(&table_);
+  EXPECT_THROW(cell.program(16), std::out_of_range);
+  EXPECT_THROW(cell.program(-1), std::out_of_range);
+}
+
+// ----------------------------------------------------------- subarray
+
+class SubarrayTest : public ::testing::Test {
+ protected:
+  SubarrayTest()
+      : config_(small_config()),
+        optics_(cm::PcmMaterial::get(cm::Pcm::kGst),
+                cp::GstCellGeometry::paper()),
+        thermal_(cm::GstThermalCalibration::calibrated()),
+        table_(cm::MlcLevelTable::build(
+            config_.bits_per_cell, cm::ProgrammingMode::kAmorphousReset,
+            thermal_, optics_.transmission_curve())),
+        lut_(config_, cp::LossParameters::paper()),
+        subarray_(config_, &table_, &lut_) {}
+
+  static cc::CometConfig small_config() {
+    auto c = cc::CometConfig::comet_4b();
+    c.rows_per_subarray = 64;
+    c.cols_per_subarray = 16;
+    c.subarrays = 16;  // 4 x 4 grid
+    return c;
+  }
+
+  cc::CometConfig config_;
+  cp::GstCell optics_;
+  cm::PcmThermalModel thermal_;
+  cm::MlcLevelTable table_;
+  cc::GainLut lut_;
+  cc::Subarray subarray_;
+};
+
+TEST_F(SubarrayTest, WriteReadRowRoundTrip) {
+  comet::util::Rng rng(17);
+  std::vector<int> levels(16);
+  for (int row : {0, 13, 45, 63}) {
+    for (auto& l : levels) l = static_cast<int>(rng.next_below(16));
+    const auto wr = subarray_.write_row(row, levels);
+    EXPECT_GT(wr.latency_ns, config_.mr_tuning_ns);
+    const auto rd = subarray_.read_row(row);
+    EXPECT_TRUE(rd.correct) << "row " << row;
+    EXPECT_EQ(rd.levels, levels) << "row " << row;
+  }
+}
+
+TEST_F(SubarrayTest, EveryRowReadsCorrectly) {
+  // Property: the SOA/LUT chain keeps ALL rows inside tolerance.
+  std::vector<int> levels(16);
+  for (int row = 0; row < 64; ++row) {
+    for (std::size_t c = 0; c < levels.size(); ++c) {
+      levels[c] = static_cast<int>((row + c) % 16);
+    }
+    subarray_.write_row(row, levels);
+    EXPECT_TRUE(subarray_.read_row(row).correct) << "row " << row;
+  }
+}
+
+TEST_F(SubarrayTest, RowLatencyTracksSlowestLevel) {
+  std::vector<int> fast(16, 0), slow(16, 0);
+  slow[7] = 15;  // deepest level dominates the row write
+  const auto t_fast = subarray_.write_row(0, fast).latency_ns;
+  const auto t_slow = subarray_.write_row(1, slow).latency_ns;
+  EXPECT_GT(t_slow, t_fast);
+  // Row latency = MR tuning + reset pulse + slowest level's write pulse.
+  EXPECT_NEAR(t_slow,
+              config_.mr_tuning_ns + table_.reset().latency_ns +
+                  table_.levels()[15].write_latency_ns,
+              1e-9);
+}
+
+TEST_F(SubarrayTest, InjectedDriftDetected) {
+  std::vector<int> levels(16, 8);
+  subarray_.write_row(5, levels);
+  subarray_.cell(5, 3).drift(0.08);
+  const auto rd = subarray_.read_row(5);
+  EXPECT_FALSE(rd.correct);
+}
+
+TEST_F(SubarrayTest, RejectsWrongRowWidth) {
+  std::vector<int> too_few(3, 0);
+  EXPECT_THROW(subarray_.write_row(0, too_few), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- bank
+
+TEST_F(SubarrayTest, BankSteeringChargesSwitchOnce) {
+  cc::Bank bank(config_, &table_, &lut_, cp::LossParameters::paper());
+  std::vector<int> levels(16, 4);
+  const auto first = bank.write_row(0, 0, levels);   // cold steer: +100 ns
+  const auto second = bank.write_row(0, 1, levels);  // already coupled
+  EXPECT_NEAR(first.latency_ns - second.latency_ns, 100.0, 1e-9);
+  const auto third = bank.write_row(3, 0, levels);   // re-steer: +100 ns
+  EXPECT_NEAR(third.latency_ns, first.latency_ns, 1e-9);
+  EXPECT_EQ(bank.coupled_subarray(), 3);
+  EXPECT_EQ(bank.materialized_subarrays(), 2u);
+}
+
+TEST_F(SubarrayTest, BankRejectsBadSubarray) {
+  cc::Bank bank(config_, &table_, &lut_, cp::LossParameters::paper());
+  EXPECT_THROW(bank.subarray(16), std::out_of_range);
+}
+
+// ----------------------------------------------------------- memory
+
+namespace {
+
+cc::CometConfig tiny_memory_config() {
+  auto c = cc::CometConfig::comet_4b();
+  c.subarrays = 16;
+  c.rows_per_subarray = 32;
+  c.channels = 2;
+  return c;
+}
+
+}  // namespace
+
+TEST(CometMemory, PackUnpackRoundTrip) {
+  comet::util::Rng rng(23);
+  for (const int bits : {1, 2, 4}) {
+    std::vector<std::uint8_t> bytes(64);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto levels = cc::CometMemory::pack_levels(bytes, bits);
+    EXPECT_EQ(levels.size(), bytes.size() * (8u / bits));
+    std::vector<std::uint8_t> back(bytes.size());
+    cc::CometMemory::unpack_levels(levels, bits, back);
+    EXPECT_EQ(back, bytes);
+  }
+}
+
+TEST(CometMemory, PackRejectsBadBits) {
+  std::vector<std::uint8_t> bytes(8);
+  EXPECT_THROW(cc::CometMemory::pack_levels(bytes, 3), std::invalid_argument);
+}
+
+TEST(CometMemory, LineWriteReadRoundTrip) {
+  cc::CometMemory memory(tiny_memory_config());
+  const auto line = memory.config().line_bytes();
+  comet::util::Rng rng(29);
+  for (int i = 0; i < 16; ++i) {
+    std::vector<std::uint8_t> data(line), out(line);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    const std::uint64_t addr = std::uint64_t(i) * line;
+    const auto wr = memory.write_line(addr, data);
+    EXPECT_GT(wr.latency_ns, memory.config().interface_ns);
+    const auto rd = memory.read_line(addr, out);
+    EXPECT_TRUE(rd.correct);
+    EXPECT_EQ(out, data);
+  }
+}
+
+TEST(CometMemory, RejectsUnalignedAndWrongSize) {
+  cc::CometMemory memory(tiny_memory_config());
+  const auto line = memory.config().line_bytes();
+  std::vector<std::uint8_t> data(line), small(line - 1);
+  EXPECT_THROW(memory.write_line(1, data), std::invalid_argument);
+  EXPECT_THROW(memory.write_line(0, small), std::invalid_argument);
+  std::vector<std::uint8_t> out(line - 1);
+  EXPECT_THROW(memory.read_line(0, out), std::invalid_argument);
+}
+
+TEST(CometMemory, DeviceModelMatchesTableII) {
+  const auto d = cc::CometMemory::device_model(
+      cc::CometConfig::comet_4b(), cp::LossParameters::paper());
+  EXPECT_EQ(d.name, "COMET-4b");
+  EXPECT_EQ(d.timing.read_occupancy_ps, 12000u);   // 2 + 10 ns
+  EXPECT_EQ(d.timing.write_occupancy_ps, 172000u); // 2 + 170 ns
+  EXPECT_EQ(d.timing.interface_ps, 105000u);
+  EXPECT_EQ(d.timing.burst_ps, 4000u);             // 4 x 1 ns
+  EXPECT_EQ(d.timing.line_bytes, 128u);
+  EXPECT_EQ(d.timing.refresh_interval_ps, 0u);     // non-volatile
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(CometMemory, DeviceModelAblationKnobs) {
+  const auto losses = cp::LossParameters::paper();
+  const auto base = cc::CometMemory::device_model(
+      cc::CometConfig::comet_4b(), losses);
+  const auto serialized = cc::CometMemory::device_model(
+      cc::CometConfig::comet_4b(), losses, true, true);
+  EXPECT_EQ(base.timing.region_switch_ps, 0u);
+  EXPECT_EQ(base.timing.write_tail_ps, 0u);
+  EXPECT_EQ(serialized.timing.region_switch_ps, 100000u);
+  EXPECT_EQ(serialized.timing.write_tail_ps, 210000u);
+}
+
+TEST(CometMemory, DeviceModelEnergyFromDevicePhysics) {
+  const auto d = cc::CometMemory::device_model(
+      cc::CometConfig::comet_4b(), cp::LossParameters::paper());
+  // Read pulse: 256 cells x 1 mW x 10 ns / 1024 bits = 2.5 pJ/bit.
+  EXPECT_NEAR(d.energy.read_pj_per_bit, 2.5, 0.1);
+  // Writes carry the reset + programming energy: order 100 pJ/bit.
+  EXPECT_GT(d.energy.write_pj_per_bit, 50.0);
+  EXPECT_LT(d.energy.write_pj_per_bit, 200.0);
+  // Background = the Fig. 7 stack.
+  EXPECT_NEAR(d.energy.background_power_w, 22.4, 2.0);
+}

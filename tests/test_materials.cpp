@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "materials/crystallization.hpp"
+#include "materials/effective_medium.hpp"
+#include "materials/lorentz_model.hpp"
+#include "materials/mlc_levels.hpp"
+#include "materials/pcm_material.hpp"
+#include "materials/thermal_model.hpp"
+#include "util/constants.hpp"
+#include "util/interp.hpp"
+
+namespace cm = comet::materials;
+namespace cu = comet::util;
+
+// ------------------------------------------------------------- Lorentz
+
+TEST(Lorentz, FitHitsAnchor) {
+  const auto osc = cm::LorentzOscillator::fit(4.0, 0.5, 1550.0, 800.0);
+  const auto idx = osc.complex_index(1550.0);
+  EXPECT_NEAR(idx.real(), 4.0, 1e-9);
+  EXPECT_NEAR(idx.imag(), 0.5, 1e-9);
+}
+
+TEST(Lorentz, FitLosslessMaterial) {
+  const auto osc = cm::LorentzOscillator::fit(3.3, 0.0, 1550.0, 700.0);
+  EXPECT_NEAR(osc.kappa(1550.0), 0.0, 1e-12);
+  EXPECT_NEAR(osc.n(1550.0), 3.3, 1e-9);
+  EXPECT_DOUBLE_EQ(osc.gamma(), 0.0);
+}
+
+TEST(Lorentz, NormalDispersion) {
+  // Resonance blue of the C-band: n decreases with wavelength.
+  const auto osc = cm::LorentzOscillator::fit(4.0, 0.1, 1550.0, 800.0);
+  EXPECT_GT(osc.n(1530.0), osc.n(1565.0));
+}
+
+TEST(Lorentz, RejectsBadFit) {
+  EXPECT_THROW(cm::LorentzOscillator::fit(4.0, 0.1, 1550.0, 1600.0),
+               std::invalid_argument);
+  EXPECT_THROW(cm::LorentzOscillator::fit(0.5, 0.1, 1550.0, 800.0),
+               std::invalid_argument);
+  EXPECT_THROW(cm::LorentzOscillator::fit(4.0, -0.1, 1550.0, 800.0),
+               std::invalid_argument);
+}
+
+TEST(Lorentz, PermittivityAbsorbingBranch) {
+  const auto osc = cm::LorentzOscillator::fit(4.0, 0.3, 1550.0, 800.0);
+  const auto eps = osc.permittivity(cm::omega_of_wavelength_nm(1550.0));
+  EXPECT_GT(eps.imag(), 0.0);
+}
+
+// ------------------------------------------------------------- database
+
+class MaterialContrastTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MaterialContrastTest, GstHasHighestIndexContrast) {
+  const double lambda = GetParam();
+  const auto& gst = cm::PcmMaterial::get(cm::Pcm::kGst);
+  const auto& gsst = cm::PcmMaterial::get(cm::Pcm::kGsst);
+  const auto& sb2se3 = cm::PcmMaterial::get(cm::Pcm::kSb2Se3);
+  EXPECT_GT(gst.index_contrast(lambda), gsst.index_contrast(lambda));
+  EXPECT_GT(gsst.index_contrast(lambda), sb2se3.index_contrast(lambda));
+}
+
+TEST_P(MaterialContrastTest, GstHasHighestKappaContrast) {
+  const double lambda = GetParam();
+  const auto& gst = cm::PcmMaterial::get(cm::Pcm::kGst);
+  const auto& gsst = cm::PcmMaterial::get(cm::Pcm::kGsst);
+  const auto& sb2se3 = cm::PcmMaterial::get(cm::Pcm::kSb2Se3);
+  EXPECT_GT(gst.kappa_contrast(lambda), gsst.kappa_contrast(lambda));
+  EXPECT_GT(gsst.kappa_contrast(lambda), sb2se3.kappa_contrast(lambda));
+}
+
+TEST_P(MaterialContrastTest, CrystallineIndexAboveAmorphous) {
+  const double lambda = GetParam();
+  for (const auto pcm : {cm::Pcm::kGst, cm::Pcm::kGsst, cm::Pcm::kSb2Se3}) {
+    const auto& m = cm::PcmMaterial::get(pcm);
+    EXPECT_GT(m.n(cm::Phase::kCrystalline, lambda),
+              m.n(cm::Phase::kAmorphous, lambda))
+        << m.name();
+    EXPECT_GE(m.kappa(cm::Phase::kCrystalline, lambda),
+              m.kappa(cm::Phase::kAmorphous, lambda))
+        << m.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CBandSweep, MaterialContrastTest,
+                         ::testing::Values(1530.0, 1540.0, 1550.0, 1557.5,
+                                           1565.0));
+
+TEST(Materials, GstAnchorValues) {
+  const auto& gst = cm::PcmMaterial::get(cm::Pcm::kGst);
+  EXPECT_NEAR(gst.n(cm::Phase::kAmorphous, 1550.0), 3.94, 0.01);
+  EXPECT_NEAR(gst.n(cm::Phase::kCrystalline, 1550.0), 6.51, 0.01);
+  EXPECT_NEAR(gst.kappa(cm::Phase::kCrystalline, 1550.0), 1.10, 0.01);
+}
+
+TEST(Materials, Names) {
+  EXPECT_EQ(cm::to_string(cm::Pcm::kGst), "GST");
+  EXPECT_EQ(cm::to_string(cm::Pcm::kGsst), "GSST");
+  EXPECT_EQ(cm::to_string(cm::Pcm::kSb2Se3), "Sb2Se3");
+  EXPECT_EQ(cm::to_string(cm::Phase::kAmorphous), "amorphous");
+}
+
+TEST(Materials, ThermalOrdering) {
+  for (const auto pcm : {cm::Pcm::kGst, cm::Pcm::kGsst, cm::Pcm::kSb2Se3}) {
+    const auto& t = cm::PcmMaterial::get(pcm).thermal();
+    EXPECT_GT(t.melting_point_k, t.crystallization_point_k);
+    EXPECT_GT(t.crystallization_point_k, cu::kAmbientTemperatureK);
+  }
+}
+
+// ------------------------------------------------------- effective medium
+
+TEST(EffectiveMedium, EndpointsMatchPhases) {
+  const auto& gst = cm::PcmMaterial::get(cm::Pcm::kGst);
+  const auto a = cm::effective_index(gst, 1550.0, 0.0);
+  const auto c = cm::effective_index(gst, 1550.0, 1.0);
+  EXPECT_NEAR(a.real(), gst.n(cm::Phase::kAmorphous, 1550.0), 1e-9);
+  EXPECT_NEAR(c.imag(), gst.kappa(cm::Phase::kCrystalline, 1550.0), 1e-9);
+}
+
+class EffectiveMediumSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EffectiveMediumSweep, MonotoneBetweenPhases) {
+  const double f = GetParam();
+  const auto& gst = cm::PcmMaterial::get(cm::Pcm::kGst);
+  const auto lo = cm::effective_index(gst, 1550.0, f);
+  const auto hi = cm::effective_index(gst, 1550.0, std::min(1.0, f + 0.1));
+  EXPECT_LE(lo.real(), hi.real() + 1e-12);
+  EXPECT_LE(lo.imag(), hi.imag() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, EffectiveMediumSweep,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                           0.7, 0.8, 0.9));
+
+TEST(EffectiveMedium, RejectsOutOfRange) {
+  const auto& gst = cm::PcmMaterial::get(cm::Pcm::kGst);
+  EXPECT_THROW(cm::effective_index(gst, 1550.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(cm::effective_index(gst, 1550.0, 1.1), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- thermal RC
+
+TEST(ThermalRC, SteadyState) {
+  const cm::ThermalRC rc{.heat_capacity_j_per_k = 1e-13,
+                         .thermal_resistance_k_per_w = 1e5,
+                         .ambient_k = 300.0};
+  EXPECT_DOUBLE_EQ(rc.steady_state_k(1e-3), 400.0);
+  EXPECT_DOUBLE_EQ(rc.tau_s(), 1e-8);
+}
+
+TEST(ThermalRC, RiseMatchesClosedForm) {
+  const cm::ThermalRC rc{.heat_capacity_j_per_k = 1e-13,
+                         .thermal_resistance_k_per_w = 1e5,
+                         .ambient_k = 300.0};
+  // After one tau the rise covers 1 - 1/e of the step.
+  const double t = rc.temperature_at(1e-3, rc.tau_s(), 300.0);
+  EXPECT_NEAR(t, 300.0 + 100.0 * (1.0 - std::exp(-1.0)), 1e-9);
+}
+
+TEST(ThermalRC, TimeToTemperatureInvertsRise) {
+  const cm::ThermalRC rc{.heat_capacity_j_per_k = 1e-13,
+                         .thermal_resistance_k_per_w = 1e5,
+                         .ambient_k = 300.0};
+  const double t = rc.time_to_temperature(1e-3, 363.2);
+  EXPECT_NEAR(rc.temperature_at(1e-3, t, 300.0), 363.2, 1e-9);
+}
+
+TEST(ThermalRC, UnreachableTargetIsInfinite) {
+  const cm::ThermalRC rc{.heat_capacity_j_per_k = 1e-13,
+                         .thermal_resistance_k_per_w = 1e5,
+                         .ambient_k = 300.0};
+  EXPECT_TRUE(std::isinf(rc.time_to_temperature(1e-3, 500.0)));
+}
+
+// ----------------------------------------------------------- kinetics
+
+TEST(Kinetics, RateZeroOutsideWindow) {
+  const cm::CrystallizationKinetics k(
+      cm::GstThermalCalibration::calibrated().kinetics);
+  EXPECT_DOUBLE_EQ(k.rate(300.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.rate(873.0), 0.0);
+  EXPECT_GT(k.rate(650.0), 0.0);
+}
+
+TEST(Kinetics, RatePeaksAtPeakTemperature) {
+  const cm::CrystallizationKinetics k(
+      cm::GstThermalCalibration::calibrated().kinetics);
+  EXPECT_GT(k.rate(650.0), k.rate(500.0));
+  EXPECT_GT(k.rate(650.0), k.rate(800.0));
+}
+
+TEST(Kinetics, ClosedFormMatchesStepping) {
+  const cm::CrystallizationKinetics k(
+      cm::GstThermalCalibration::calibrated().kinetics);
+  const double temp = 600.0;
+  const double target = 0.5;
+  const double t_closed = k.time_to_fraction(target, temp);
+  double x = 0.0;
+  const double dt = t_closed / 20000.0;
+  double t = 0.0;
+  while (x < target && t < 3.0 * t_closed) {
+    x = k.step(x, temp, dt);
+    t += dt;
+  }
+  EXPECT_NEAR(t, t_closed, 0.05 * t_closed);
+}
+
+TEST(Kinetics, TimeToFractionMonotone) {
+  const cm::CrystallizationKinetics k(
+      cm::GstThermalCalibration::calibrated().kinetics);
+  double prev = 0.0;
+  for (double x = 0.1; x <= 0.9; x += 0.1) {
+    const double t = k.time_to_fraction(x, 600.0);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Kinetics, InfiniteOutsideWindow) {
+  const cm::CrystallizationKinetics k(
+      cm::GstThermalCalibration::calibrated().kinetics);
+  EXPECT_TRUE(std::isinf(k.time_to_fraction(0.5, 300.0)));
+}
+
+// ------------------------------------------------------- thermal model
+
+class ThermalModelTest : public ::testing::Test {
+ protected:
+  cm::PcmThermalModel model_{cm::GstThermalCalibration::calibrated()};
+};
+
+TEST_F(ThermalModelTest, AmorphousResetMatchesPaper) {
+  // Paper case study 2: ~280 pJ reset pulse; Table II erase-side checks.
+  const auto reset = model_.full_amorphization_reset();
+  EXPECT_NEAR(reset.energy_pj, 280.0, 28.0);
+  EXPECT_NEAR(model_.amorphous_reset_latency_ns(), 56.0, 8.0);
+  EXPECT_DOUBLE_EQ(reset.final_fraction, 0.0);
+}
+
+TEST_F(ThermalModelTest, CrystallineResetMatchesPaper) {
+  // Paper case study 1: ~880 pJ; Table II erase time 210 ns.
+  const auto reset = model_.full_crystallization_reset();
+  EXPECT_NEAR(reset.energy_pj, 880.0, 88.0);
+  EXPECT_NEAR(model_.crystalline_reset_latency_ns(), 210.0, 21.0);
+  EXPECT_GE(reset.final_fraction, 0.98);
+}
+
+TEST_F(ThermalModelTest, WritePowerSitsInGrowthWindow) {
+  const auto& cal = model_.calibration();
+  const double t_ss = cal.rc.steady_state_k(cal.write_power_mw * 1e-3);
+  EXPECT_GT(t_ss, cal.kinetics.onset_temperature_k);
+  EXPECT_LT(t_ss, cal.kinetics.melt_temperature_k);
+}
+
+TEST_F(ThermalModelTest, MaxCrystallizationLatencyNearPaperMaxWrite) {
+  // Table II: max write time 170 ns. Deepest usable level is X = 0.95.
+  const double t = model_.crystallization_latency_ns(0.95);
+  EXPECT_GT(t, 120.0);
+  EXPECT_LT(t, 180.0);
+}
+
+TEST_F(ThermalModelTest, CrystallizationLatencyMonotone) {
+  double prev = 0.0;
+  for (double x = 0.1; x <= 0.9; x += 0.1) {
+    const double t = model_.crystallization_latency_ns(x);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(ThermalModelTest, AmorphizationFasterThanCrystallization) {
+  // The melt is thermally limited (tens of ns); growth is kinetics
+  // limited (up to ~170 ns): case 1 writes are faster than case 2 writes.
+  EXPECT_LT(model_.amorphization_latency_ns(1.0),
+            model_.crystallization_latency_ns(0.95));
+}
+
+TEST_F(ThermalModelTest, PulseSimulationMeltsAtResetPower) {
+  const auto& cal = model_.calibration();
+  const auto out = model_.apply_pulse(cal.reset_power_mw, 60.0, 0.9);
+  EXPECT_GT(out.melt_fraction, 0.99);
+  EXPECT_LT(out.final_fraction, 0.05);
+}
+
+TEST_F(ThermalModelTest, PulseSimulationCrystallizesAtWritePower) {
+  const auto& cal = model_.calibration();
+  const auto out = model_.apply_pulse(cal.write_power_mw, 170.0, 0.0);
+  EXPECT_GT(out.final_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(out.melt_fraction, 0.0);
+  EXPECT_LT(out.peak_temp_k, cal.kinetics.melt_temperature_k);
+}
+
+TEST_F(ThermalModelTest, PulseEnergyIsPowerTimesTime) {
+  const auto out = model_.apply_pulse(2.0, 50.0, 0.0);
+  EXPECT_DOUBLE_EQ(out.energy_pj, 100.0);
+}
+
+TEST_F(ThermalModelTest, RejectsBadFraction) {
+  EXPECT_THROW(model_.apply_pulse(1.0, 10.0, -0.5), std::invalid_argument);
+  EXPECT_THROW(model_.apply_pulse(1.0, 10.0, 1.5), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- MLC levels
+
+namespace {
+
+/// Synthetic strictly-decreasing transmission curve used until the
+/// photonic cell model enters the picture (tests stay module-local).
+double stub_transmission(double fraction) {
+  return 0.95 * std::exp(-3.0 * fraction) + 0.005;
+}
+
+}  // namespace
+
+class MlcTableTest : public ::testing::TestWithParam<int> {
+ protected:
+  cm::PcmThermalModel model_{cm::GstThermalCalibration::calibrated()};
+};
+
+TEST_P(MlcTableTest, LevelCountAndSpacing) {
+  const int bits = GetParam();
+  const auto table =
+      cm::MlcLevelTable::build(bits, cm::ProgrammingMode::kAmorphousReset,
+                               model_, stub_transmission);
+  ASSERT_EQ(table.levels().size(), std::size_t(1) << bits);
+  // Uniform ladder: every adjacent gap equals the spacing.
+  for (std::size_t i = 1; i < table.levels().size(); ++i) {
+    EXPECT_NEAR(table.levels()[i - 1].transmission -
+                    table.levels()[i].transmission,
+                table.level_spacing(), 1e-9);
+  }
+}
+
+TEST_P(MlcTableTest, FractionsMonotoneIncreasing) {
+  const auto table = cm::MlcLevelTable::build(
+      GetParam(), cm::ProgrammingMode::kAmorphousReset, model_,
+      stub_transmission);
+  for (std::size_t i = 1; i < table.levels().size(); ++i) {
+    EXPECT_GT(table.levels()[i].crystalline_fraction,
+              table.levels()[i - 1].crystalline_fraction);
+  }
+}
+
+TEST_P(MlcTableTest, ClassifyRoundTrip) {
+  const auto table = cm::MlcLevelTable::build(
+      GetParam(), cm::ProgrammingMode::kAmorphousReset, model_,
+      stub_transmission);
+  for (const auto& level : table.levels()) {
+    EXPECT_EQ(table.classify(level.transmission), level.index);
+  }
+}
+
+TEST_P(MlcTableTest, ClassifyToleratesSmallDrift) {
+  const auto table = cm::MlcLevelTable::build(
+      GetParam(), cm::ProgrammingMode::kAmorphousReset, model_,
+      stub_transmission);
+  const double nudge = 0.4 * table.level_spacing();
+  for (const auto& level : table.levels()) {
+    EXPECT_EQ(table.classify(level.transmission - nudge), level.index);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitDensities, MlcTableTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST(MlcTable, LossToleranceMatchesPaper) {
+  cm::PcmThermalModel model(cm::GstThermalCalibration::calibrated());
+  const auto b1 = cm::MlcLevelTable::build(
+      1, cm::ProgrammingMode::kAmorphousReset, model, stub_transmission);
+  const auto b2 = cm::MlcLevelTable::build(
+      2, cm::ProgrammingMode::kAmorphousReset, model, stub_transmission);
+  const auto b4 = cm::MlcLevelTable::build(
+      4, cm::ProgrammingMode::kAmorphousReset, model, stub_transmission);
+  EXPECT_NEAR(b1.loss_tolerance_db(), 3.01, 0.02);  // paper: 3.01 dB
+  EXPECT_NEAR(b2.loss_tolerance_db(), 1.25, 0.06);  // paper: ~1.2 dB
+  EXPECT_NEAR(b4.loss_tolerance_db(), 0.28, 0.03);  // paper: ~0.26 dB
+}
+
+TEST(MlcTable, AmorphousResetWriteLatencyMonotone) {
+  cm::PcmThermalModel model(cm::GstThermalCalibration::calibrated());
+  const auto table = cm::MlcLevelTable::build(
+      4, cm::ProgrammingMode::kAmorphousReset, model, stub_transmission);
+  for (std::size_t i = 2; i < table.levels().size(); ++i) {
+    EXPECT_GE(table.levels()[i].write_latency_ns,
+              table.levels()[i - 1].write_latency_ns);
+  }
+  EXPECT_LT(table.max_write_latency_ns(), 180.0);  // Table II: 170 ns
+}
+
+TEST(MlcTable, CrystallineResetWritesAreFast) {
+  cm::PcmThermalModel model(cm::GstThermalCalibration::calibrated());
+  const auto table = cm::MlcLevelTable::build(
+      4, cm::ProgrammingMode::kCrystallineReset, model, stub_transmission);
+  EXPECT_LT(table.max_write_latency_ns(), 60.0);
+  // Brightest level requires the most melting -> slowest in this mode.
+  EXPECT_GT(table.levels()[0].write_latency_ns,
+            table.levels()[8].write_latency_ns);
+}
+
+TEST(MlcTable, ResetPulsesMatchMode) {
+  cm::PcmThermalModel model(cm::GstThermalCalibration::calibrated());
+  const auto amorphous = cm::MlcLevelTable::build(
+      4, cm::ProgrammingMode::kAmorphousReset, model, stub_transmission);
+  const auto crystalline = cm::MlcLevelTable::build(
+      4, cm::ProgrammingMode::kCrystallineReset, model, stub_transmission);
+  EXPECT_NEAR(amorphous.reset().energy_pj, 280.0, 28.0);
+  EXPECT_NEAR(crystalline.reset().energy_pj, 880.0, 88.0);
+  EXPECT_GT(crystalline.reset().latency_ns, amorphous.reset().latency_ns);
+}
+
+TEST(MlcTable, RejectsBadBits) {
+  cm::PcmThermalModel model(cm::GstThermalCalibration::calibrated());
+  EXPECT_THROW(cm::MlcLevelTable::build(
+                   0, cm::ProgrammingMode::kAmorphousReset, model,
+                   stub_transmission),
+               std::invalid_argument);
+  EXPECT_THROW(cm::MlcLevelTable::build(
+                   6, cm::ProgrammingMode::kAmorphousReset, model,
+                   stub_transmission),
+               std::invalid_argument);
+}
+
+TEST(MlcTable, InvertTransmissionProperty) {
+  for (double target = 0.1; target <= 0.9; target += 0.1) {
+    const double f = cm::invert_transmission(stub_transmission, target);
+    EXPECT_NEAR(stub_transmission(f), target, 1e-6);
+  }
+}
+
+TEST(MlcTable, InvertRejectsNonDecreasingCurve) {
+  EXPECT_THROW(
+      cm::invert_transmission([](double f) { return f; }, 0.5),
+      std::invalid_argument);
+}

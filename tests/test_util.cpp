@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/interp.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace cu = comet::util;
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, DbRoundTrip) {
+  for (const double db : {-30.0, -3.0, 0.0, 0.2, 3.01, 15.2, 20.0}) {
+    EXPECT_NEAR(cu::ratio_to_db(cu::db_to_ratio(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, DbmKnownValues) {
+  EXPECT_NEAR(cu::mw_to_dbm(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(cu::mw_to_dbm(5.0), 6.9897, 1e-4);
+  EXPECT_NEAR(cu::dbm_to_mw(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(cu::dbm_to_w(30.0), 1.0, 1e-12);
+}
+
+TEST(Units, LossTransmissionInverse) {
+  EXPECT_NEAR(cu::transmission_to_loss_db(0.5), 3.0103, 1e-4);
+  EXPECT_NEAR(cu::loss_db_to_transmission(3.0103), 0.5, 1e-4);
+  EXPECT_NEAR(cu::loss_db_to_transmission(0.0), 1.0, 1e-12);
+}
+
+TEST(Units, WavelengthFrequency) {
+  const double f = cu::wavelength_nm_to_hz(1550.0);
+  EXPECT_NEAR(f, 193.414e12, 0.01e12);
+  EXPECT_NEAR(cu::hz_to_wavelength_nm(f), 1550.0, 1e-9);
+}
+
+TEST(Units, PhotonEnergyAt1550) {
+  // ~0.8 eV photon in the C-band.
+  EXPECT_NEAR(cu::photon_energy_j(1550.0) / 1.602176634e-19, 0.8, 0.01);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(cu::ns_to_ps(2.0), 2000u);
+  EXPECT_DOUBLE_EQ(cu::ps_to_ns(1500), 1.5);
+  EXPECT_DOUBLE_EQ(cu::ps_to_s(1'000'000'000'000ULL), 1.0);
+}
+
+TEST(Units, EnergyHelpers) {
+  EXPECT_DOUBLE_EQ(cu::energy_pj(5.0, 56.0), 280.0);  // 5 mW x 56 ns
+  EXPECT_DOUBLE_EQ(cu::epb_pj_per_bit(1.0, 1e12), 1.0);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic) {
+  cu::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  cu::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  cu::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BoundedBelow) {
+  cu::Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  cu::Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliMean) {
+  cu::Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  cu::Rng rng(17);
+  cu::RunningStats st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.next_gaussian());
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  cu::Rng rng(19);
+  cu::RunningStats st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.next_exponential(4.0));
+  EXPECT_NEAR(st.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, ZipfSkewsLow) {
+  cu::Rng rng(23);
+  int first_bucket = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) first_bucket += (rng.next_zipf(100, 1.2) == 0);
+  // Rank 0 should dominate under s = 1.2 (>= 15 % of mass for n=100).
+  EXPECT_GT(first_bucket, n * 15 / 100);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniformish) {
+  cu::Rng rng(29);
+  int first_bucket = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) first_bucket += (rng.next_zipf(10, 0.0) == 0);
+  EXPECT_NEAR(first_bucket / double(n), 0.1, 0.02);
+}
+
+// ---------------------------------------------------------------- interp
+
+TEST(LinearTable, InterpolatesAndClamps) {
+  cu::LinearTable t({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(t(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t(1.5), 25.0);
+  EXPECT_DOUBLE_EQ(t(-1.0), 0.0);   // clamp low
+  EXPECT_DOUBLE_EQ(t(3.0), 40.0);   // clamp high
+}
+
+TEST(LinearTable, RejectsBadInput) {
+  EXPECT_THROW(cu::LinearTable({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(cu::LinearTable({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(cu::LinearTable({0.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(LinearTable, Inverse) {
+  cu::LinearTable t({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(t.inverse(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.inverse(25.0), 1.5);
+}
+
+TEST(Rk4, ExponentialDecay) {
+  // dy/dt = -y, y(0)=1 -> y(1) = 1/e.
+  const double y = cu::rk4([](double, double y) { return -y; }, 1.0, 0.0,
+                           0.01, 100);
+  EXPECT_NEAR(y, std::exp(-1.0), 1e-8);
+}
+
+TEST(Linspace, EndpointsAndCount) {
+  const auto v = cu::linspace(1530.0, 1565.0, 36);
+  ASSERT_EQ(v.size(), 36u);
+  EXPECT_DOUBLE_EQ(v.front(), 1530.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1565.0);
+  EXPECT_NEAR(v[1] - v[0], 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, KnownSequence) {
+  cu::RunningStats st;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(st.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+  EXPECT_EQ(st.count(), 8u);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  cu::RunningStats st;
+  EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndPercentile) {
+  cu::Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bucket_count(0), 10u);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.95), 95.0, 1.5);
+}
+
+TEST(Histogram, OverUnderflow) {
+  cu::Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(11.0);
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(cu::Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(cu::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, AlignedOutputContainsCells) {
+  cu::Table t({"arch", "bw"});
+  t.add_row({"COMET", "123.4"});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("COMET"), std::string::npos);
+  EXPECT_NE(s.find("123.4"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesCommas) {
+  cu::Table t({"a"});
+  t.add_row({"x,y"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  cu::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(cu::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(cu::Table::sci(12345.0, 2), "1.23e+04");
+}
