@@ -25,10 +25,11 @@ int main() {
   Table workloads({"model", "params (M)", "GMACs/inf", "traffic (MB/inf)",
                    "intensity (MAC/B)"});
   for (const auto& m : models) {
-    workloads.add_row({m.name, Table::num(m.parameters() / 1e6, 1),
-                       Table::num(m.macs_per_inference() / 1e9, 2),
-                       Table::num(m.total_traffic_bytes() / 1e6, 1),
-                       Table::num(m.arithmetic_intensity(), 1)});
+    workloads.add_row(
+        {m.name, Table::num(static_cast<double>(m.parameters()) / 1e6, 1),
+         Table::num(static_cast<double>(m.macs_per_inference()) / 1e9, 2),
+         Table::num(static_cast<double>(m.total_traffic_bytes()) / 1e6, 1),
+         Table::num(m.arithmetic_intensity(), 1)});
   }
   workloads.print(std::cout);
 

@@ -2,17 +2,20 @@
 // (c) BW/EPB for seven memory architectures (2D/3D DDR3, 2D/3D DDR4,
 // EPCM-MM, COSMOS, COMET-4b) across eight SPEC-like workloads, plus the
 // cross-architecture ratios the paper quotes in Section IV.C.
+//
+// The device x workload matrix runs through the driver's parallel sweep
+// engine (src/driver/sweep.hpp): each cell is an independent
+// deterministic replay, so the bench fans out across hardware threads
+// with results bit-identical to the old serial loops.
 
+#include <array>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "core/comet_memory.hpp"
-#include "cosmos/cosmos_memory.hpp"
-#include "dram/dram_device.hpp"
-#include "dram/epcm.hpp"
-#include "memsim/system.hpp"
+#include "driver/registry.hpp"
+#include "driver/sweep.hpp"
 #include "memsim/trace_gen.hpp"
 #include "util/table.hpp"
 
@@ -37,51 +40,52 @@ struct ArchResult {
 int main() {
   using comet::util::Table;
 
-  std::vector<comet::memsim::DeviceModel> devices;
-  devices.push_back(comet::dram::ddr3_2d());
-  devices.push_back(comet::dram::ddr3_3d());
-  devices.push_back(comet::dram::ddr4_2d());
-  devices.push_back(comet::dram::ddr4_3d());
-  devices.push_back(comet::dram::epcm_mm());
-  devices.push_back(comet::cosmos::cosmos_device_model(
-      comet::cosmos::CosmosConfig::paper(),
-      comet::photonics::LossParameters::paper()));
-  devices.push_back(comet::core::CometMemory::device_model(
-      comet::core::CometConfig::comet_4b(),
-      comet::photonics::LossParameters::paper()));
-
+  const auto devices = comet::driver::resolve_devices("all");
   const auto profiles = comet::memsim::spec_like_profiles();
+
+  // Two jobs per (profile, device) cell: a saturating open-loop replay
+  // (arrival intensity above every architecture's service rate, as in the
+  // paper's NVMain setup) for bandwidth/EPB, and a far sparser light-load
+  // replay of the same access pattern for service latency, so queueing
+  // does not mask it.
+  std::vector<comet::driver::SweepJob> jobs;
+  jobs.reserve(2 * profiles.size() * devices.size());
+  for (const auto& profile : profiles) {
+    auto light_profile = profile;
+    light_profile.avg_interarrival_ns = 400.0;
+    for (const auto& device : devices) {
+      comet::driver::SweepJob heavy;
+      heavy.device = device;
+      heavy.profile = profile;
+      heavy.requests = kRequestsPerTrace;
+      heavy.seed = 42;
+      heavy.line_bytes = kLineBytes;
+      jobs.push_back(heavy);
+
+      auto light = heavy;
+      light.profile = light_profile;
+      light.requests = kRequestsPerTrace / 4;
+      jobs.push_back(light);
+    }
+  }
+
+  const auto stats = comet::driver::run_sweep(jobs, /*threads=*/0);
 
   std::map<std::string, ArchResult> results;
   Table per_workload({"workload", "architecture", "BW (GB/s)",
                       "EPB (pJ/bit)", "avg latency (ns)"});
-
-  for (const auto& profile : profiles) {
-    // Bandwidth/EPB: open-loop saturating replay (arrival intensity above
-    // every architecture's service rate), as in the paper's NVMain setup.
-    const comet::memsim::TraceGenerator gen(profile, /*seed=*/42);
-    const auto trace = gen.generate(kRequestsPerTrace, kLineBytes);
-    // Latency: a light-load replay of the same access pattern (x100
-    // sparser arrivals) so queueing does not mask the service latency.
-    auto light_profile = profile;
-    light_profile.avg_interarrival_ns = 400.0;
-    const comet::memsim::TraceGenerator light_gen(light_profile, 42);
-    const auto light_trace = light_gen.generate(kRequestsPerTrace / 4,
-                                                kLineBytes);
-    for (const auto& device : devices) {
-      const comet::memsim::MemorySystem system(device);
-      const auto stats = system.run(trace, profile.name);
-      const auto light = system.run(light_trace, profile.name);
-      auto& agg = results[device.name];
-      agg.bw_sum += stats.bandwidth_gbps();
-      agg.epb_sum += stats.epb_pj_per_bit();
-      agg.latency_sum += light.avg_latency_ns();
-      ++agg.n;
-      per_workload.add_row({profile.name, device.name,
-                            Table::num(stats.bandwidth_gbps(), 2),
-                            Table::num(stats.epb_pj_per_bit(), 1),
-                            Table::num(light.avg_latency_ns(), 1)});
-    }
+  for (std::size_t i = 0; i < jobs.size(); i += 2) {
+    const auto& heavy = stats[i];
+    const auto& light = stats[i + 1];
+    auto& agg = results[jobs[i].device.name];
+    agg.bw_sum += heavy.bandwidth_gbps();
+    agg.epb_sum += heavy.epb_pj_per_bit();
+    agg.latency_sum += light.avg_latency_ns();
+    ++agg.n;
+    per_workload.add_row({jobs[i].profile.name, jobs[i].device.name,
+                          Table::num(heavy.bandwidth_gbps(), 2),
+                          Table::num(heavy.epb_pj_per_bit(), 1),
+                          Table::num(light.avg_latency_ns(), 1)});
   }
 
   std::cout << "=== Fig. 9 per-workload results ===\n";

@@ -45,7 +45,9 @@ int main() {
       const auto r = dota.evaluate(model);
       const bool memory_bound = r.achieved_bw_gbps < r.demanded_bw_gbps;
       table.add_row({r.memory_name, r.model_name,
-                     Table::num(model.weight_traffic_bytes() / 1e6, 1),
+                     Table::num(
+                         static_cast<double>(model.weight_traffic_bytes()) /
+                             1e6, 1),
                      Table::num(r.achieved_bw_gbps, 1),
                      memory_bound ? "memory" : "compute",
                      Table::num(r.total_epb(), 1)});

@@ -1,0 +1,71 @@
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "driver/options.hpp"
+#include "driver/report.hpp"
+#include "driver/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace comet::driver;
+
+  Options options;
+  try {
+    options = parse_args(std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const std::exception& e) {
+    std::cerr << "comet_sim: " << e.what() << "\n\n" << usage();
+    return 2;
+  }
+  if (options.help) {
+    std::cout << usage();
+    return 0;
+  }
+
+  try {
+    // Write JSON to a sibling temp file and rename on success: an
+    // unwritable path fails in milliseconds (not after a multi-minute
+    // run), and a failed run never clobbers a previous results file.
+    const std::string json_tmp =
+        options.json_path.empty() ? "" : options.json_path + ".tmp";
+    std::ofstream out;
+    if (!json_tmp.empty()) {
+      out.open(json_tmp);
+      if (!out) {
+        std::cerr << "comet_sim: cannot open '" << json_tmp
+                  << "' for writing\n";
+        return 1;
+      }
+    }
+
+    const auto jobs = build_matrix(options);
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = run_sweep(jobs, options.threads);
+    const auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start);
+
+    print_report(std::cout, jobs, results, options.csv);
+    std::cout << "\n" << jobs.size() << " run(s) in " << elapsed.count()
+              << " s\n";
+
+    if (!json_tmp.empty()) {
+      write_json(out, jobs, results);
+      out.close();
+      if (out.fail() ||
+          std::rename(json_tmp.c_str(), options.json_path.c_str()) != 0) {
+        std::cerr << "comet_sim: error writing '" << options.json_path
+                  << "' (disk full?)\n";
+        std::remove(json_tmp.c_str());
+        return 1;
+      }
+      std::cout << "wrote " << options.json_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "comet_sim: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "driver/options.hpp"
+
+#include <climits>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+#include "driver/registry.hpp"
+#include "memsim/trace_gen.hpp"
+
+namespace comet::driver {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value,
+                        std::uint64_t max = UINT64_MAX) {
+  std::uint64_t parsed = 0;
+  try {
+    // Digits only: stoull would skip whitespace and accept '-'/'+' signs
+    // (wrapping negatives to huge values), so screen the characters first.
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument(value);
+    }
+    parsed = std::stoull(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + " expects a non-negative integer, got '" +
+                                value + "'");
+  }
+  if (parsed > max) {
+    throw std::invalid_argument(flag + " value " + value +
+                                " exceeds the maximum of " +
+                                std::to_string(max));
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Options parse_args(const std::vector<std::string>& args) {
+  Options opt;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--help" || flag == "-h") {
+      opt.help = true;
+      return opt;
+    }
+    if (flag == "--csv") {
+      opt.csv = true;
+      continue;
+    }
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument(flag + " requires a value");
+      }
+      return args[++i];
+    };
+    if (flag == "--device") {
+      opt.device = next();
+    } else if (flag == "--workload") {
+      opt.workload = next();
+    } else if (flag == "--channels") {
+      opt.channels = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+      if (opt.channels <= 0) {
+        throw std::invalid_argument("--channels must be >= 1");
+      }
+    } else if (flag == "--requests") {
+      opt.requests =
+          static_cast<std::size_t>(parse_u64(flag, next(), SIZE_MAX));
+      if (opt.requests == 0) {
+        throw std::invalid_argument("--requests must be >= 1");
+      }
+    } else if (flag == "--threads") {
+      opt.threads = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+    } else if (flag == "--seed") {
+      opt.seed = parse_u64(flag, next());
+    } else if (flag == "--line-bytes") {
+      opt.line_bytes =
+          static_cast<std::uint32_t>(parse_u64(flag, next(), UINT32_MAX));
+      if (opt.line_bytes == 0) {
+        throw std::invalid_argument("--line-bytes must be >= 1");
+      }
+    } else if (flag == "--json") {
+      opt.json_path = next();
+      if (opt.json_path.empty()) {
+        throw std::invalid_argument("--json requires a non-empty path");
+      }
+    } else {
+      throw std::invalid_argument("unknown flag '" + flag +
+                                  "' (see --help)");
+    }
+  }
+
+  // Validate names eagerly so a typo fails before any simulation runs.
+  if (opt.device != "all") (void)make_device(opt.device);
+  if (opt.workload != "all") (void)memsim::profile_by_name(opt.workload);
+  return opt;
+}
+
+std::string usage() {
+  std::ostringstream os;
+  os << "comet_sim — trace-driven sweep driver for the COMET memory study\n"
+     << "\n"
+     << "Usage: comet_sim [options]\n"
+     << "  --device <name|all>    architecture to simulate (default: all)\n"
+     << "                         one of: all";
+  for (const auto& name : known_devices()) os << ", " << name;
+  os << "\n"
+     << "  --workload <name|all>  SPEC-like profile (default: all)\n"
+     << "                         one of: all";
+  for (const auto& profile : memsim::spec_like_profiles()) {
+    os << ", " << profile.name;
+  }
+  os << "\n"
+     << "  --channels N           override the device channel count\n"
+     << "  --requests N           requests per run (default: 20000)\n"
+     << "  --threads N            sweep worker threads (default: hardware)\n"
+     << "  --seed N               trace RNG seed (default: 42)\n"
+     << "  --line-bytes N         request line size (default: 128)\n"
+     << "  --json <path>          also write machine-readable JSON\n"
+     << "  --csv                  print CSV instead of aligned tables\n"
+     << "  --help                 this text\n";
+  return os.str();
+}
+
+}  // namespace comet::driver

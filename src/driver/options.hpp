@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// comet_sim command-line parsing, separated from main() so the parser is
+/// unit-testable (tests/test_driver.cpp) and reusable from scripts.
+namespace comet::driver {
+
+struct Options {
+  std::string device = "all";    ///< Token or `all` (see registry.hpp).
+  std::string workload = "all";  ///< Profile name or `all`.
+  int channels = 0;              ///< 0 keeps each device's paper topology.
+  std::size_t requests = 20000;  ///< Requests per (device, workload) run.
+  int threads = 0;               ///< Sweep workers; 0 = hardware threads.
+  std::uint64_t seed = 42;       ///< Trace-generator seed.
+  std::uint32_t line_bytes = 128;
+  std::string json_path;         ///< Non-empty: write machine-readable JSON.
+  bool csv = false;              ///< Emit CSV instead of aligned tables.
+  bool help = false;             ///< --help was requested.
+};
+
+/// Parses argv-style arguments (excluding argv[0]). Throws
+/// std::invalid_argument on unknown flags, missing values, malformed
+/// numbers, or unknown `--device` / `--workload` names (validated against
+/// the registry and the SPEC-like profile set at parse time).
+Options parse_args(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string usage();
+
+}  // namespace comet::driver

@@ -1,0 +1,57 @@
+#include "driver/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/comet_config.hpp"
+#include "core/comet_memory.hpp"
+#include "cosmos/cosmos_config.hpp"
+#include "cosmos/cosmos_memory.hpp"
+#include "dram/dram_device.hpp"
+#include "dram/epcm.hpp"
+#include "photonics/losses.hpp"
+
+namespace comet::driver {
+
+std::vector<std::string> known_devices() {
+  return {"ddr3", "ddr3_3d", "ddr4", "ddr4_3d", "hbm",
+          "epcm", "cosmos", "comet"};
+}
+
+memsim::DeviceModel make_device(const std::string& token) {
+  if (token == "ddr3") return dram::ddr3_2d();
+  if (token == "ddr3_3d") return dram::ddr3_3d();
+  if (token == "ddr4") return dram::ddr4_2d();
+  // The 3D-stacked DDR4 baseline is the HBM-class part (see
+  // dram/dram_device.hpp); `hbm` is an alias users expect.
+  if (token == "ddr4_3d" || token == "hbm") return dram::ddr4_3d();
+  if (token == "epcm") return dram::epcm_mm();
+  if (token == "cosmos") {
+    return cosmos::cosmos_device_model(cosmos::CosmosConfig::paper(),
+                                       photonics::LossParameters::paper());
+  }
+  if (token == "comet") {
+    return core::CometMemory::device_model(core::CometConfig::comet_4b(),
+                                           photonics::LossParameters::paper());
+  }
+  std::ostringstream msg;
+  msg << "unknown device '" << token << "'; expected one of: all";
+  for (const auto& name : known_devices()) msg << ", " << name;
+  throw std::invalid_argument(msg.str());
+}
+
+std::vector<memsim::DeviceModel> resolve_devices(const std::string& spec) {
+  std::vector<memsim::DeviceModel> models;
+  if (spec == "all") {
+    // `hbm` is an alias for ddr4_3d; skip it so `all` has no duplicates.
+    for (const auto& token : known_devices()) {
+      if (token == "hbm") continue;
+      models.push_back(make_device(token));
+    }
+  } else {
+    models.push_back(make_device(spec));
+  }
+  return models;
+}
+
+}  // namespace comet::driver

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "memsim/device.hpp"
+
+/// CLI-token → DeviceModel registry for the comet_sim driver.
+///
+/// Tokens are the architecture names users type on the command line
+/// (`--device comet`); each resolves to the paper-configured DeviceModel
+/// factory from the dram/cosmos/core layers. `all` expands to the seven
+/// Fig. 9 architectures in the paper's presentation order.
+namespace comet::driver {
+
+/// Canonical device tokens accepted by `--device`, in expansion order of
+/// `all`: ddr3, ddr3_3d, ddr4, ddr4_3d (alias: hbm), epcm, cosmos, comet.
+std::vector<std::string> known_devices();
+
+/// Builds the paper-configured model for one token; throws
+/// std::invalid_argument naming the token and the valid set otherwise.
+memsim::DeviceModel make_device(const std::string& token);
+
+/// Expands a `--device` argument: `all` → every known device, otherwise
+/// the single named one. Throws std::invalid_argument on unknown tokens.
+std::vector<memsim::DeviceModel> resolve_devices(const std::string& spec);
+
+}  // namespace comet::driver

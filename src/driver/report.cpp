@@ -1,0 +1,124 @@
+#include "driver/report.hpp"
+
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace comet::driver {
+
+namespace {
+
+/// Shortest decimal form that round-trips a double (JSON-safe).
+std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof candidate, "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == v) return candidate;
+  }
+  return buf;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
+                  const std::vector<memsim::SimStats>& results, bool csv) {
+  if (jobs.size() != results.size()) {
+    throw std::invalid_argument("jobs/results size mismatch");
+  }
+  using util::Table;
+
+  Table per_run({"device", "workload", "BW (GB/s)", "EPB (pJ/bit)",
+                 "read lat (ns)", "write lat (ns)", "queue (ns)"});
+  struct Agg {
+    double bw = 0.0, epb = 0.0, latency = 0.0;
+    int n = 0;
+  };
+  std::map<std::string, Agg> per_device;
+  std::vector<std::string> device_order;
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& stats = results[i];
+    per_run.add_row({jobs[i].device.name, jobs[i].profile.name,
+                     Table::num(stats.bandwidth_gbps(), 2),
+                     Table::num(stats.epb_pj_per_bit(), 2),
+                     Table::num(stats.read_latency_ns.mean(), 1),
+                     Table::num(stats.write_latency_ns.mean(), 1),
+                     Table::num(stats.queue_delay_ns.mean(), 1)});
+    if (per_device.find(jobs[i].device.name) == per_device.end()) {
+      device_order.push_back(jobs[i].device.name);
+    }
+    auto& agg = per_device[jobs[i].device.name];
+    agg.bw += stats.bandwidth_gbps();
+    agg.epb += stats.epb_pj_per_bit();
+    agg.latency += stats.avg_latency_ns();
+    ++agg.n;
+  }
+
+  os << "=== Per-run results ===\n";
+  if (csv) per_run.print_csv(os); else per_run.print(os);
+
+  Table summary({"device", "avg BW (GB/s)", "avg EPB (pJ/bit)", "BW/EPB",
+                 "avg latency (ns)"});
+  for (const auto& name : device_order) {
+    const auto& agg = per_device.at(name);
+    const double bw = agg.bw / agg.n;
+    const double epb = agg.epb / agg.n;
+    summary.add_row({name, Table::num(bw, 2), Table::num(epb, 2),
+                     Table::num(epb > 0 ? bw / epb : 0.0, 3),
+                     Table::num(agg.latency / agg.n, 1)});
+  }
+  os << "\n=== Per-device averages over workloads ===\n";
+  if (csv) summary.print_csv(os); else summary.print(os);
+}
+
+void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
+                const std::vector<memsim::SimStats>& results) {
+  if (jobs.size() != results.size()) {
+    throw std::invalid_argument("jobs/results size mismatch");
+  }
+  os << "{\n  \"bench\": \"comet_sim_sweep\",\n  \"results\": [";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& job = jobs[i];
+    const auto& stats = results[i];
+    os << (i ? ",\n" : "\n") << "    {"
+       << "\"device\": " << json_str(job.device.name)
+       << ", \"workload\": " << json_str(job.profile.name)
+       << ", \"channels\": " << job.device.timing.channels
+       << ", \"requests\": " << job.requests
+       << ", \"seed\": " << job.seed
+       << ", \"line_bytes\": " << job.line_bytes
+       << ", \"reads\": " << stats.reads
+       << ", \"writes\": " << stats.writes
+       << ", \"span_ps\": " << stats.span_ps
+       << ", \"avg_read_latency_ns\": " << json_num(stats.read_latency_ns.mean())
+       << ", \"avg_write_latency_ns\": "
+       << json_num(stats.write_latency_ns.mean())
+       << ", \"avg_queue_delay_ns\": " << json_num(stats.queue_delay_ns.mean())
+       << ", \"bandwidth_gbps\": " << json_num(stats.bandwidth_gbps())
+       << ", \"energy_pj_per_bit\": " << json_num(stats.epb_pj_per_bit())
+       << ", \"dynamic_energy_pj\": " << json_num(stats.dynamic_energy_pj)
+       << ", \"background_energy_pj\": " << json_num(stats.background_energy_pj)
+       << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace comet::driver

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "driver/sweep.hpp"
+#include "memsim/stats.hpp"
+
+/// Human tables and machine-readable JSON for comet_sim sweep results.
+namespace comet::driver {
+
+/// Per-run table (one row per device × workload) followed by a per-device
+/// summary averaged over workloads — the Fig. 9 presentation. `csv`
+/// switches both tables to CSV.
+void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
+                  const std::vector<memsim::SimStats>& results, bool csv);
+
+/// BENCH_fig9.json-style record: `{"bench": "comet_sim_sweep",
+/// "results": [{device, workload, channels, requests, seed,
+/// avg_read_latency_ns, ..., bandwidth_gbps, energy_pj_per_bit}, ...]}`.
+/// Numbers are emitted with round-trip precision.
+void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
+                const std::vector<memsim::SimStats>& results);
+
+}  // namespace comet::driver

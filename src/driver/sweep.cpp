@@ -1,0 +1,96 @@
+#include "driver/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "driver/registry.hpp"
+#include "memsim/system.hpp"
+
+namespace comet::driver {
+
+std::vector<SweepJob> build_matrix(const Options& options) {
+  auto devices = resolve_devices(options.device);
+  std::vector<memsim::WorkloadProfile> profiles;
+  if (options.workload == "all") {
+    profiles = memsim::spec_like_profiles();
+  } else {
+    profiles.push_back(memsim::profile_by_name(options.workload));
+  }
+
+  std::vector<SweepJob> jobs;
+  jobs.reserve(devices.size() * profiles.size());
+  for (auto& device : devices) {
+    if (options.channels > 0) {
+      device.timing.channels = options.channels;
+      device.validate();
+    }
+    for (const auto& profile : profiles) {
+      SweepJob job;
+      job.device = device;
+      job.profile = profile;
+      job.requests = options.requests;
+      job.seed = options.seed;
+      job.line_bytes = options.line_bytes;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+memsim::SimStats run_job(const SweepJob& job) {
+  const memsim::TraceGenerator gen(job.profile, job.seed);
+  const auto trace = gen.generate(job.requests, job.line_bytes);
+  const memsim::MemorySystem system(job.device);
+  return system.run(trace, job.profile.name);
+}
+
+std::vector<memsim::SimStats> run_sweep(const std::vector<SweepJob>& jobs,
+                                        int threads) {
+  std::vector<memsim::SimStats> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  if (threads > static_cast<int>(jobs.size())) {
+    threads = static_cast<int>(jobs.size());
+  }
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_job(jobs[i]);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      try {
+        results[i] = run_job(jobs[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the queue so peers stop picking up new work.
+        next.store(jobs.size(), std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace comet::driver

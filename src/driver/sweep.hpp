@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/options.hpp"
+#include "memsim/device.hpp"
+#include "memsim/stats.hpp"
+#include "memsim/trace_gen.hpp"
+
+/// Parallel sweep engine: fans the device × workload matrix out across a
+/// thread pool. Each job is fully independent — the trace is synthesised
+/// inside the worker from (profile, seed) and `MemorySystem::run` is
+/// const — so results are bit-identical for any thread count, and the
+/// Fig. 9 matrix parallelises with near-linear speedup.
+namespace comet::driver {
+
+/// One (device, workload) cell of the sweep matrix.
+struct SweepJob {
+  memsim::DeviceModel device;
+  memsim::WorkloadProfile profile;
+  std::size_t requests = 20000;
+  std::uint64_t seed = 42;
+  std::uint32_t line_bytes = 128;
+};
+
+/// Expands Options into the job matrix (devices × workloads, in registry
+/// and profile order). Applies the --channels override, re-validating the
+/// adjusted model. Throws std::invalid_argument on unknown names.
+std::vector<SweepJob> build_matrix(const Options& options);
+
+/// Runs one job serially (the reference path the tests compare against).
+memsim::SimStats run_job(const SweepJob& job);
+
+/// Runs every job across `threads` workers (0 → hardware concurrency,
+/// clamped to the job count; 1 → fully serial in the calling thread).
+/// Results are indexed like `jobs` regardless of execution order. A
+/// throwing job aborts the sweep and rethrows on the calling thread.
+std::vector<memsim::SimStats> run_sweep(const std::vector<SweepJob>& jobs,
+                                        int threads);
+
+}  // namespace comet::driver

@@ -43,9 +43,19 @@ double Rng::next_double() {
 
 std::uint64_t Rng::next_below(std::uint64_t bound) {
   // Lemire's nearly-divisionless bounded sampling, biased < 2^-64.
-  const unsigned __int128 m =
-      static_cast<unsigned __int128>(next_u64()) * bound;
-  return static_cast<std::uint64_t>(m >> 64);
+#ifdef __SIZEOF_INT128__
+  __extension__ typedef unsigned __int128 u128;
+  return static_cast<std::uint64_t>((static_cast<u128>(next_u64()) * bound) >>
+                                    64);
+#else
+  // Portable 64x64 -> high-64 multiply; identical result to the u128 path.
+  const std::uint64_t x = next_u64();
+  const std::uint64_t x_lo = x & 0xffffffffULL, x_hi = x >> 32;
+  const std::uint64_t b_lo = bound & 0xffffffffULL, b_hi = bound >> 32;
+  const std::uint64_t mid = x_hi * b_lo + ((x_lo * b_lo) >> 32);
+  const std::uint64_t mid2 = x_lo * b_hi + (mid & 0xffffffffULL);
+  return x_hi * b_hi + (mid >> 32) + (mid2 >> 32);
+#endif
 }
 
 std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {

@@ -1,0 +1,185 @@
+// Driver subsystem tests: CLI parsing (including rejection of unknown
+// devices/workloads), registry expansion, sweep determinism across thread
+// counts, and the JSON emission shape.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "driver/options.hpp"
+#include "driver/registry.hpp"
+#include "driver/report.hpp"
+#include "driver/sweep.hpp"
+
+namespace {
+
+using comet::driver::build_matrix;
+using comet::driver::Options;
+using comet::driver::parse_args;
+using comet::driver::resolve_devices;
+using comet::driver::run_sweep;
+
+TEST(OptionsTest, DefaultsAreAllDevicesAllWorkloads) {
+  const Options opt = parse_args({});
+  EXPECT_EQ(opt.device, "all");
+  EXPECT_EQ(opt.workload, "all");
+  EXPECT_EQ(opt.channels, 0);
+  EXPECT_FALSE(opt.help);
+}
+
+TEST(OptionsTest, ParsesEveryFlag) {
+  const Options opt =
+      parse_args({"--device", "comet", "--workload", "lbm_like",
+                  "--channels", "4", "--requests", "1000", "--threads", "3",
+                  "--seed", "7", "--line-bytes", "64", "--json", "out.json",
+                  "--csv"});
+  EXPECT_EQ(opt.device, "comet");
+  EXPECT_EQ(opt.workload, "lbm_like");
+  EXPECT_EQ(opt.channels, 4);
+  EXPECT_EQ(opt.requests, 1000u);
+  EXPECT_EQ(opt.threads, 3);
+  EXPECT_EQ(opt.seed, 7u);
+  EXPECT_EQ(opt.line_bytes, 64u);
+  EXPECT_EQ(opt.json_path, "out.json");
+  EXPECT_TRUE(opt.csv);
+}
+
+TEST(OptionsTest, RejectsUnknownDevice) {
+  EXPECT_THROW(parse_args({"--device", "sram"}), std::invalid_argument);
+}
+
+TEST(OptionsTest, RejectsUnknownWorkload) {
+  EXPECT_THROW(parse_args({"--workload", "no_such_profile"}),
+               std::invalid_argument);
+}
+
+TEST(OptionsTest, RejectsUnknownFlagAndBadValues) {
+  EXPECT_THROW(parse_args({"--bogus"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--requests"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--requests", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--requests", "12abc"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--channels", "-2"}), std::invalid_argument);
+  // stoull-style leniency must not leak through: no signs, no whitespace.
+  EXPECT_THROW(parse_args({"--requests", " -1"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--requests", "+5"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--requests", " 5"}), std::invalid_argument);
+  // Values that would wrap when narrowed must be rejected, not truncated.
+  EXPECT_THROW(parse_args({"--channels", "4294967297"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--threads", "4294967296"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--line-bytes", "4294967424"}),
+               std::invalid_argument);
+}
+
+TEST(OptionsTest, HelpShortCircuits) {
+  const Options opt = parse_args({"--help", "--device", "sram"});
+  EXPECT_TRUE(opt.help);
+}
+
+TEST(RegistryTest, AllExpandsToSevenUniqueModels) {
+  const auto models = resolve_devices("all");
+  EXPECT_EQ(models.size(), 7u);
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    for (std::size_t j = i + 1; j < models.size(); ++j) {
+      EXPECT_NE(models[i].name, models[j].name);
+    }
+  }
+}
+
+TEST(RegistryTest, HbmAliasesTheStackedDdr4Part) {
+  EXPECT_EQ(comet::driver::make_device("hbm").name,
+            comet::driver::make_device("ddr4_3d").name);
+}
+
+TEST(RegistryTest, UnknownTokenThrows) {
+  EXPECT_THROW(resolve_devices("optane"), std::invalid_argument);
+}
+
+TEST(SweepTest, MatrixIsDevicesTimesWorkloads) {
+  Options opt;
+  const auto jobs = build_matrix(opt);
+  EXPECT_EQ(jobs.size(), 7u * 8u);
+}
+
+TEST(SweepTest, ChannelOverrideAppliesToEveryDevice) {
+  Options opt = parse_args({"--device", "comet", "--channels", "2"});
+  const auto jobs = build_matrix(opt);
+  ASSERT_FALSE(jobs.empty());
+  for (const auto& job : jobs) EXPECT_EQ(job.device.timing.channels, 2);
+}
+
+// Acceptance criterion: the threaded sweep must be bit-identical to the
+// serial path for a fixed seed. Compare every stats field exactly.
+TEST(SweepTest, ThreadedMatchesSerialBitExactly) {
+  Options opt = parse_args({"--requests", "2000"});
+  const auto jobs = build_matrix(opt);
+  const auto serial = run_sweep(jobs, 1);
+  const auto threaded = run_sweep(jobs, 4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& a = serial[i];
+    const auto& b = threaded[i];
+    EXPECT_EQ(a.device_name, b.device_name) << i;
+    EXPECT_EQ(a.workload_name, b.workload_name) << i;
+    EXPECT_EQ(a.reads, b.reads) << i;
+    EXPECT_EQ(a.writes, b.writes) << i;
+    EXPECT_EQ(a.bytes_transferred, b.bytes_transferred) << i;
+    EXPECT_EQ(a.span_ps, b.span_ps) << i;
+    EXPECT_EQ(a.read_latency_ns.mean(), b.read_latency_ns.mean()) << i;
+    EXPECT_EQ(a.read_latency_ns.max(), b.read_latency_ns.max()) << i;
+    EXPECT_EQ(a.write_latency_ns.mean(), b.write_latency_ns.mean()) << i;
+    EXPECT_EQ(a.queue_delay_ns.mean(), b.queue_delay_ns.mean()) << i;
+    EXPECT_EQ(a.dynamic_energy_pj, b.dynamic_energy_pj) << i;
+    EXPECT_EQ(a.background_energy_pj, b.background_energy_pj) << i;
+    EXPECT_EQ(a.total_bank_busy_ns, b.total_bank_busy_ns) << i;
+  }
+}
+
+TEST(SweepTest, RepeatedRunsAreDeterministic) {
+  Options opt = parse_args({"--device", "comet", "--workload", "all",
+                            "--requests", "1500"});
+  const auto jobs = build_matrix(opt);
+  const auto first = run_sweep(jobs, 2);
+  const auto second = run_sweep(jobs, 3);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].span_ps, second[i].span_ps);
+    EXPECT_EQ(first[i].dynamic_energy_pj, second[i].dynamic_energy_pj);
+  }
+}
+
+TEST(ReportTest, JsonContainsOneRecordPerRunWithRequiredFields) {
+  Options opt = parse_args({"--device", "comet", "--requests", "500"});
+  const auto jobs = build_matrix(opt);
+  const auto results = run_sweep(jobs, 1);
+  std::ostringstream os;
+  comet::driver::write_json(os, jobs, results);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"bench\": \"comet_sim_sweep\""), std::string::npos);
+  for (const char* field :
+       {"\"device\"", "\"workload\"", "\"avg_read_latency_ns\"",
+        "\"bandwidth_gbps\"", "\"energy_pj_per_bit\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  std::size_t records = 0;
+  for (std::size_t pos = json.find("\"device\""); pos != std::string::npos;
+       pos = json.find("\"device\"", pos + 1)) {
+    ++records;
+  }
+  EXPECT_EQ(records, jobs.size());
+}
+
+TEST(ReportTest, TableReportCoversEveryDevice) {
+  Options opt = parse_args({"--workload", "lbm_like", "--requests", "500"});
+  const auto jobs = build_matrix(opt);
+  const auto results = run_sweep(jobs, 1);
+  std::ostringstream os;
+  comet::driver::print_report(os, jobs, results, /*csv=*/false);
+  for (const auto& job : jobs) {
+    EXPECT_NE(os.str().find(job.device.name), std::string::npos)
+        << job.device.name;
+  }
+}
+
+}  // namespace
