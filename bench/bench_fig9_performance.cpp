@@ -40,7 +40,7 @@ struct ArchResult {
 int main() {
   using comet::util::Table;
 
-  const auto devices = comet::driver::resolve_devices("all");
+  const auto devices = comet::driver::resolve_device_specs("all");
   const auto profiles = comet::memsim::spec_like_profiles();
 
   // Two jobs per (profile, device) cell: a saturating open-loop replay

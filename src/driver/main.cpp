@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "driver/options.hpp"
+#include "driver/registry.hpp"
 #include "driver/report.hpp"
 #include "driver/sweep.hpp"
+#include "memsim/trace_gen.hpp"
 
 int main(int argc, char** argv) {
   using namespace comet::driver;
@@ -22,6 +24,17 @@ int main(int argc, char** argv) {
   }
   if (options.help) {
     std::cout << usage();
+    return 0;
+  }
+  if (options.list_devices) {
+    for (const auto& name : known_devices()) std::cout << name << "\n";
+    for (const auto& name : known_hybrid_devices()) std::cout << name << "\n";
+    return 0;
+  }
+  if (options.list_workloads) {
+    for (const auto& profile : comet::memsim::spec_like_profiles()) {
+      std::cout << profile.name << "\n";
+    }
     return 0;
   }
 

@@ -49,6 +49,14 @@ Options parse_args(const std::vector<std::string>& args) {
       opt.csv = true;
       continue;
     }
+    if (flag == "--list-devices") {
+      opt.list_devices = true;
+      continue;
+    }
+    if (flag == "--list-workloads") {
+      opt.list_workloads = true;
+      continue;
+    }
     const auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) {
         throw std::invalid_argument(flag + " requires a value");
@@ -80,6 +88,20 @@ Options parse_args(const std::vector<std::string>& args) {
       if (opt.line_bytes == 0) {
         throw std::invalid_argument("--line-bytes must be >= 1");
       }
+    } else if (flag == "--cache-mb") {
+      // Bounded so the capacity in bytes fits comfortably in 64 bits.
+      opt.cache_mb = parse_u64(flag, next(), 1ull << 30);
+      if (opt.cache_mb == 0) {
+        throw std::invalid_argument("--cache-mb must be >= 1");
+      }
+    } else if (flag == "--cache-ways") {
+      opt.cache_ways = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+      if (opt.cache_ways == 0) {
+        throw std::invalid_argument("--cache-ways must be >= 1");
+      }
+    } else if (flag == "--cache-policy") {
+      opt.cache_policy = next();
+      (void)parse_cache_policy(opt.cache_policy);
     } else if (flag == "--json") {
       opt.json_path = next();
       if (opt.json_path.empty()) {
@@ -91,8 +113,15 @@ Options parse_args(const std::vector<std::string>& args) {
     }
   }
 
-  // Validate names eagerly so a typo fails before any simulation runs.
-  if (opt.device != "all") (void)make_device(opt.device);
+  // Validate names (and hybrid cache overrides) eagerly so a typo or an
+  // inconsistent cache geometry fails before any simulation runs. `all`
+  // is flat-only, so cache overrides cannot invalidate it.
+  if (opt.device != "all") {
+    (void)resolve_device_specs(opt.device,
+                               HybridOverrides{.cache_mb = opt.cache_mb,
+                                               .cache_ways = opt.cache_ways,
+                                               .cache_policy = opt.cache_policy});
+  }
   if (opt.workload != "all") (void)memsim::profile_by_name(opt.workload);
   return opt;
 }
@@ -105,6 +134,8 @@ std::string usage() {
      << "  --device <name|all>    architecture to simulate (default: all)\n"
      << "                         one of: all";
   for (const auto& name : known_devices()) os << ", " << name;
+  os << ",\n                         hybrid-all";
+  for (const auto& name : known_hybrid_devices()) os << ", " << name;
   os << "\n"
      << "  --workload <name|all>  SPEC-like profile (default: all)\n"
      << "                         one of: all";
@@ -117,8 +148,14 @@ std::string usage() {
      << "  --threads N            sweep worker threads (default: hardware)\n"
      << "  --seed N               trace RNG seed (default: 42)\n"
      << "  --line-bytes N         request line size (default: 128)\n"
+     << "  --cache-mb N           hybrid devices: DRAM cache capacity [MiB]\n"
+     << "  --cache-ways N         hybrid devices: cache associativity\n"
+     << "  --cache-policy <p>     hybrid devices: write-allocate (default)\n"
+     << "                         or write-no-allocate\n"
      << "  --json <path>          also write machine-readable JSON\n"
      << "  --csv                  print CSV instead of aligned tables\n"
+     << "  --list-devices         print every device token and exit\n"
+     << "  --list-workloads       print every workload name and exit\n"
      << "  --help                 this text\n";
   return os.str();
 }

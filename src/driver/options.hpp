@@ -19,6 +19,14 @@ struct Options {
   std::string json_path;         ///< Non-empty: write machine-readable JSON.
   bool csv = false;              ///< Emit CSV instead of aligned tables.
   bool help = false;             ///< --help was requested.
+  bool list_devices = false;     ///< Print device tokens and exit 0.
+  bool list_workloads = false;   ///< Print workload names and exit 0.
+
+  // --- Hybrid DRAM-cache overrides (apply to hybrid-* devices only;
+  // --- zero / empty keeps each variant's default).
+  std::uint64_t cache_mb = 0;    ///< Cache tier capacity [MiB].
+  int cache_ways = 0;            ///< Cache associativity.
+  std::string cache_policy;      ///< write-allocate | write-no-allocate.
 };
 
 /// Parses argv-style arguments (excluding argv[0]). Throws

@@ -13,12 +13,38 @@
 
 namespace comet::driver {
 
-std::vector<std::string> known_devices() {
-  return {"ddr3", "ddr3_3d", "ddr4", "ddr4_3d", "hbm",
-          "epcm", "cosmos", "comet"};
+namespace {
+
+/// Backend token and default cache capacity for each hybrid variant.
+struct HybridVariant {
+  const char* token;
+  const char* backend;
+  std::uint64_t cache_mb;
+};
+
+constexpr HybridVariant kHybridVariants[] = {
+    {"hybrid-comet", "comet", 64},
+    {"hybrid-comet-small", "comet", 16},
+    {"hybrid-comet-large", "comet", 256},
+    {"hybrid-epcm", "epcm", 64},
+    {"hybrid-cosmos", "cosmos", 64},
+};
+
+std::invalid_argument unknown_token(const std::string& token,
+                                    bool include_hybrid) {
+  std::ostringstream msg;
+  msg << "unknown device '" << token << "'; expected one of: all";
+  for (const auto& name : known_devices()) msg << ", " << name;
+  if (include_hybrid) {
+    msg << ", hybrid-all";
+    for (const auto& name : known_hybrid_devices()) msg << ", " << name;
+  }
+  return std::invalid_argument(msg.str());
 }
 
-memsim::DeviceModel make_device(const std::string& token) {
+/// The flat factories, or nullopt for anything else (including hybrid
+/// tokens) so each caller can raise the error naming its own valid set.
+std::optional<memsim::DeviceModel> try_make_device(const std::string& token) {
   if (token == "ddr3") return dram::ddr3_2d();
   if (token == "ddr3_3d") return dram::ddr3_3d();
   if (token == "ddr4") return dram::ddr4_2d();
@@ -34,16 +60,88 @@ memsim::DeviceModel make_device(const std::string& token) {
     return core::CometMemory::device_model(core::CometConfig::comet_4b(),
                                            photonics::LossParameters::paper());
   }
-  std::ostringstream msg;
-  msg << "unknown device '" << token << "'; expected one of: all";
-  for (const auto& name : known_devices()) msg << ", " << name;
-  throw std::invalid_argument(msg.str());
+  return std::nullopt;
+}
+
+}  // namespace
+
+DeviceSpec::DeviceSpec(memsim::DeviceModel model)
+    : name(model.name), flat(std::move(model)) {}
+
+DeviceSpec::DeviceSpec(hybrid::TieredConfig config)
+    : name(config.name), tiered(std::move(config)) {}
+
+int DeviceSpec::channels() const {
+  // .value() so a default-constructed (never-assigned) spec throws
+  // std::bad_optional_access instead of silently reading garbage.
+  return is_hybrid() ? tiered->backend.timing.channels
+                     : flat.value().timing.channels;
+}
+
+std::vector<std::string> known_devices() {
+  return {"ddr3", "ddr3_3d", "ddr4", "ddr4_3d", "hbm",
+          "epcm", "cosmos", "comet"};
+}
+
+std::vector<std::string> known_hybrid_devices() {
+  std::vector<std::string> tokens;
+  for (const auto& variant : kHybridVariants) tokens.push_back(variant.token);
+  return tokens;
+}
+
+memsim::DeviceModel make_device(const std::string& token) {
+  if (auto model = try_make_device(token)) return *std::move(model);
+  throw unknown_token(token, /*include_hybrid=*/false);
+}
+
+bool parse_cache_policy(const std::string& policy) {
+  if (policy == "write-allocate") return true;
+  if (policy == "write-no-allocate") return false;
+  throw std::invalid_argument("unknown cache policy '" + policy +
+                              "'; expected write-allocate or "
+                              "write-no-allocate");
+}
+
+DeviceSpec make_device_spec(const std::string& token,
+                            const HybridOverrides& overrides) {
+  for (const auto& variant : kHybridVariants) {
+    if (token != variant.token) continue;
+    hybrid::DramCacheConfig cache;
+    cache.capacity_bytes =
+        (overrides.cache_mb ? overrides.cache_mb : variant.cache_mb) << 20;
+    if (overrides.cache_ways) cache.ways = overrides.cache_ways;
+    if (!overrides.cache_policy.empty()) {
+      cache.write_allocate = parse_cache_policy(overrides.cache_policy);
+    }
+    return DeviceSpec(hybrid::make_tiered_config(
+        token, make_device(variant.backend), cache));
+  }
+  if (auto model = try_make_device(token)) {
+    return DeviceSpec(*std::move(model));
+  }
+  throw unknown_token(token, /*include_hybrid=*/true);
+}
+
+std::vector<DeviceSpec> resolve_device_specs(const std::string& spec,
+                                             const HybridOverrides& overrides) {
+  std::vector<DeviceSpec> specs;
+  if (spec == "all") {
+    for (auto& model : resolve_devices(spec)) {
+      specs.push_back(DeviceSpec(std::move(model)));
+    }
+  } else if (spec == "hybrid-all") {
+    for (const auto& token : known_hybrid_devices()) {
+      specs.push_back(make_device_spec(token, overrides));
+    }
+  } else {
+    specs.push_back(make_device_spec(spec, overrides));
+  }
+  return specs;
 }
 
 std::vector<memsim::DeviceModel> resolve_devices(const std::string& spec) {
   std::vector<memsim::DeviceModel> models;
   if (spec == "all") {
-    // `hbm` is an alias for ddr4_3d; skip it so `all` has no duplicates.
     for (const auto& token : known_devices()) {
       if (token == "hbm") continue;
       models.push_back(make_device(token));

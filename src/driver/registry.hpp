@@ -1,28 +1,84 @@
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "hybrid/tiered_system.hpp"
 #include "memsim/device.hpp"
 
-/// CLI-token → DeviceModel registry for the comet_sim driver.
+/// CLI-token → architecture registry for the comet_sim driver.
 ///
-/// Tokens are the architecture names users type on the command line
-/// (`--device comet`); each resolves to the paper-configured DeviceModel
-/// factory from the dram/cosmos/core layers. `all` expands to the seven
-/// Fig. 9 architectures in the paper's presentation order.
+/// Tokens are the names users type on the command line (`--device
+/// comet`, `--device hybrid-comet`). Flat tokens resolve to the
+/// paper-configured DeviceModel factories from the dram/cosmos/core
+/// layers; `hybrid-*` tokens resolve to a hybrid::TieredConfig (a DRAM
+/// cache tier in front of one of those backends). `all` expands to the
+/// seven Fig. 9 architectures in the paper's presentation order;
+/// `hybrid-all` expands to every hybrid design point.
 namespace comet::driver {
 
-/// Canonical device tokens accepted by `--device`, in expansion order of
-/// `all`: ddr3, ddr3_3d, ddr4, ddr4_3d (alias: hbm), epcm, cosmos, comet.
+/// Canonical flat device tokens accepted by `--device`, in expansion
+/// order of `all`: ddr3, ddr3_3d, ddr4, ddr4_3d (alias: hbm), epcm,
+/// cosmos, comet.
 std::vector<std::string> known_devices();
 
-/// Builds the paper-configured model for one token; throws
-/// std::invalid_argument naming the token and the valid set otherwise.
+/// Hybrid tokens, in expansion order of `hybrid-all`: hybrid-comet and
+/// small/large cache variants, hybrid-epcm, hybrid-cosmos.
+std::vector<std::string> known_hybrid_devices();
+
+/// `--cache-*` CLI overrides applied on top of each hybrid variant's
+/// defaults; zero / empty fields keep the variant's own value. Flat
+/// devices ignore them.
+struct HybridOverrides {
+  std::uint64_t cache_mb = 0;  ///< DRAM tier capacity [MiB].
+  int cache_ways = 0;          ///< Associativity.
+  std::string cache_policy;    ///< "write-allocate" | "write-no-allocate".
+};
+
+/// One resolved `--device` entry: either a flat DeviceModel or a hybrid
+/// TieredConfig, under one display name. Exactly one of the two
+/// optionals is engaged, so reading the wrong one fails loudly.
+struct DeviceSpec {
+  std::string name;
+  std::optional<memsim::DeviceModel> flat;     ///< Engaged for flat tokens.
+  std::optional<hybrid::TieredConfig> tiered;  ///< Engaged for hybrid-*.
+
+  DeviceSpec() = default;
+  explicit DeviceSpec(memsim::DeviceModel model);
+  explicit DeviceSpec(hybrid::TieredConfig config);
+
+  bool is_hybrid() const { return tiered.has_value(); }
+
+  /// Channel count of the (backend) main-memory device.
+  int channels() const;
+};
+
+/// Builds the paper-configured model for one flat token; throws
+/// std::invalid_argument naming the token and the valid flat set
+/// otherwise (hybrid tokens resolve through make_device_spec).
 memsim::DeviceModel make_device(const std::string& token);
 
-/// Expands a `--device` argument: `all` → every known device, otherwise
-/// the single named one. Throws std::invalid_argument on unknown tokens.
+/// Parses a `--cache-policy` value to the write_allocate flag; throws
+/// std::invalid_argument on anything but "write-allocate" /
+/// "write-no-allocate". Single source of truth for the CLI and the
+/// registry.
+bool parse_cache_policy(const std::string& policy);
+
+/// Builds the spec for any token, flat or hybrid, applying the
+/// overrides to hybrid ones. Throws std::invalid_argument on unknown
+/// tokens or invalid override combinations.
+DeviceSpec make_device_spec(const std::string& token,
+                            const HybridOverrides& overrides = {});
+
+/// Expands a `--device` argument: `all` → every flat device,
+/// `hybrid-all` → every hybrid design point, otherwise the single named
+/// one. Throws std::invalid_argument on unknown tokens.
+std::vector<DeviceSpec> resolve_device_specs(
+    const std::string& spec, const HybridOverrides& overrides = {});
+
+/// Flat-only expansion kept for the paper-figure benches: `all` → every
+/// known flat device, otherwise the single named one.
 std::vector<memsim::DeviceModel> resolve_devices(const std::string& spec);
 
 }  // namespace comet::driver

@@ -87,6 +87,24 @@ void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
   }
   os << "\n=== Per-device averages over workloads ===\n";
   if (csv) summary.print_csv(os); else summary.print(os);
+
+  // Hybrid runs get a tier breakdown: the flat columns above stay
+  // comparable across all devices, and the cache behaviour lives here.
+  Table hybrid({"device", "workload", "hit rate", "writebacks",
+                "DRAM tier (pJ)", "backend tier (pJ)"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& stats = results[i];
+    if (!stats.is_hybrid()) continue;
+    hybrid.add_row({jobs[i].device.name, jobs[i].profile.name,
+                    Table::num(stats.hit_rate(), 3),
+                    std::to_string(stats.writebacks),
+                    Table::sci(stats.dram_tier_energy_pj, 3),
+                    Table::sci(stats.backend_tier_energy_pj, 3)});
+  }
+  if (hybrid.rows() > 0) {
+    os << "\n=== Hybrid tier breakdown ===\n";
+    if (csv) hybrid.print_csv(os); else hybrid.print(os);
+  }
 }
 
 void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
@@ -101,7 +119,7 @@ void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
     os << (i ? ",\n" : "\n") << "    {"
        << "\"device\": " << json_str(job.device.name)
        << ", \"workload\": " << json_str(job.profile.name)
-       << ", \"channels\": " << job.device.timing.channels
+       << ", \"channels\": " << job.device.channels()
        << ", \"requests\": " << job.requests
        << ", \"seed\": " << job.seed
        << ", \"line_bytes\": " << job.line_bytes
@@ -116,6 +134,14 @@ void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
        << ", \"energy_pj_per_bit\": " << json_num(stats.epb_pj_per_bit())
        << ", \"dynamic_energy_pj\": " << json_num(stats.dynamic_energy_pj)
        << ", \"background_energy_pj\": " << json_num(stats.background_energy_pj)
+       << ", \"hybrid\": " << (stats.is_hybrid() ? "true" : "false")
+       << ", \"cache_hits\": " << stats.cache_hits
+       << ", \"cache_misses\": " << stats.cache_misses
+       << ", \"hit_rate\": " << json_num(stats.hit_rate())
+       << ", \"writebacks\": " << stats.writebacks
+       << ", \"dram_tier_energy_pj\": " << json_num(stats.dram_tier_energy_pj)
+       << ", \"backend_tier_energy_pj\": "
+       << json_num(stats.backend_tier_energy_pj)
        << "}";
   }
   os << "\n  ]\n}\n";

@@ -11,7 +11,10 @@
 namespace comet::driver {
 
 std::vector<SweepJob> build_matrix(const Options& options) {
-  auto devices = resolve_devices(options.device);
+  const HybridOverrides overrides{.cache_mb = options.cache_mb,
+                                  .cache_ways = options.cache_ways,
+                                  .cache_policy = options.cache_policy};
+  auto devices = resolve_device_specs(options.device, overrides);
   std::vector<memsim::WorkloadProfile> profiles;
   if (options.workload == "all") {
     profiles = memsim::spec_like_profiles();
@@ -23,8 +26,15 @@ std::vector<SweepJob> build_matrix(const Options& options) {
   jobs.reserve(devices.size() * profiles.size());
   for (auto& device : devices) {
     if (options.channels > 0) {
-      device.timing.channels = options.channels;
-      device.validate();
+      // The override targets the main-memory part: for hybrid devices
+      // that is the backend behind the cache tier.
+      if (device.is_hybrid()) {
+        device.tiered->backend.timing.channels = options.channels;
+        device.tiered->validate();
+      } else {
+        device.flat.value().timing.channels = options.channels;
+        device.flat.value().validate();
+      }
     }
     for (const auto& profile : profiles) {
       SweepJob job;
@@ -42,7 +52,11 @@ std::vector<SweepJob> build_matrix(const Options& options) {
 memsim::SimStats run_job(const SweepJob& job) {
   const memsim::TraceGenerator gen(job.profile, job.seed);
   const auto trace = gen.generate(job.requests, job.line_bytes);
-  const memsim::MemorySystem system(job.device);
+  if (job.device.is_hybrid()) {
+    const hybrid::TieredSystem system(job.device.tiered.value());
+    return system.run(trace, job.profile.name);
+  }
+  const memsim::MemorySystem system(job.device.flat.value());
   return system.run(trace, job.profile.name);
 }
 

@@ -5,20 +5,22 @@
 #include <vector>
 
 #include "driver/options.hpp"
-#include "memsim/device.hpp"
+#include "driver/registry.hpp"
 #include "memsim/stats.hpp"
 #include "memsim/trace_gen.hpp"
 
 /// Parallel sweep engine: fans the device × workload matrix out across a
 /// thread pool. Each job is fully independent — the trace is synthesised
-/// inside the worker from (profile, seed) and `MemorySystem::run` is
-/// const — so results are bit-identical for any thread count, and the
-/// Fig. 9 matrix parallelises with near-linear speedup.
+/// inside the worker from (profile, seed) and both replay engines
+/// (`MemorySystem::run`, `hybrid::TieredSystem::run`) are const — so
+/// results are bit-identical for any thread count, and the Fig. 9 matrix
+/// parallelises with near-linear speedup.
 namespace comet::driver {
 
-/// One (device, workload) cell of the sweep matrix.
+/// One (device, workload) cell of the sweep matrix. `device` is either a
+/// flat architecture or a hybrid DRAM-cache + backend design point.
 struct SweepJob {
-  memsim::DeviceModel device;
+  DeviceSpec device;
   memsim::WorkloadProfile profile;
   std::size_t requests = 20000;
   std::uint64_t seed = 42;

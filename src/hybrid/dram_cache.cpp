@@ -1,0 +1,82 @@
+#include "hybrid/dram_cache.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace comet::hybrid {
+
+std::uint64_t DramCacheConfig::sets() const {
+  const std::uint64_t set_bytes =
+      static_cast<std::uint64_t>(line_bytes) * static_cast<std::uint64_t>(ways);
+  return set_bytes ? capacity_bytes / set_bytes : 0;
+}
+
+void DramCacheConfig::validate() const {
+  if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0) {
+    throw std::invalid_argument("DramCacheConfig: line size must be 2^k");
+  }
+  if (ways < 1) {
+    throw std::invalid_argument("DramCacheConfig: ways < 1");
+  }
+  if (capacity_bytes < line_bytes) {
+    std::ostringstream msg;
+    msg << "DramCacheConfig: capacity (" << capacity_bytes
+        << " B) smaller than one line (" << line_bytes << " B)";
+    throw std::invalid_argument(msg.str());
+  }
+  const std::uint64_t set_bytes =
+      static_cast<std::uint64_t>(line_bytes) * static_cast<std::uint64_t>(ways);
+  if (capacity_bytes < set_bytes || capacity_bytes % set_bytes != 0) {
+    throw std::invalid_argument(
+        "DramCacheConfig: capacity must be a positive multiple of "
+        "line_bytes * ways");
+  }
+}
+
+DramCache::DramCache(DramCacheConfig config) : config_(config) {
+  config_.validate();
+  sets_ = config_.sets();
+  lines_.resize(sets_ * static_cast<std::uint64_t>(config_.ways));
+}
+
+DramCache::Access DramCache::access(std::uint64_t address, bool is_write) {
+  ++tick_;
+  const std::uint64_t line_index = address / config_.line_bytes;
+  const std::uint64_t set = line_index % sets_;
+  const std::uint64_t tag = line_index / sets_;
+  Line* const ways = &lines_[set * static_cast<std::uint64_t>(config_.ways)];
+
+  for (int w = 0; w < config_.ways; ++w) {
+    Line& line = ways[w];
+    if (line.valid && line.tag == tag) {
+      line.last_use = tick_;
+      line.dirty = line.dirty || is_write;
+      return Access{.hit = true};
+    }
+  }
+
+  Access result;
+  if (is_write && !config_.write_allocate) return result;  // bypass
+
+  // Victim: the first invalid way, otherwise the least-recently used.
+  Line* victim = &ways[0];
+  for (int w = 1; w < config_.ways && victim->valid; ++w) {
+    Line& line = ways[w];
+    if (!line.valid || line.last_use < victim->last_use) victim = &line;
+  }
+
+  result.fill = true;
+  if (victim->valid && victim->dirty) {
+    result.writeback = true;
+    result.writeback_address =
+        (victim->tag * sets_ + set) * config_.line_bytes;
+  }
+  victim->tag = tag;
+  victim->valid = true;
+  // A write-allocated line is born dirty; a read fill is clean.
+  victim->dirty = is_write;
+  victim->last_use = tick_;
+  return result;
+}
+
+}  // namespace comet::hybrid

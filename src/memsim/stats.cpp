@@ -27,6 +27,12 @@ double SimStats::bank_utilization(int total_banks) const {
   return total_bank_busy_ns / (span_ns * total_banks);
 }
 
+double SimStats::hit_rate() const {
+  const std::uint64_t accesses = cache_hits + cache_misses;
+  if (accesses == 0) return 0.0;
+  return static_cast<double>(cache_hits) / static_cast<double>(accesses);
+}
+
 double SimStats::bw_per_epb() const {
   const double epb = epb_pj_per_bit();
   if (epb == 0.0) return 0.0;

@@ -28,6 +28,24 @@ struct SimStats {
   /// span x bank count for average bank utilization.
   double total_bank_busy_ns = 0.0;
 
+  // --- Hybrid-tier breakdown, populated only by hybrid::TieredSystem
+  // --- (all zero for flat devices). Counts are per cache-line access;
+  // --- tier energies are dynamic + background of each tier's replay.
+  bool hybrid = false;  ///< A DRAM cache tier filtered this stream.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_fills = 0;
+  std::uint64_t writebacks = 0;
+  double dram_tier_energy_pj = 0.0;
+  double backend_tier_energy_pj = 0.0;
+
+  /// True once a DRAM cache tier has filtered this run's stream (even
+  /// an empty one).
+  bool is_hybrid() const { return hybrid; }
+
+  /// DRAM-tier hit fraction in [0, 1]; 0 when no cache tier was involved.
+  double hit_rate() const;
+
   /// Average bank utilization in [0, 1] given the total bank count.
   double bank_utilization(int total_banks) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <sstream>
 #include <stdexcept>
 
 namespace comet::memsim {
@@ -41,6 +42,18 @@ std::uint64_t avoid_refresh(std::uint64_t t, const DeviceTiming& timing) {
 
 }  // namespace
 
+void require_sorted_by_arrival(const std::vector<Request>& requests) {
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    if (requests[i].arrival_ps < requests[i - 1].arrival_ps) {
+      std::ostringstream msg;
+      msg << "unsorted trace: request at index " << i << " arrives at "
+          << requests[i].arrival_ps << " ps, before the previous request's "
+          << requests[i - 1].arrival_ps << " ps";
+      throw std::invalid_argument(msg.str());
+    }
+  }
+}
+
 MemorySystem::MemorySystem(DeviceModel model) : model_(std::move(model)) {
   model_.validate();
 }
@@ -59,16 +72,12 @@ SimStats MemorySystem::run(const std::vector<Request>& requests,
     ch.banks.resize(static_cast<std::size_t>(t.banks_per_channel));
   }
 
-  std::uint64_t prev_arrival = 0;
+  require_sorted_by_arrival(requests);
+
   std::uint64_t first_arrival = requests.front().arrival_ps;
   std::uint64_t last_completion = 0;
 
   for (const auto& req : requests) {
-    if (req.arrival_ps < prev_arrival) {
-      throw std::invalid_argument("MemorySystem::run: unsorted trace");
-    }
-    prev_arrival = req.arrival_ps;
-
     const std::uint64_t line_index =
         mix_line_index(req.address / t.line_bytes);
     auto& ch = channels[line_index % static_cast<std::uint64_t>(t.channels)];

@@ -19,6 +19,12 @@
 /// charged per-bit dynamic energy plus always-on background power.
 namespace comet::memsim {
 
+/// Throws std::invalid_argument naming the offending index and the two
+/// out-of-order timestamps if `requests` is not sorted by arrival time.
+/// Shared by MemorySystem and hybrid::TieredSystem, whose replay engines
+/// both rely on the sorted-stream contract.
+void require_sorted_by_arrival(const std::vector<Request>& requests);
+
 class MemorySystem {
  public:
   explicit MemorySystem(DeviceModel model);

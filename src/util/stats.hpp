@@ -12,6 +12,10 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds another accumulator into this one (Chan's parallel Welford
+  /// combination), as if every sample of `other` had been add()ed here.
+  void merge(const RunningStats& other);
+
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;  ///< Population variance; 0 for n < 2.

@@ -77,6 +77,22 @@ TEST(OptionsTest, HelpShortCircuits) {
   EXPECT_TRUE(opt.help);
 }
 
+TEST(OptionsTest, ListFlagsParse) {
+  EXPECT_TRUE(parse_args({"--list-devices"}).list_devices);
+  EXPECT_TRUE(parse_args({"--list-workloads"}).list_workloads);
+  const Options opt = parse_args({});
+  EXPECT_FALSE(opt.list_devices);
+  EXPECT_FALSE(opt.list_workloads);
+}
+
+TEST(RegistryTest, HybridTokensAreDistinctFromFlatOnes) {
+  for (const auto& token : comet::driver::known_hybrid_devices()) {
+    for (const auto& flat : comet::driver::known_devices()) {
+      EXPECT_NE(token, flat);
+    }
+  }
+}
+
 TEST(RegistryTest, AllExpandsToSevenUniqueModels) {
   const auto models = resolve_devices("all");
   EXPECT_EQ(models.size(), 7u);
@@ -106,7 +122,7 @@ TEST(SweepTest, ChannelOverrideAppliesToEveryDevice) {
   Options opt = parse_args({"--device", "comet", "--channels", "2"});
   const auto jobs = build_matrix(opt);
   ASSERT_FALSE(jobs.empty());
-  for (const auto& job : jobs) EXPECT_EQ(job.device.timing.channels, 2);
+  for (const auto& job : jobs) EXPECT_EQ(job.device.channels(), 2);
 }
 
 // Acceptance criterion: the threaded sweep must be bit-identical to the

@@ -324,6 +324,22 @@ TEST(System, RejectsUnsortedTrace) {
                std::invalid_argument);
 }
 
+TEST(System, UnsortedTraceErrorNamesIndexAndTimestamps) {
+  const ms::MemorySystem sys(simple_device());
+  try {
+    sys.run({make_req(0, 10, ms::Op::kRead, 0),
+             make_req(1, 100, ms::Op::kRead, 64),
+             make_req(2, 50, ms::Op::kRead, 128)});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // The offending index and both out-of-order arrival times (in ps).
+    EXPECT_NE(msg.find("index 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("50000"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("100000"), std::string::npos) << msg;
+  }
+}
+
 TEST(System, EmptyTraceIsSafe) {
   const ms::MemorySystem sys(simple_device());
   const auto stats = sys.run({});
