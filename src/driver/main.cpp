@@ -10,6 +10,7 @@
 #include "driver/registry.hpp"
 #include "driver/report.hpp"
 #include "driver/sweep.hpp"
+#include "memsim/trace.hpp"
 #include "memsim/trace_gen.hpp"
 
 int main(int argc, char** argv) {
@@ -34,6 +35,37 @@ int main(int argc, char** argv) {
   if (options.list_workloads) {
     for (const auto& profile : comet::memsim::spec_like_profiles()) {
       std::cout << profile.name << "\n";
+    }
+    return 0;
+  }
+  if (!options.dump_trace.empty()) {
+    // Stream the synthesized workload straight to the NVMain text format
+    // (no materialized vector), so even huge traces dump in O(1) memory.
+    try {
+      const auto profile = comet::memsim::profile_by_name(options.workload);
+      auto source = comet::memsim::TraceGenerator(profile, options.seed)
+                        .stream(options.requests, options.line_bytes);
+      std::ofstream out(options.dump_trace);
+      if (!out) {
+        std::cerr << "comet_sim: cannot open '" << options.dump_trace
+                  << "' for writing\n";
+        return 1;
+      }
+      comet::memsim::write_trace(
+          out, source,
+          comet::memsim::TraceConfig{.cpu_clock_ghz = options.cpu_ghz,
+                                     .line_bytes = options.line_bytes});
+      out.close();
+      if (out.fail()) {
+        std::cerr << "comet_sim: error writing '" << options.dump_trace
+                  << "' (disk full?)\n";
+        return 1;
+      }
+      std::cout << "wrote " << options.dump_trace << " (" << options.requests
+                << " requests, " << profile.name << ")\n";
+    } catch (const std::exception& e) {
+      std::cerr << "comet_sim: " << e.what() << "\n";
+      return 1;
     }
     return 0;
   }

@@ -1,7 +1,11 @@
 #include "driver/options.hpp"
 
+#include <cerrno>
 #include <climits>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -31,6 +35,27 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& value,
     throw std::invalid_argument(flag + " value " + value +
                                 " exceeds the maximum of " +
                                 std::to_string(max));
+  }
+  return parsed;
+}
+
+double parse_positive_double(const std::string& flag,
+                             const std::string& value) {
+  // Plain decimal only: no signs, exponents, hex floats, inf/nan or
+  // locale surprises — the same strictness as parse_u64.
+  if (value.empty() ||
+      value.find_first_not_of("0123456789.") != std::string::npos ||
+      value.find('.') != value.rfind('.')) {
+    throw std::invalid_argument(flag + " expects a positive decimal number, "
+                                "got '" + value + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size() ||
+      !std::isfinite(parsed) || parsed <= 0.0) {
+    throw std::invalid_argument(flag + " expects a positive decimal number, "
+                                "got '" + value + "'");
   }
   return parsed;
 }
@@ -102,6 +127,18 @@ Options parse_args(const std::vector<std::string>& args) {
     } else if (flag == "--cache-policy") {
       opt.cache_policy = next();
       (void)parse_cache_policy(opt.cache_policy);
+    } else if (flag == "--trace-file") {
+      opt.trace_file = next();
+      if (opt.trace_file.empty()) {
+        throw std::invalid_argument("--trace-file requires a non-empty path");
+      }
+    } else if (flag == "--cpu-ghz") {
+      opt.cpu_ghz = parse_positive_double(flag, next());
+    } else if (flag == "--dump-trace") {
+      opt.dump_trace = next();
+      if (opt.dump_trace.empty()) {
+        throw std::invalid_argument("--dump-trace requires a non-empty path");
+      }
     } else if (flag == "--json") {
       opt.json_path = next();
       if (opt.json_path.empty()) {
@@ -116,6 +153,28 @@ Options parse_args(const std::vector<std::string>& args) {
   // Validate names (and hybrid cache overrides) eagerly so a typo or an
   // inconsistent cache geometry fails before any simulation runs. `all`
   // is flat-only, so cache overrides cannot invalidate it.
+  if (!opt.trace_file.empty() && !opt.dump_trace.empty()) {
+    throw std::invalid_argument(
+        "--trace-file and --dump-trace cannot be combined (one replays a "
+        "trace, the other writes one)");
+  }
+  if (!opt.trace_file.empty()) {
+    // Fail a bad path at parse time (exit 2), not deep inside a sweep.
+    // peek() forces a first read, catching paths that open but cannot be
+    // read (e.g. a directory, which fopen happily opens on glibc); an
+    // empty regular file only sets eofbit and stays valid.
+    std::ifstream probe(opt.trace_file);
+    probe.peek();
+    if (!probe.is_open() || probe.bad()) {
+      throw std::invalid_argument("--trace-file: cannot open '" +
+                                  opt.trace_file + "'");
+    }
+  }
+  if (!opt.dump_trace.empty() && opt.workload == "all") {
+    throw std::invalid_argument(
+        "--dump-trace requires a single --workload (a trace file holds one "
+        "request stream, not a matrix)");
+  }
   if (opt.device != "all") {
     (void)resolve_device_specs(opt.device,
                                HybridOverrides{.cache_mb = opt.cache_mb,
@@ -152,6 +211,13 @@ std::string usage() {
      << "  --cache-ways N         hybrid devices: cache associativity\n"
      << "  --cache-policy <p>     hybrid devices: write-allocate (default)\n"
      << "                         or write-no-allocate\n"
+     << "  --trace-file <path>    replay an on-disk NVMain trace (streamed,\n"
+     << "                         O(1) memory) instead of a synthetic\n"
+     << "                         workload; ignores --workload/--requests\n"
+     << "  --cpu-ghz X            CPU clock for trace cycle->time\n"
+     << "                         conversion (default: 2.0)\n"
+     << "  --dump-trace <path>    write the synthesized trace for a single\n"
+     << "                         --workload to <path> and exit\n"
      << "  --json <path>          also write machine-readable JSON\n"
      << "  --csv                  print CSV instead of aligned tables\n"
      << "  --list-devices         print every device token and exit\n"

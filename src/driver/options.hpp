@@ -22,6 +22,16 @@ struct Options {
   bool list_devices = false;     ///< Print device tokens and exit 0.
   bool list_workloads = false;   ///< Print workload names and exit 0.
 
+  // --- On-disk NVMain trace replay (--trace-file): replaces synthetic
+  // --- workloads with a streamed trace file; --workload/--requests/
+  // --- --seed are then ignored. The file must be openable at parse
+  // --- time, so a bad path exits 2 before any simulation runs.
+  std::string trace_file;        ///< Non-empty: replay this trace file.
+  double cpu_ghz = 2.0;          ///< Trace cycle -> time conversion clock.
+  std::string dump_trace;        ///< Non-empty: write the synthesized
+                                 ///< trace here and exit (needs a single
+                                 ///< --workload; no simulation runs).
+
   // --- Hybrid DRAM-cache overrides (apply to hybrid-* devices only;
   // --- zero / empty keeps each variant's default).
   std::uint64_t cache_mb = 0;    ///< Cache tier capacity [MiB].

@@ -9,6 +9,7 @@
 #include "cosmos/cosmos_memory.hpp"
 #include "dram/dram_device.hpp"
 #include "dram/epcm.hpp"
+#include "memsim/system.hpp"
 #include "photonics/losses.hpp"
 
 namespace comet::driver {
@@ -76,6 +77,33 @@ int DeviceSpec::channels() const {
   // std::bad_optional_access instead of silently reading garbage.
   return is_hybrid() ? tiered->backend.timing.channels
                      : flat.value().timing.channels;
+}
+
+std::unique_ptr<memsim::Engine> DeviceSpec::make_engine() const {
+  if (tiered) return std::make_unique<hybrid::TieredSystem>(*tiered);
+  if (flat) return std::make_unique<memsim::MemorySystem>(*flat);
+  throw std::logic_error(
+      "DeviceSpec::make_engine: empty spec '" + name +
+      "' (default-constructed; neither flat nor tiered is engaged — build "
+      "specs through make_device_spec/resolve_device_specs)");
+}
+
+void DeviceSpec::set_channels(int channels) {
+  if (tiered) {
+    // The override targets the main-memory part: for hybrid devices
+    // that is the backend behind the cache tier.
+    tiered->backend.timing.channels = channels;
+    tiered->validate();
+    return;
+  }
+  if (flat) {
+    flat->timing.channels = channels;
+    flat->validate();
+    return;
+  }
+  throw std::logic_error(
+      "DeviceSpec::set_channels: empty spec '" + name +
+      "' (neither flat nor tiered is engaged)");
 }
 
 std::vector<std::string> known_devices() {

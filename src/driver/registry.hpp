@@ -1,11 +1,13 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "hybrid/tiered_system.hpp"
 #include "memsim/device.hpp"
+#include "memsim/engine.hpp"
 
 /// CLI-token → architecture registry for the comet_sim driver.
 ///
@@ -37,8 +39,14 @@ struct HybridOverrides {
 };
 
 /// One resolved `--device` entry: either a flat DeviceModel or a hybrid
-/// TieredConfig, under one display name. Exactly one of the two
-/// optionals is engaged, so reading the wrong one fails loudly.
+/// TieredConfig, under one display name. A registry-built spec always
+/// has exactly one of the two optionals engaged; call sites never read
+/// them directly — make_engine() hands back the polymorphic
+/// memsim::Engine that replays this architecture, and set_channels()
+/// applies the one CLI override that reaches inside a model. (A
+/// default-constructed spec has *neither* optional engaged; every
+/// accessor below fails loudly on one rather than dereferencing an
+/// empty optional.)
 struct DeviceSpec {
   std::string name;
   std::optional<memsim::DeviceModel> flat;     ///< Engaged for flat tokens.
@@ -52,6 +60,17 @@ struct DeviceSpec {
 
   /// Channel count of the (backend) main-memory device.
   int channels() const;
+
+  /// Instantiates the replay engine for this architecture: a
+  /// memsim::MemorySystem for flat specs, a hybrid::TieredSystem for
+  /// hybrid ones. Throws std::logic_error on a default-constructed spec
+  /// with neither alternative engaged.
+  std::unique_ptr<memsim::Engine> make_engine() const;
+
+  /// Applies a channel-count override to the main-memory part (the
+  /// backend behind the cache tier for hybrid specs) and re-validates
+  /// the adjusted model. Throws std::logic_error on an empty spec.
+  void set_channels(int channels);
 };
 
 /// Builds the paper-configured model for one flat token; throws

@@ -123,6 +123,7 @@ void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
        << ", \"requests\": " << job.requests
        << ", \"seed\": " << job.seed
        << ", \"line_bytes\": " << job.line_bytes
+       << ", \"trace_file\": " << json_str(job.trace_path)
        << ", \"reads\": " << stats.reads
        << ", \"writes\": " << stats.writes
        << ", \"span_ps\": " << stats.span_ps

@@ -6,17 +6,34 @@
 #include <thread>
 
 #include "driver/registry.hpp"
-#include "memsim/system.hpp"
+#include "memsim/trace.hpp"
 
 namespace comet::driver {
+
+namespace {
+
+/// Display label for a trace-file run: the file's basename.
+std::string trace_display_name(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
 
 std::vector<SweepJob> build_matrix(const Options& options) {
   const HybridOverrides overrides{.cache_mb = options.cache_mb,
                                   .cache_ways = options.cache_ways,
                                   .cache_policy = options.cache_policy};
   auto devices = resolve_device_specs(options.device, overrides);
+
   std::vector<memsim::WorkloadProfile> profiles;
-  if (options.workload == "all") {
+  if (!options.trace_file.empty()) {
+    // On-disk replay: one pseudo-workload per trace file, labelled with
+    // its basename; the profile is never used for synthesis.
+    memsim::WorkloadProfile pseudo;
+    pseudo.name = trace_display_name(options.trace_file);
+    profiles.push_back(std::move(pseudo));
+  } else if (options.workload == "all") {
     profiles = memsim::spec_like_profiles();
   } else {
     profiles.push_back(memsim::profile_by_name(options.workload));
@@ -25,17 +42,7 @@ std::vector<SweepJob> build_matrix(const Options& options) {
   std::vector<SweepJob> jobs;
   jobs.reserve(devices.size() * profiles.size());
   for (auto& device : devices) {
-    if (options.channels > 0) {
-      // The override targets the main-memory part: for hybrid devices
-      // that is the backend behind the cache tier.
-      if (device.is_hybrid()) {
-        device.tiered->backend.timing.channels = options.channels;
-        device.tiered->validate();
-      } else {
-        device.flat.value().timing.channels = options.channels;
-        device.flat.value().validate();
-      }
-    }
+    if (options.channels > 0) device.set_channels(options.channels);
     for (const auto& profile : profiles) {
       SweepJob job;
       job.device = device;
@@ -43,6 +50,8 @@ std::vector<SweepJob> build_matrix(const Options& options) {
       job.requests = options.requests;
       job.seed = options.seed;
       job.line_bytes = options.line_bytes;
+      job.trace_path = options.trace_file;
+      job.cpu_ghz = options.cpu_ghz;
       jobs.push_back(std::move(job));
     }
   }
@@ -50,14 +59,16 @@ std::vector<SweepJob> build_matrix(const Options& options) {
 }
 
 memsim::SimStats run_job(const SweepJob& job) {
-  const memsim::TraceGenerator gen(job.profile, job.seed);
-  const auto trace = gen.generate(job.requests, job.line_bytes);
-  if (job.device.is_hybrid()) {
-    const hybrid::TieredSystem system(job.device.tiered.value());
-    return system.run(trace, job.profile.name);
+  const auto engine = job.device.make_engine();
+  if (!job.trace_path.empty()) {
+    memsim::TraceFileSource source(
+        job.trace_path, memsim::TraceConfig{.cpu_clock_ghz = job.cpu_ghz,
+                                            .line_bytes = job.line_bytes});
+    return engine->run(source, job.profile.name);
   }
-  const memsim::MemorySystem system(job.device.flat.value());
-  return system.run(trace, job.profile.name);
+  auto source = memsim::TraceGenerator(job.profile, job.seed)
+                    .stream(job.requests, job.line_bytes);
+  return engine->run(source, job.profile.name);
 }
 
 std::vector<memsim::SimStats> run_sweep(const std::vector<SweepJob>& jobs,

@@ -10,29 +10,38 @@
 #include "memsim/trace_gen.hpp"
 
 /// Parallel sweep engine: fans the device × workload matrix out across a
-/// thread pool. Each job is fully independent — the trace is synthesised
-/// inside the worker from (profile, seed) and both replay engines
-/// (`MemorySystem::run`, `hybrid::TieredSystem::run`) are const — so
+/// thread pool. Each job is fully independent — the request stream is
+/// either synthesized lazily inside the worker from (profile, seed) or
+/// streamed from an on-disk NVMain trace, and the polymorphic
+/// memsim::Engine built per job (DeviceSpec::make_engine) is const — so
 /// results are bit-identical for any thread count, and the Fig. 9 matrix
 /// parallelises with near-linear speedup.
 namespace comet::driver {
 
 /// One (device, workload) cell of the sweep matrix. `device` is either a
 /// flat architecture or a hybrid DRAM-cache + backend design point.
+/// When `trace_path` is empty the worker synthesizes `requests` requests
+/// from (profile, seed); otherwise it streams the on-disk trace
+/// (profile.name then only labels the run — by convention the trace
+/// file's basename) and requests/seed are ignored.
 struct SweepJob {
   DeviceSpec device;
   memsim::WorkloadProfile profile;
   std::size_t requests = 20000;
   std::uint64_t seed = 42;
   std::uint32_t line_bytes = 128;
+  std::string trace_path;  ///< Non-empty: replay this NVMain trace file.
+  double cpu_ghz = 2.0;    ///< Trace cycle -> time conversion.
 };
 
-/// Expands Options into the job matrix (devices × workloads, in registry
-/// and profile order). Applies the --channels override, re-validating the
+/// Expands Options into the job matrix (devices × workloads in registry
+/// and profile order, or devices × one trace-file job under
+/// --trace-file). Applies the --channels override, re-validating the
 /// adjusted model. Throws std::invalid_argument on unknown names.
 std::vector<SweepJob> build_matrix(const Options& options);
 
-/// Runs one job serially (the reference path the tests compare against).
+/// Runs one job serially (the reference path the tests compare against):
+/// streams the job's source through the device's engine in O(1) memory.
 memsim::SimStats run_job(const SweepJob& job);
 
 /// Runs every job across `threads` workers (0 → hardware concurrency,

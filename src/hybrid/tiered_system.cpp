@@ -74,32 +74,44 @@ TieredSystem::TieredSystem(TieredConfig config) : config_(std::move(config)) {
   config_.validate();
 }
 
-TieredStats TieredSystem::run_tiered(
-    const std::vector<memsim::Request>& requests,
-    const std::string& workload_name) const {
+TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
+                                     const std::string& workload_name) const {
   using memsim::Op;
   using memsim::Request;
-
-  memsim::require_sorted_by_arrival(requests);
 
   TieredStats stats;
   stats.combined.device_name = config_.name;
   stats.combined.workload_name = workload_name;
   stats.combined.hybrid = true;
 
-  // Filter the demand stream through the cache tag model. Derived
-  // requests reuse the demand arrival time and are appended in demand
+  // Filter the demand stream through the cache tag model, feeding the
+  // derived traffic straight into one incremental replay per tier.
+  // Derived requests reuse the demand arrival time and are fed in demand
   // order, so both sub-streams inherit the sorted-stream contract.
   DramCache cache(config_.cache);
   const std::uint32_t line_bytes = config_.cache.line_bytes;
-  std::vector<Request> dram_requests;
-  std::vector<Request> backend_requests;
-  dram_requests.reserve(requests.size());
-  // Derived-request ids live above the demand id space for traceability.
-  std::uint64_t next_id = requests.empty() ? 0 : requests.back().id + 1;
+  const memsim::MemorySystem dram_system(config_.dram);
+  const memsim::MemorySystem backend_system(config_.backend);
+  memsim::ReplaySession dram(dram_system, workload_name);
+  memsim::ReplaySession backend(backend_system, workload_name);
+  // Derived-request ids live in their own (top-bit) namespace, above any
+  // realistic demand id space, for traceability.
+  std::uint64_t next_id = 1ull << 63;
 
   auto& c = stats.combined;
-  for (const auto& req : requests) {
+  std::uint64_t demand_index = 0;
+  std::uint64_t demand_start = 0;
+  std::uint64_t prev_arrival = 0;
+  while (const auto demand = source.next()) {
+    const Request& req = *demand;
+    if (demand_index == 0) {
+      demand_start = req.arrival_ps;
+    } else {
+      memsim::check_arrival_order(demand_index, prev_arrival, req.arrival_ps);
+    }
+    prev_arrival = req.arrival_ps;
+    ++demand_index;
+
     const bool is_write = req.op == Op::kWrite;
     if (is_write) {
       ++c.writes;
@@ -117,14 +129,14 @@ TieredStats TieredSystem::run_tiered(
       const std::uint64_t line_address = line * line_bytes;
       const auto outcome = cache.access(line_address, is_write);
 
-      const auto emit = [&](std::vector<Request>& tier, Op op,
+      const auto emit = [&](memsim::ReplaySession& tier, Op op,
                             std::uint64_t address, std::uint32_t size,
                             std::uint64_t id) {
-        tier.push_back(Request{.id = id,
-                               .arrival_ps = req.arrival_ps,
-                               .op = op,
-                               .address = address,
-                               .size_bytes = size});
+        tier.feed(Request{.id = id,
+                          .arrival_ps = req.arrival_ps,
+                          .op = op,
+                          .address = address,
+                          .size_bytes = size});
       };
       // The demand bytes falling inside this cache line; fills, fetches
       // and writebacks always move the whole (coarse) line.
@@ -134,7 +146,7 @@ TieredStats TieredSystem::run_tiered(
 
       if (outcome.hit) {
         ++c.cache_hits;
-        emit(dram_requests, req.op,
+        emit(dram, req.op,
              std::max(req.address, line_address), portion, req.id);
         continue;
       }
@@ -148,42 +160,40 @@ TieredStats TieredSystem::run_tiered(
         // covers the whole line needs no fetch — every fetched byte
         // would be overwritten.
         if (!(is_write && portion == line_bytes)) {
-          emit(backend_requests, Op::kRead, line_address, line_bytes, req.id);
+          emit(backend, Op::kRead, line_address, line_bytes, req.id);
         }
-        emit(dram_requests, Op::kWrite, line_address, line_bytes, next_id++);
+        emit(dram, Op::kWrite, line_address, line_bytes, next_id++);
       } else {
         // Write-no-allocate miss: the demand write goes straight down.
-        emit(backend_requests, Op::kWrite,
+        emit(backend, Op::kWrite,
              std::max(req.address, line_address), portion, req.id);
       }
       if (outcome.writeback) {
         ++c.writebacks;
-        emit(backend_requests, Op::kWrite, outcome.writeback_address,
+        emit(backend, Op::kWrite, outcome.writeback_address,
              line_bytes, next_id++);
       }
     }
   }
 
-  stats.dram = memsim::MemorySystem(config_.dram).run(dram_requests,
-                                                      workload_name);
-  stats.backend =
-      memsim::MemorySystem(config_.backend).run(backend_requests,
-                                                workload_name);
+  const std::uint64_t dram_first = dram.first_arrival_ps();
+  const std::uint64_t backend_first = backend.first_arrival_ps();
+  const bool dram_served = dram.fed() > 0;
+  const bool backend_served = backend.fed() > 0;
+  stats.dram = dram.finish();
+  stats.backend = backend.finish();
 
   // The demand wall-clock: first demand arrival to the last completion
   // of either tier. Each tier's span is anchored at its own sub-stream's
   // first arrival, so recover the absolute last-completion instants.
-  const std::uint64_t demand_start =
-      requests.empty() ? 0 : requests.front().arrival_ps;
   std::uint64_t last_completion = demand_start;
-  if (!dram_requests.empty()) {
-    last_completion = std::max(
-        last_completion, dram_requests.front().arrival_ps + stats.dram.span_ps);
-  }
-  if (!backend_requests.empty()) {
+  if (dram_served) {
     last_completion =
-        std::max(last_completion,
-                 backend_requests.front().arrival_ps + stats.backend.span_ps);
+        std::max(last_completion, dram_first + stats.dram.span_ps);
+  }
+  if (backend_served) {
+    last_completion =
+        std::max(last_completion, backend_first + stats.backend.span_ps);
   }
 
   // Both tiers are powered for the whole run, but each replay charged
@@ -225,9 +235,16 @@ TieredStats TieredSystem::run_tiered(
   return stats;
 }
 
-memsim::SimStats TieredSystem::run(const std::vector<memsim::Request>& requests,
+TieredStats TieredSystem::run_tiered(
+    const std::vector<memsim::Request>& requests,
+    const std::string& workload_name) const {
+  memsim::VectorSource source(requests);
+  return run_tiered(source, workload_name);
+}
+
+memsim::SimStats TieredSystem::run(memsim::RequestSource& source,
                                    const std::string& workload_name) const {
-  return run_tiered(requests, workload_name).combined;
+  return run_tiered(source, workload_name).combined;
 }
 
 }  // namespace comet::hybrid

@@ -6,7 +6,9 @@
 
 #include "hybrid/dram_cache.hpp"
 #include "memsim/device.hpp"
+#include "memsim/engine.hpp"
 #include "memsim/request.hpp"
+#include "memsim/source.hpp"
 #include "memsim/stats.hpp"
 
 /// Hybrid tiered-memory subsystem: a DRAM cache in front of an OPCM /
@@ -18,8 +20,11 @@
 /// fills) and a backend stream (demand misses, write-allocate fetches,
 /// dirty-eviction writebacks), each derived request inheriting the
 /// arrival time of the demand request that caused it — so both
-/// sub-streams stay sorted and the generic MemorySystem replay engine
-/// serves each tier under its own DeviceModel.
+/// sub-streams stay sorted. The split is fully streaming: demand
+/// requests are pulled one at a time and the derived traffic is fed
+/// straight into two concurrent memsim::ReplaySessions, so neither the
+/// demand trace nor either sub-stream is ever materialized (O(1) memory,
+/// like the flat engine).
 namespace comet::hybrid {
 
 /// One hybrid design point: a DRAM cache tier fronting a backend.
@@ -55,23 +60,30 @@ TieredConfig make_tiered_config(const std::string& name,
                                 memsim::DeviceModel backend,
                                 const DramCacheConfig& cache);
 
-class TieredSystem {
+class TieredSystem final : public memsim::Engine {
  public:
   explicit TieredSystem(TieredConfig config);  ///< Validates the config.
 
   const TieredConfig& config() const { return config_; }
 
-  /// Replays the demand stream (must be sorted by arrival time; throws
-  /// std::invalid_argument naming the offending index otherwise) through
-  /// the cache filter and both tiers. Const and deterministic: the cache
-  /// state lives on the stack of each call, so concurrent sweeps over
-  /// the same TieredSystem are bit-identical to serial ones.
+  /// Streams the demand source (which must yield requests sorted by
+  /// arrival time; throws std::invalid_argument naming the offending
+  /// index otherwise) through the cache filter and both tiers. Const and
+  /// deterministic: the cache state lives on the stack of each call, so
+  /// concurrent sweeps over the same TieredSystem are bit-identical to
+  /// serial ones.
+  TieredStats run_tiered(memsim::RequestSource& source,
+                         const std::string& workload_name = "") const;
+
+  /// Materialized-vector adapter for run_tiered.
   TieredStats run_tiered(const std::vector<memsim::Request>& requests,
                          const std::string& workload_name = "") const;
 
-  /// Convenience: the combined view only (what SweepJob records).
-  memsim::SimStats run(const std::vector<memsim::Request>& requests,
-                       const std::string& workload_name = "") const;
+  using Engine::run;
+
+  /// Engine entry point: the combined view only (what SweepJob records).
+  memsim::SimStats run(memsim::RequestSource& source,
+                       const std::string& workload_name = "") const override;
 
  private:
   TieredConfig config_;

@@ -1,0 +1,11 @@
+#include "memsim/engine.hpp"
+
+namespace comet::memsim {
+
+SimStats Engine::run(const std::vector<Request>& requests,
+                     const std::string& workload_name) const {
+  VectorSource source(requests);
+  return run(source, workload_name);
+}
+
+}  // namespace comet::memsim

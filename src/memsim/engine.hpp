@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "memsim/source.hpp"
+#include "memsim/stats.hpp"
+
+/// The polymorphic replay-engine seam.
+///
+/// Every architecture in the study — a flat MemorySystem, a hybrid
+/// TieredSystem, and any future backend — replays a RequestSource behind
+/// this one interface, so drivers, sweeps and benches hold a
+/// std::unique_ptr<Engine> and never branch on the concrete type.
+/// Engines are const and stateless across runs: all replay state lives
+/// on the stack of each run() call, so one Engine may serve concurrent
+/// sweep workers with bit-identical results.
+namespace comet::memsim {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Replays the stream (which must yield requests sorted by arrival
+  /// time; throws std::invalid_argument naming the offending index
+  /// otherwise) and returns aggregate statistics. The source is drained
+  /// incrementally — O(1) memory regardless of stream length.
+  virtual SimStats run(RequestSource& source,
+                       const std::string& workload_name = "") const = 0;
+
+  /// Materialized-vector adapter: wraps `requests` in a VectorSource and
+  /// replays it, bit-identical to the streaming path.
+  SimStats run(const std::vector<Request>& requests,
+               const std::string& workload_name = "") const;
+};
+
+}  // namespace comet::memsim

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "memsim/request.hpp"
+
+/// Pull-based request streams.
+///
+/// A RequestSource yields one Request per next() call until exhaustion,
+/// so replay engines never need the whole trace in memory: a lazy
+/// generator source or an on-disk trace reader replays arbitrarily long
+/// streams in O(1) space, while VectorSource adapts the existing
+/// materialized-vector call sites. Sources are single-pass: once next()
+/// returns nullopt the stream is drained for good.
+///
+/// Requests must be yielded in non-decreasing arrival_ps order (the
+/// sorted-stream contract); engines verify this incrementally as they
+/// pull and throw std::invalid_argument naming the offending index.
+namespace comet::memsim {
+
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+
+  /// The next request, or std::nullopt once the stream is exhausted.
+  virtual std::optional<Request> next() = 0;
+};
+
+/// Adapts a materialized vector (borrowed or owned) to the streaming
+/// interface. The borrowing constructor keeps a pointer: the vector must
+/// outlive the source.
+class VectorSource final : public RequestSource {
+ public:
+  explicit VectorSource(const std::vector<Request>& requests)
+      : requests_(&requests) {}
+  explicit VectorSource(std::vector<Request>&& requests)
+      : owned_(std::move(requests)), requests_(&owned_) {}
+
+  // requests_ may point into owned_; default copy/move would leave it
+  // dangling at the old object.
+  VectorSource(const VectorSource&) = delete;
+  VectorSource& operator=(const VectorSource&) = delete;
+
+  std::optional<Request> next() override {
+    if (pos_ >= requests_->size()) return std::nullopt;
+    return (*requests_)[pos_++];
+  }
+
+ private:
+  std::vector<Request> owned_;
+  const std::vector<Request>* requests_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace comet::memsim

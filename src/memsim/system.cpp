@@ -42,42 +42,55 @@ std::uint64_t avoid_refresh(std::uint64_t t, const DeviceTiming& timing) {
 
 }  // namespace
 
+void check_arrival_order(std::uint64_t index, std::uint64_t prev_ps,
+                         std::uint64_t arrival_ps) {
+  if (arrival_ps >= prev_ps) return;
+  std::ostringstream msg;
+  msg << "unsorted trace: request at index " << index << " arrives at "
+      << arrival_ps << " ps, before the previous request's " << prev_ps
+      << " ps";
+  throw std::invalid_argument(msg.str());
+}
+
 void require_sorted_by_arrival(const std::vector<Request>& requests) {
   for (std::size_t i = 1; i < requests.size(); ++i) {
-    if (requests[i].arrival_ps < requests[i - 1].arrival_ps) {
-      std::ostringstream msg;
-      msg << "unsorted trace: request at index " << i << " arrives at "
-          << requests[i].arrival_ps << " ps, before the previous request's "
-          << requests[i - 1].arrival_ps << " ps";
-      throw std::invalid_argument(msg.str());
+    check_arrival_order(i, requests[i - 1].arrival_ps, requests[i].arrival_ps);
+  }
+}
+
+struct ReplaySession::Impl {
+  const MemorySystem& system;
+  SimStats stats;
+  std::vector<ChannelState> channels;
+  std::uint64_t fed = 0;
+  std::uint64_t first_arrival = 0;
+  std::uint64_t prev_arrival = 0;
+  std::uint64_t last_completion = 0;
+  bool finished = false;
+
+  explicit Impl(const MemorySystem& sys, std::string workload_name)
+      : system(sys) {
+    const DeviceTiming& t = sys.model_.timing;
+    stats.device_name = sys.model_.name;
+    stats.workload_name = std::move(workload_name);
+    channels.resize(static_cast<std::size_t>(t.channels));
+    for (auto& ch : channels) {
+      ch.banks.resize(static_cast<std::size_t>(t.banks_per_channel));
     }
   }
-}
 
-MemorySystem::MemorySystem(DeviceModel model) : model_(std::move(model)) {
-  model_.validate();
-}
+  void feed(const Request& req) {
+    const DeviceModel& model = system.model_;
+    const DeviceTiming& t = model.timing;
 
-SimStats MemorySystem::run(const std::vector<Request>& requests,
-                           const std::string& workload_name) const {
-  const DeviceTiming& t = model_.timing;
+    if (fed == 0) {
+      first_arrival = req.arrival_ps;
+    } else {
+      check_arrival_order(fed, prev_arrival, req.arrival_ps);
+    }
+    prev_arrival = req.arrival_ps;
+    ++fed;
 
-  SimStats stats;
-  stats.device_name = model_.name;
-  stats.workload_name = workload_name;
-  if (requests.empty()) return stats;
-
-  std::vector<ChannelState> channels(static_cast<std::size_t>(t.channels));
-  for (auto& ch : channels) {
-    ch.banks.resize(static_cast<std::size_t>(t.banks_per_channel));
-  }
-
-  require_sorted_by_arrival(requests);
-
-  std::uint64_t first_arrival = requests.front().arrival_ps;
-  std::uint64_t last_completion = 0;
-
-  for (const auto& req : requests) {
     const std::uint64_t line_index =
         mix_line_index(req.address / t.line_bytes);
     auto& ch = channels[line_index % static_cast<std::uint64_t>(t.channels)];
@@ -173,27 +186,72 @@ SimStats MemorySystem::run(const std::vector<Request>& requests,
     if (req.op == Op::kRead) {
       ++stats.reads;
       stats.read_latency_ns.add(latency_ns);
-      stats.dynamic_energy_pj += bits * model_.energy.read_pj_per_bit;
+      stats.dynamic_energy_pj += bits * model.energy.read_pj_per_bit;
     } else {
       ++stats.writes;
       stats.write_latency_ns.add(latency_ns);
-      stats.dynamic_energy_pj += bits * model_.energy.write_pj_per_bit;
+      stats.dynamic_energy_pj += bits * model.energy.write_pj_per_bit;
     }
     stats.bytes_transferred += req.size_bytes;
     last_completion = std::max(last_completion, completion);
   }
 
-  stats.span_ps = last_completion - first_arrival;
-  // W * ps = 1e-12 J = 1 pJ per (W * ps): power[W] x time[ps] -> pJ.
-  stats.background_energy_pj = model_.energy.background_power_w *
-                               static_cast<double>(stats.span_ps);
-  // Activity-gated power (dynamic laser management, [43]): charged only
-  // for the fraction of time banks are actually busy.
-  const int total_banks = t.channels * t.banks_per_channel;
-  stats.background_energy_pj += model_.energy.gateable_background_power_w *
-                                static_cast<double>(stats.span_ps) *
-                                stats.bank_utilization(total_banks);
-  return stats;
+  SimStats finish() {
+    const DeviceModel& model = system.model_;
+    finished = true;
+    if (fed == 0) return std::move(stats);
+    stats.span_ps = last_completion - first_arrival;
+    // W * ps = 1e-12 J = 1 pJ per (W * ps): power[W] x time[ps] -> pJ.
+    stats.background_energy_pj = model.energy.background_power_w *
+                                 static_cast<double>(stats.span_ps);
+    // Activity-gated power (dynamic laser management, [43]): charged only
+    // for the fraction of time banks are actually busy.
+    const int total_banks =
+        model.timing.channels * model.timing.banks_per_channel;
+    stats.background_energy_pj += model.energy.gateable_background_power_w *
+                                  static_cast<double>(stats.span_ps) *
+                                  stats.bank_utilization(total_banks);
+    return std::move(stats);
+  }
+};
+
+ReplaySession::ReplaySession(const MemorySystem& system,
+                             std::string workload_name)
+    : impl_(std::make_unique<Impl>(system, std::move(workload_name))) {}
+
+ReplaySession::ReplaySession(ReplaySession&&) noexcept = default;
+ReplaySession& ReplaySession::operator=(ReplaySession&&) noexcept = default;
+ReplaySession::~ReplaySession() = default;
+
+void ReplaySession::feed(const Request& request) {
+  if (impl_->finished) {
+    throw std::logic_error("ReplaySession: feed() after finish()");
+  }
+  impl_->feed(request);
+}
+
+std::uint64_t ReplaySession::fed() const { return impl_->fed; }
+
+std::uint64_t ReplaySession::first_arrival_ps() const {
+  return impl_->first_arrival;
+}
+
+SimStats ReplaySession::finish() {
+  if (impl_->finished) {
+    throw std::logic_error("ReplaySession: finish() called twice");
+  }
+  return impl_->finish();
+}
+
+MemorySystem::MemorySystem(DeviceModel model) : model_(std::move(model)) {
+  model_.validate();
+}
+
+SimStats MemorySystem::run(RequestSource& source,
+                           const std::string& workload_name) const {
+  ReplaySession session(*this, workload_name);
+  while (const auto req = source.next()) session.feed(*req);
+  return session.finish();
 }
 
 }  // namespace comet::memsim

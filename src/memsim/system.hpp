@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "memsim/device.hpp"
+#include "memsim/engine.hpp"
 #include "memsim/request.hpp"
 #include "memsim/stats.hpp"
 
@@ -17,6 +19,18 @@
 /// parallelism), scheduled onto banks honouring occupancy, row-buffer
 /// hits, refresh blocking and photonic region-switch penalties, and
 /// charged per-bit dynamic energy plus always-on background power.
+///
+/// Streaming contract: replay is incremental. MemorySystem::run pulls
+/// one Request at a time from a RequestSource and feeds it to a
+/// ReplaySession, which keeps only O(channels x banks) scheduler state —
+/// never the trace itself — so arbitrarily long streams (multi-million-
+/// request NVMain traces, lazy generator sources) replay in constant
+/// memory. The stream must arrive sorted by arrival_ps: each feed
+/// verifies monotonicity against its predecessor and throws
+/// std::invalid_argument naming the offending (0-based) index and both
+/// out-of-order timestamps. Results are bit-identical whether a trace is
+/// streamed or materialized first: the vector entry point is a thin
+/// VectorSource adapter over the same session.
 namespace comet::memsim {
 
 /// Throws std::invalid_argument naming the offending index and the two
@@ -25,19 +39,62 @@ namespace comet::memsim {
 /// both rely on the sorted-stream contract.
 void require_sorted_by_arrival(const std::vector<Request>& requests);
 
-class MemorySystem {
+/// Incremental form of the same check: throws the identical diagnostic
+/// for request `index` arriving at `arrival_ps` before `prev_ps`.
+void check_arrival_order(std::uint64_t index, std::uint64_t prev_ps,
+                         std::uint64_t arrival_ps);
+
+class MemorySystem;
+
+/// Push-mode incremental replay against one MemorySystem: feed()
+/// schedules one request at a time (verifying the sorted-stream
+/// contract), finish() closes the run and returns the aggregate
+/// statistics. This is the primitive composite engines build on —
+/// hybrid::TieredSystem streams its derived per-tier traffic into two
+/// concurrent sessions without materializing either sub-stream. The
+/// MemorySystem must outlive the session.
+class ReplaySession {
+ public:
+  ReplaySession(const MemorySystem& system, std::string workload_name);
+  ReplaySession(ReplaySession&&) noexcept;
+  ReplaySession& operator=(ReplaySession&&) noexcept;
+  ~ReplaySession();
+
+  /// Schedules one request. Throws std::invalid_argument if it arrives
+  /// before its predecessor, std::logic_error after finish().
+  void feed(const Request& request);
+
+  /// Number of requests fed so far.
+  std::uint64_t fed() const;
+
+  /// Arrival time of the first fed request (0 before any feed).
+  std::uint64_t first_arrival_ps() const;
+
+  /// Closes the run: charges span-proportional background energy and
+  /// returns the statistics. May be called once; throws std::logic_error
+  /// on a second call.
+  SimStats finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+class MemorySystem final : public Engine {
  public:
   explicit MemorySystem(DeviceModel model);
 
   const DeviceModel& model() const { return model_; }
 
-  /// Replays the request stream (must be sorted by arrival time) and
-  /// returns aggregate statistics. Throws std::invalid_argument on an
-  /// unsorted stream.
-  SimStats run(const std::vector<Request>& requests,
-               const std::string& workload_name = "") const;
+  using Engine::run;
+
+  /// Streams the source through a ReplaySession (see the header comment
+  /// for the streaming contract).
+  SimStats run(RequestSource& source,
+               const std::string& workload_name = "") const override;
 
  private:
+  friend class ReplaySession;
   DeviceModel model_;
 };
 

@@ -7,53 +7,150 @@
 
 namespace comet::memsim {
 
-std::vector<Request> read_trace(std::istream& in, const TraceConfig& config) {
+namespace {
+
+struct TraceRecord {
+  std::uint64_t cycle = 0;
+  Op op = Op::kRead;
+  std::uint64_t address = 0;
+};
+
+[[noreturn]] void parse_error(const std::string& context,
+                              std::uint64_t line_no, const std::string& line,
+                              const std::string& reason) {
+  std::ostringstream msg;
+  msg << context << ": malformed line " << line_no << ": '" << line << "' ("
+      << reason << ")";
+  throw std::runtime_error(msg.str());
+}
+
+/// Parses one record line (never a comment/blank — callers skip those).
+/// Trailing fields beyond the address (NVMain data payload, thread id)
+/// are ignored.
+TraceRecord parse_record(const std::string& context, std::uint64_t line_no,
+                         const std::string& line) {
+  std::istringstream ls(line);
+  TraceRecord rec;
+  std::string op;
+  std::string addr;
+  if (!(ls >> rec.cycle >> op >> addr)) {
+    parse_error(context, line_no, line,
+                "expected '<cycle> <R|W> <hex address>'");
+  }
+  if (op == "R" || op == "r") {
+    rec.op = Op::kRead;
+  } else if (op == "W" || op == "w") {
+    rec.op = Op::kWrite;
+  } else {
+    parse_error(context, line_no, line, "bad op '" + op + "'");
+  }
+  try {
+    std::size_t consumed = 0;
+    rec.address = std::stoull(addr, &consumed, 16);
+    if (consumed != addr.size()) throw std::invalid_argument(addr);
+  } catch (const std::exception&) {
+    parse_error(context, line_no, line, "bad hex address '" + addr + "'");
+  }
+  return rec;
+}
+
+/// The cycle-count analogue of check_arrival_order, with the trace
+/// line's position and text in place of the request index.
+void check_cycle_order(const std::string& context, std::uint64_t line_no,
+                       const std::string& line, std::uint64_t prev_cycle,
+                       std::uint64_t cycle) {
+  if (cycle >= prev_cycle) return;
+  std::ostringstream msg;
+  msg << context << ": non-monotonic cycle at line " << line_no << ": '"
+      << line << "' arrives at cycle " << cycle
+      << ", before the previous record's " << prev_cycle;
+  throw std::runtime_error(msg.str());
+}
+
+void validate_config(const TraceConfig& config) {
   if (config.cpu_clock_ghz <= 0.0) {
     throw std::invalid_argument("read_trace: bad cpu clock");
   }
-  const double ps_per_cycle = 1e3 / config.cpu_clock_ghz;
-  std::vector<Request> requests;
-  std::string line;
-  std::uint64_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::uint64_t cycle = 0;
-    std::string op;
-    std::string addr;
-    if (!(ls >> cycle >> op >> addr)) {
-      throw std::runtime_error("read_trace: malformed line " +
-                               std::to_string(line_no));
-    }
-    Request req;
-    req.id = requests.size();
-    req.arrival_ps =
-        static_cast<std::uint64_t>(static_cast<double>(cycle) * ps_per_cycle);
-    if (op == "R" || op == "r") {
-      req.op = Op::kRead;
-    } else if (op == "W" || op == "w") {
-      req.op = Op::kWrite;
-    } else {
-      throw std::runtime_error("read_trace: bad op on line " +
-                               std::to_string(line_no));
-    }
-    req.address = std::stoull(addr, nullptr, 16);
-    req.size_bytes = config.line_bytes;
-    requests.push_back(req);
+  if (config.line_bytes == 0) {
+    throw std::invalid_argument("read_trace: bad line size");
   }
+}
+
+}  // namespace
+
+TraceFileSource::TraceFileSource(const std::string& path,
+                                 const TraceConfig& config)
+    : owned_(path),
+      in_(&owned_),
+      config_(config),
+      ps_per_cycle_(1e3 / config.cpu_clock_ghz),
+      name_(path) {
+  validate_config(config_);
+  if (!owned_) {
+    throw std::runtime_error("cannot open trace file '" + path + "'");
+  }
+}
+
+TraceFileSource::TraceFileSource(std::istream& in, const TraceConfig& config,
+                                 std::string name)
+    : in_(&in),
+      config_(config),
+      ps_per_cycle_(1e3 / config.cpu_clock_ghz),
+      name_(std::move(name)) {
+  validate_config(config_);
+}
+
+std::optional<Request> TraceFileSource::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_no_;
+    if (line.empty() || line[0] == '#') continue;
+    const TraceRecord rec = parse_record(name_, line_no_, line);
+    if (emitted_ > 0) {
+      check_cycle_order(name_, line_no_, line, prev_cycle_, rec.cycle);
+    }
+    prev_cycle_ = rec.cycle;
+    Request req;
+    req.id = emitted_++;
+    req.arrival_ps = static_cast<std::uint64_t>(
+        static_cast<double>(rec.cycle) * ps_per_cycle_);
+    req.op = rec.op;
+    req.address = rec.address;
+    req.size_bytes = config_.line_bytes;
+    return req;
+  }
+  // Distinguish clean EOF from an I/O error (unreadable path, disk
+  // fault mid-file): the latter must fail loudly, never replay as a
+  // silently truncated trace.
+  if (in_->bad()) {
+    throw std::runtime_error(name_ + ": read error after line " +
+                             std::to_string(line_no_));
+  }
+  return std::nullopt;
+}
+
+std::vector<Request> read_trace(std::istream& in, const TraceConfig& config) {
+  TraceFileSource source(in, config, "read_trace");
+  std::vector<Request> requests;
+  while (auto req = source.next()) requests.push_back(*req);
   return requests;
+}
+
+void write_trace(std::ostream& out, RequestSource& source,
+                 const TraceConfig& config) {
+  const double cycles_per_ps = config.cpu_clock_ghz / 1e3;
+  while (const auto req = source.next()) {
+    const auto cycle = static_cast<std::uint64_t>(
+        static_cast<double>(req->arrival_ps) * cycles_per_ps);
+    out << cycle << ' ' << (req->op == Op::kRead ? 'R' : 'W') << " 0x"
+        << std::hex << req->address << std::dec << '\n';
+  }
 }
 
 void write_trace(std::ostream& out, const std::vector<Request>& requests,
                  const TraceConfig& config) {
-  const double cycles_per_ps = config.cpu_clock_ghz / 1e3;
-  for (const auto& req : requests) {
-    const auto cycle = static_cast<std::uint64_t>(
-        static_cast<double>(req.arrival_ps) * cycles_per_ps);
-    out << cycle << ' ' << (req.op == Op::kRead ? 'R' : 'W') << " 0x"
-        << std::hex << req.address << std::dec << '\n';
-  }
+  VectorSource source(requests);
+  write_trace(out, source, config);
 }
 
 }  // namespace comet::memsim

@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "util/rng.hpp"
-
 namespace comet::memsim {
+
+namespace {
+
+void validate_profile(const WorkloadProfile& profile) {
+  if (profile.read_fraction < 0.0 || profile.read_fraction > 1.0 ||
+      profile.locality < 0.0 || profile.locality > 1.0 ||
+      profile.working_set_bytes == 0 || profile.avg_interarrival_ns <= 0) {
+    throw std::invalid_argument("TraceGenerator: invalid profile");
+  }
+}
+
+constexpr std::uint64_t kRowBytes = 4096;
+// Hot set for Zipf patterns: 4096 hot lines spread over the set.
+constexpr std::uint64_t kHotLines = 4096;
+
+}  // namespace
 
 std::vector<WorkloadProfile> spec_like_profiles() {
   // Classes follow the standard SPEC CPU memory characterizations:
@@ -80,109 +94,122 @@ WorkloadProfile profile_by_name(const std::string& name) {
   throw std::invalid_argument("profile_by_name: unknown profile " + name);
 }
 
+GeneratorSource::GeneratorSource(WorkloadProfile profile, std::uint64_t seed,
+                                 std::size_t count, std::uint32_t line_bytes)
+    : profile_(std::move(profile)),
+      rng_(seed),
+      count_(count),
+      line_bytes_(line_bytes) {
+  validate_profile(profile_);
+  if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0) {
+    throw std::invalid_argument("TraceGenerator: line size must be 2^k");
+  }
+  if (line_bytes > kRowBytes) {
+    throw std::invalid_argument(
+        "TraceGenerator: line size must not exceed the " +
+        std::to_string(kRowBytes) + " B row");
+  }
+  lines_ = profile_.working_set_bytes / line_bytes_;
+  if (lines_ == 0) {
+    throw std::invalid_argument(
+        "TraceGenerator: working set smaller than one line");
+  }
+  lines_per_row_ = kRowBytes / line_bytes_;
+  stream_pos_ = rng_.next_below(lines_);
+}
+
+std::optional<Request> GeneratorSource::next() {
+  if (emitted_ >= count_) return std::nullopt;
+
+  clock_ps_ += rng_.next_exponential(profile_.avg_interarrival_ns * 1e3);
+
+  std::uint64_t line = 0;
+  switch (profile_.pattern) {
+    case Pattern::kStreaming: {
+      if (rng_.next_bool(1.0 - profile_.locality)) {
+        stream_pos_ = rng_.next_below(lines_);  // stream restart
+      } else {
+        stream_pos_ = (stream_pos_ + 1) % lines_;
+      }
+      line = stream_pos_;
+      break;
+    }
+    case Pattern::kStrided: {
+      const std::uint64_t stride_lines =
+          std::max<std::uint64_t>(1, profile_.stride_bytes / line_bytes_);
+      if (rng_.next_bool(1.0 - profile_.locality)) {
+        stream_pos_ = rng_.next_below(lines_);
+      } else {
+        stream_pos_ = (stream_pos_ + stride_lines) % lines_;
+      }
+      line = stream_pos_;
+      break;
+    }
+    case Pattern::kRandom: {
+      line = rng_.next_below(lines_);
+      break;
+    }
+    case Pattern::kPointerChase: {
+      if (rng_.next_bool(profile_.locality)) {
+        // Stay within the current row (short dependent run).
+        const std::uint64_t row = current_line_ / lines_per_row_;
+        line = row * lines_per_row_ + rng_.next_below(lines_per_row_);
+      } else {
+        // Jump to a Zipf-hot line scattered over the working set.
+        const std::uint64_t hot = rng_.next_zipf(
+            std::min(kHotLines, lines_), profile_.zipf_exponent);
+        line = (hot * 2654435761ull) % lines_;
+      }
+      break;
+    }
+    case Pattern::kMixed: {
+      if (!in_burst_ && rng_.next_bool(0.25)) {
+        in_burst_ = true;
+        burst_left_ = static_cast<int>(4 + rng_.next_below(12));
+        stream_pos_ = rng_.next_below(lines_);
+      }
+      if (in_burst_) {
+        stream_pos_ = (stream_pos_ + 1) % lines_;
+        line = stream_pos_;
+        if (--burst_left_ <= 0) in_burst_ = false;
+      } else if (rng_.next_bool(profile_.zipf_exponent > 0 ? 0.5 : 0.0)) {
+        const std::uint64_t hot = rng_.next_zipf(
+            std::min(kHotLines, lines_), profile_.zipf_exponent);
+        line = (hot * 2654435761ull) % lines_;
+      } else {
+        line = rng_.next_below(lines_);
+      }
+      break;
+    }
+  }
+  current_line_ = line;
+
+  Request req;
+  req.id = emitted_++;
+  req.arrival_ps = static_cast<std::uint64_t>(clock_ps_);
+  req.op = rng_.next_bool(profile_.read_fraction) ? Op::kRead : Op::kWrite;
+  req.address = line * line_bytes_;
+  req.size_bytes = line_bytes_;
+  return req;
+}
+
 TraceGenerator::TraceGenerator(WorkloadProfile profile, std::uint64_t seed)
     : profile_(std::move(profile)), seed_(seed) {
-  if (profile_.read_fraction < 0.0 || profile_.read_fraction > 1.0 ||
-      profile_.locality < 0.0 || profile_.locality > 1.0 ||
-      profile_.working_set_bytes == 0 || profile_.avg_interarrival_ns <= 0) {
-    throw std::invalid_argument("TraceGenerator: invalid profile");
-  }
+  validate_profile(profile_);
 }
 
 std::vector<Request> TraceGenerator::generate(
     std::size_t count, std::uint32_t line_bytes) const {
-  if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0) {
-    throw std::invalid_argument("TraceGenerator: line size must be 2^k");
-  }
-  util::Rng rng(seed_);
+  GeneratorSource source = stream(count, line_bytes);
   std::vector<Request> requests;
   requests.reserve(count);
-
-  const std::uint64_t lines = profile_.working_set_bytes / line_bytes;
-  constexpr std::uint64_t kRowBytes = 4096;
-  const std::uint64_t lines_per_row = kRowBytes / line_bytes;
-  // Hot set for Zipf patterns: 4096 hot lines spread over the set.
-  constexpr std::uint64_t kHotLines = 4096;
-
-  double clock_ps = 0.0;
-  std::uint64_t current_line = 0;
-  std::uint64_t stream_pos = rng.next_below(lines);
-  bool in_burst = false;
-  int burst_left = 0;
-
-  for (std::size_t i = 0; i < count; ++i) {
-    clock_ps += rng.next_exponential(profile_.avg_interarrival_ns * 1e3);
-
-    std::uint64_t line = 0;
-    switch (profile_.pattern) {
-      case Pattern::kStreaming: {
-        if (rng.next_bool(1.0 - profile_.locality)) {
-          stream_pos = rng.next_below(lines);  // stream restart
-        } else {
-          stream_pos = (stream_pos + 1) % lines;
-        }
-        line = stream_pos;
-        break;
-      }
-      case Pattern::kStrided: {
-        const std::uint64_t stride_lines =
-            std::max<std::uint64_t>(1, profile_.stride_bytes / line_bytes);
-        if (rng.next_bool(1.0 - profile_.locality)) {
-          stream_pos = rng.next_below(lines);
-        } else {
-          stream_pos = (stream_pos + stride_lines) % lines;
-        }
-        line = stream_pos;
-        break;
-      }
-      case Pattern::kRandom: {
-        line = rng.next_below(lines);
-        break;
-      }
-      case Pattern::kPointerChase: {
-        if (rng.next_bool(profile_.locality)) {
-          // Stay within the current row (short dependent run).
-          const std::uint64_t row = current_line / lines_per_row;
-          line = row * lines_per_row + rng.next_below(lines_per_row);
-        } else {
-          // Jump to a Zipf-hot line scattered over the working set.
-          const std::uint64_t hot = rng.next_zipf(
-              std::min(kHotLines, lines), profile_.zipf_exponent);
-          line = (hot * 2654435761ull) % lines;
-        }
-        break;
-      }
-      case Pattern::kMixed: {
-        if (!in_burst && rng.next_bool(0.25)) {
-          in_burst = true;
-          burst_left = static_cast<int>(4 + rng.next_below(12));
-          stream_pos = rng.next_below(lines);
-        }
-        if (in_burst) {
-          stream_pos = (stream_pos + 1) % lines;
-          line = stream_pos;
-          if (--burst_left <= 0) in_burst = false;
-        } else if (rng.next_bool(profile_.zipf_exponent > 0 ? 0.5 : 0.0)) {
-          const std::uint64_t hot = rng.next_zipf(
-              std::min(kHotLines, lines), profile_.zipf_exponent);
-          line = (hot * 2654435761ull) % lines;
-        } else {
-          line = rng.next_below(lines);
-        }
-        break;
-      }
-    }
-    current_line = line;
-
-    Request req;
-    req.id = i;
-    req.arrival_ps = static_cast<std::uint64_t>(clock_ps);
-    req.op = rng.next_bool(profile_.read_fraction) ? Op::kRead : Op::kWrite;
-    req.address = line * line_bytes;
-    req.size_bytes = line_bytes;
-    requests.push_back(req);
-  }
+  while (auto req = source.next()) requests.push_back(*req);
   return requests;
+}
+
+GeneratorSource TraceGenerator::stream(std::size_t count,
+                                       std::uint32_t line_bytes) const {
+  return GeneratorSource(profile_, seed_, count, line_bytes);
 }
 
 }  // namespace comet::memsim

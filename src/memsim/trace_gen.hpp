@@ -3,7 +3,8 @@
 #include <string>
 #include <vector>
 
-#include "memsim/request.hpp"
+#include "memsim/source.hpp"
+#include "util/rng.hpp"
 
 /// Synthetic SPEC-like memory trace generators.
 ///
@@ -43,14 +44,53 @@ std::vector<WorkloadProfile> spec_like_profiles();
 /// if absent.
 WorkloadProfile profile_by_name(const std::string& name);
 
+/// Lazy one-request-at-a-time synthesis: the streaming form of
+/// TraceGenerator::generate, holding only the RNG and a few words of
+/// pattern state — O(1) memory for arbitrarily long runs. The emitted
+/// sequence is bit-identical to the materialized vector for the same
+/// (profile, seed, count, line_bytes); generate() is implemented on top
+/// of this class. Arrivals are non-decreasing by construction, so the
+/// stream satisfies the engines' sorted-by-arrival contract.
+class GeneratorSource final : public RequestSource {
+ public:
+  /// Throws std::invalid_argument on an invalid profile or a
+  /// non-power-of-two line size.
+  GeneratorSource(WorkloadProfile profile, std::uint64_t seed,
+                  std::size_t count, std::uint32_t line_bytes);
+
+  std::optional<Request> next() override;
+
+  /// Requests not yet emitted.
+  std::size_t remaining() const { return count_ - emitted_; }
+
+ private:
+  WorkloadProfile profile_;
+  util::Rng rng_;
+  std::size_t count_;
+  std::size_t emitted_ = 0;
+  std::uint32_t line_bytes_;
+  std::uint64_t lines_;
+  std::uint64_t lines_per_row_;
+  double clock_ps_ = 0.0;
+  std::uint64_t current_line_ = 0;
+  std::uint64_t stream_pos_;
+  bool in_burst_ = false;
+  int burst_left_ = 0;
+};
+
 /// Deterministic trace synthesis from a profile.
 class TraceGenerator {
  public:
   TraceGenerator(WorkloadProfile profile, std::uint64_t seed);
 
-  /// Generates `count` requests with the given line size.
+  /// Generates `count` requests with the given line size (materialized;
+  /// drains a GeneratorSource, so it is bit-identical to streaming).
   std::vector<Request> generate(std::size_t count,
                                 std::uint32_t line_bytes) const;
+
+  /// The lazy equivalent: a fresh source that synthesizes the same
+  /// `count` requests on demand.
+  GeneratorSource stream(std::size_t count, std::uint32_t line_bytes) const;
 
   const WorkloadProfile& profile() const { return profile_; }
 

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,6 +15,7 @@
 #include "driver/registry.hpp"
 #include "driver/report.hpp"
 #include "driver/sweep.hpp"
+#include "memsim/trace.hpp"
 
 namespace {
 
@@ -83,6 +88,140 @@ TEST(OptionsTest, ListFlagsParse) {
   const Options opt = parse_args({});
   EXPECT_FALSE(opt.list_devices);
   EXPECT_FALSE(opt.list_workloads);
+}
+
+namespace {
+
+/// Writes a small generated trace to a temp file, deleted on scope exit.
+class TempTraceFile {
+ public:
+  TempTraceFile() {
+    const auto trace = comet::memsim::TraceGenerator(
+                           comet::memsim::profile_by_name("gcc_like"), 13)
+                           .generate(400, 64);
+    std::ofstream out(path_);
+    comet::memsim::write_trace(out, trace, comet::memsim::TraceConfig{});
+  }
+  ~TempTraceFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  // Pid-qualified so parallel ctest invocations of this binary never
+  // collide on the shared working directory.
+  std::string path_ =
+      "test_driver_tmp_" + std::to_string(::getpid()) + ".trace";
+};
+
+}  // namespace
+
+TEST(OptionsTest, TraceFileMustExistAtParseTime) {
+  // main() maps parse failures to exit 2: a bad path dies before any
+  // simulation runs.
+  EXPECT_THROW(parse_args({"--trace-file", "/no/such/file.trace"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--trace-file", ""}), std::invalid_argument);
+  // A directory opens but cannot be read; the parse-time probe must
+  // catch it, not let it replay as a silently empty trace.
+  EXPECT_THROW(parse_args({"--trace-file", "/tmp"}), std::invalid_argument);
+  const TempTraceFile file;
+  const Options opt = parse_args({"--trace-file", file.path()});
+  EXPECT_EQ(opt.trace_file, file.path());
+}
+
+TEST(OptionsTest, CpuGhzParsesAndRejectsBadValues) {
+  const TempTraceFile file;
+  const Options opt =
+      parse_args({"--trace-file", file.path(), "--cpu-ghz", "3.5"});
+  EXPECT_DOUBLE_EQ(opt.cpu_ghz, 3.5);
+  EXPECT_THROW(parse_args({"--cpu-ghz", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--cpu-ghz", "-2"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--cpu-ghz", "2.0.0"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--cpu-ghz", "fast"}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--cpu-ghz", "1e3"}), std::invalid_argument);
+}
+
+TEST(OptionsTest, DumpTraceNeedsASingleWorkload) {
+  EXPECT_THROW(parse_args({"--dump-trace", "out.trace"}),
+               std::invalid_argument);
+  const Options opt =
+      parse_args({"--dump-trace", "out.trace", "--workload", "lbm_like"});
+  EXPECT_EQ(opt.dump_trace, "out.trace");
+}
+
+TEST(OptionsTest, DumpTraceAndTraceFileConflict) {
+  const TempTraceFile file;
+  EXPECT_THROW(parse_args({"--trace-file", file.path(), "--dump-trace",
+                           "out.trace", "--workload", "lbm_like"}),
+               std::invalid_argument);
+}
+
+TEST(RegistryTest, EmptyDeviceSpecFailsLoudly) {
+  // The documented footgun: a default-constructed spec has neither
+  // optional engaged; make_engine/set_channels must throw a clear
+  // std::logic_error instead of dereferencing an empty optional.
+  comet::driver::DeviceSpec spec;
+  EXPECT_THROW((void)spec.make_engine(), std::logic_error);
+  EXPECT_THROW(spec.set_channels(4), std::logic_error);
+}
+
+TEST(RegistryTest, MakeEngineCoversEveryToken) {
+  for (const auto& token : comet::driver::known_devices()) {
+    const auto engine = comet::driver::make_device_spec(token).make_engine();
+    EXPECT_NE(engine, nullptr) << token;
+  }
+  for (const auto& token : comet::driver::known_hybrid_devices()) {
+    const auto engine = comet::driver::make_device_spec(token).make_engine();
+    const auto stats = engine->run(std::vector<comet::memsim::Request>{});
+    EXPECT_TRUE(stats.is_hybrid()) << token;
+  }
+}
+
+TEST(SweepTest, TraceFileModeBuildsOneJobPerDevice) {
+  const TempTraceFile file;
+  const Options opt = parse_args({"--trace-file", file.path()});
+  const auto jobs = build_matrix(opt);
+  EXPECT_EQ(jobs.size(), 7u);  // devices x one trace pseudo-workload
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.trace_path, file.path());
+    EXPECT_EQ(job.profile.name, file.path());  // basename == path here
+    EXPECT_DOUBLE_EQ(job.cpu_ghz, 2.0);
+  }
+}
+
+TEST(SweepTest, TraceFileReplayThreadedMatchesSerial) {
+  const TempTraceFile file;
+  Options opt = parse_args({"--trace-file", file.path(), "--device", "all"});
+  auto jobs = build_matrix(opt);
+  // Mix a hybrid design point into the matrix.
+  {
+    Options hybrid_opt =
+        parse_args({"--trace-file", file.path(), "--device", "hybrid-comet"});
+    for (auto& job : build_matrix(hybrid_opt)) jobs.push_back(std::move(job));
+  }
+  const auto serial = run_sweep(jobs, 1);
+  const auto threaded = run_sweep(jobs, 4);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].reads, threaded[i].reads) << i;
+    EXPECT_EQ(serial[i].span_ps, threaded[i].span_ps) << i;
+    EXPECT_EQ(serial[i].dynamic_energy_pj, threaded[i].dynamic_energy_pj)
+        << i;
+    EXPECT_EQ(serial[i].cache_hits, threaded[i].cache_hits) << i;
+    // Every device replayed the same 400-request demand stream.
+    EXPECT_EQ(serial[i].reads + serial[i].writes, 400u) << i;
+  }
+}
+
+TEST(ReportTest, JsonRecordsTraceFile) {
+  const TempTraceFile file;
+  Options opt = parse_args({"--trace-file", file.path(), "--device", "comet"});
+  const auto jobs = build_matrix(opt);
+  const auto results = run_sweep(jobs, 1);
+  std::ostringstream os;
+  comet::driver::write_json(os, jobs, results);
+  EXPECT_NE(os.str().find("\"trace_file\": \"" + file.path() + "\""),
+            std::string::npos)
+      << os.str();
 }
 
 TEST(RegistryTest, HybridTokensAreDistinctFromFlatOnes) {

@@ -304,6 +304,36 @@ TEST(TieredSystem, CombinedStatsMergeBothTiers) {
   EXPECT_TRUE(c.is_hybrid());
 }
 
+TEST(TieredSystem, StreamedTieredReplayMatchesMaterialized) {
+  // The streaming split (demand pulled one request at a time, derived
+  // traffic fed into two incremental replays) must be bit-identical to
+  // the materialized-vector adapter, tier by tier.
+  const hy::TieredSystem sys(tiered_config(small_cache(1 << 12, 2, 1024)));
+  std::vector<ms::Request> reqs;
+  for (int i = 0; i < 300; ++i) {
+    reqs.push_back(make_req(i, i * 700,
+                            i % 3 ? ms::Op::kRead : ms::Op::kWrite,
+                            std::uint64_t(i % 11) * 1024));
+  }
+  const auto materialized = sys.run_tiered(reqs);
+  ms::VectorSource source(reqs);
+  const auto streamed = sys.run_tiered(source);
+  const auto compare = [](const ms::SimStats& a, const ms::SimStats& b,
+                          const char* tier) {
+    EXPECT_EQ(a.reads, b.reads) << tier;
+    EXPECT_EQ(a.writes, b.writes) << tier;
+    EXPECT_EQ(a.span_ps, b.span_ps) << tier;
+    EXPECT_EQ(a.read_latency_ns.mean(), b.read_latency_ns.mean()) << tier;
+    EXPECT_EQ(a.dynamic_energy_pj, b.dynamic_energy_pj) << tier;
+    EXPECT_EQ(a.background_energy_pj, b.background_energy_pj) << tier;
+    EXPECT_EQ(a.cache_hits, b.cache_hits) << tier;
+    EXPECT_EQ(a.writebacks, b.writebacks) << tier;
+  };
+  compare(materialized.combined, streamed.combined, "combined");
+  compare(materialized.dram, streamed.dram, "dram");
+  compare(materialized.backend, streamed.backend, "backend");
+}
+
 TEST(TieredSystem, HitsAreFasterThanFlatBackend) {
   // Hot-set workload almost entirely inside the cache: hybrid average
   // read latency must beat the slow flat backend's.

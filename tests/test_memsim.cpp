@@ -69,6 +69,49 @@ TEST(Trace, RejectsMalformed) {
   std::istringstream truncated("100\n");
   EXPECT_THROW(ms::read_trace(truncated, ms::TraceConfig{}),
                std::runtime_error);
+  std::istringstream bad_addr("100 R 0x12zz\n");
+  EXPECT_THROW(ms::read_trace(bad_addr, ms::TraceConfig{}),
+               std::runtime_error);
+}
+
+TEST(Trace, MalformedErrorNamesLineNumberAndText) {
+  std::istringstream in("100 R 0x1000\n# fine\n101 Q 0x2000\n");
+  try {
+    ms::read_trace(in, ms::TraceConfig{});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("101 Q 0x2000"), std::string::npos) << msg;
+  }
+}
+
+TEST(Trace, RejectsNonMonotonicCyclesWithDiagnostic) {
+  std::istringstream in("100 R 0x0\n250 W 0x40\n120 R 0x80\n");
+  try {
+    ms::read_trace(in, ms::TraceConfig{});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    // Same diagnostic style as require_sorted_by_arrival: the offending
+    // position and both out-of-order values.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("non-monotonic"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("120"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("250"), std::string::npos) << msg;
+  }
+}
+
+TEST(Trace, EqualCyclesAreAllowed) {
+  std::istringstream in("100 R 0x0\n100 W 0x40\n");
+  EXPECT_EQ(ms::read_trace(in, ms::TraceConfig{}).size(), 2u);
+}
+
+TEST(Trace, IgnoresTrailingNvmainFields) {
+  std::istringstream in("100 R 0x1000 0123456789abcdef 2\n");
+  const auto reqs = ms::read_trace(in, ms::TraceConfig{});
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].address, 0x1000u);
 }
 
 TEST(Trace, RoundTrip) {
