@@ -1,0 +1,248 @@
+#include "config/experiment.hpp"
+
+#include <climits>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace comet::config {
+
+void ExperimentSpec::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("experiment: empty name");
+  }
+  if (device_tokens.empty() && devices.empty()) {
+    throw std::invalid_argument("experiment '" + name +
+                                "' defines no devices");
+  }
+  for (const auto& spec : devices) {
+    if (!spec.flat && !spec.tiered) {
+      throw std::invalid_argument("experiment '" + name +
+                                  "' contains an empty device spec");
+    }
+  }
+  if (trace_file.empty()) {
+    if (workload_names.empty() && workloads.empty()) {
+      throw std::invalid_argument("experiment '" + name +
+                                  "' defines no workloads and no trace_file");
+    }
+  } else if (!workload_names.empty() || !workloads.empty()) {
+    throw std::invalid_argument(
+        "experiment '" + name +
+        "' sets trace_file and workloads; a trace replay has exactly one "
+        "request stream");
+  } else if (requests.size() > 1 || seeds.size() > 1) {
+    // requests/seed are ignored during replay, so an axis would just run
+    // the identical trace N times and misread as a real sweep.
+    throw std::invalid_argument(
+        "experiment '" + name +
+        "' sets trace_file and a requests/seed axis; replay ignores both, "
+        "so the axis would only duplicate identical runs");
+  }
+  if (requests.empty() || seeds.empty() || channels.empty()) {
+    throw std::invalid_argument("experiment '" + name +
+                                "' has an empty requests/seeds/channels axis");
+  }
+  for (const auto count : requests) {
+    if (count == 0) {
+      throw std::invalid_argument("experiment '" + name +
+                                  "': requests values must be >= 1");
+    }
+  }
+  for (const auto count : channels) {
+    if (count < 0) {
+      throw std::invalid_argument("experiment '" + name +
+                                  "': channels values must be >= 0");
+    }
+  }
+  if (line_bytes == 0) {
+    throw std::invalid_argument("experiment '" + name +
+                                "': line_bytes must be >= 1");
+  }
+  if (!(cpu_ghz > 0.0) || !std::isfinite(cpu_ghz)) {
+    throw std::invalid_argument("experiment '" + name +
+                                "': cpu_ghz must be a positive number");
+  }
+}
+
+ExperimentBuilder& ExperimentBuilder::name(std::string value) {
+  spec_.name = std::move(value);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::device(std::string token) {
+  spec_.device_tokens.push_back(std::move(token));
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::device(DeviceSpec spec) {
+  spec_.devices.push_back(std::move(spec));
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::workload(std::string profile_name) {
+  spec_.workload_names.push_back(std::move(profile_name));
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::workload(
+    memsim::WorkloadProfile profile) {
+  spec_.workloads.push_back(std::move(profile));
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::requests(
+    std::vector<std::uint64_t> values) {
+  spec_.requests = std::move(values);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::seeds(std::vector<std::uint64_t> values) {
+  spec_.seeds = std::move(values);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::channels(std::vector<int> values) {
+  spec_.channels = std::move(values);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::line_bytes(std::uint32_t value) {
+  spec_.line_bytes = value;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::trace(std::string path, double cpu_ghz) {
+  spec_.trace_file = std::move(path);
+  spec_.cpu_ghz = cpu_ghz;
+  return *this;
+}
+
+ExperimentSpec ExperimentBuilder::build() const {
+  spec_.validate();
+  return spec_;
+}
+
+ExperimentSpec parse_experiment(const toml::Document& doc,
+                                const DeviceResolver& resolver) {
+  ExperimentSpec spec;
+  spec.source = doc.source;
+
+  TableReader root(doc.root, doc.source, "experiment file");
+  std::uint64_t anchor_line = 0;
+
+  if (const toml::Table* experiment = root.child("experiment")) {
+    anchor_line = experiment->line;
+    TableReader reader(*experiment, doc.source, "[experiment]");
+    if (auto v = reader.get_string("name")) spec.name = *v;
+    if (auto v = reader.get_string_list("devices")) spec.device_tokens = *v;
+    if (auto v = reader.get_string_list("workloads")) spec.workload_names = *v;
+    if (auto v = reader.get_u64_list("requests", 1, SIZE_MAX)) {
+      spec.requests = *v;
+    }
+    if (auto v = reader.get_u64_list("seed")) spec.seeds = *v;
+    if (auto v = reader.get_u64_list("channels", 0, INT_MAX)) {
+      spec.channels.clear();
+      for (const auto c : *v) spec.channels.push_back(int(c));
+    }
+    if (auto v = reader.get_u64("line_bytes", 1, UINT32_MAX)) {
+      spec.line_bytes = std::uint32_t(*v);
+    }
+    if (auto v = reader.get_string("trace_file")) spec.trace_file = *v;
+    if (auto v = reader.get_double("cpu_ghz", 1e-6, 1e6)) spec.cpu_ghz = *v;
+    reader.finish();
+  }
+
+  if (const auto* devices = root.array_of_tables("device")) {
+    for (const auto& table : *devices) {
+      spec.devices.push_back(parse_device(table, doc.source, resolver));
+    }
+  }
+  if (const auto* workloads = root.array_of_tables("workload")) {
+    for (const auto& table : *workloads) {
+      spec.workloads.push_back(parse_workload(table, doc.source));
+    }
+  }
+  root.finish();
+
+  try {
+    spec.validate();
+  } catch (const std::exception& e) {
+    throw toml::ParseError(doc.source, anchor_line, e.what());
+  }
+  return spec;
+}
+
+ExperimentSpec parse_experiment_file(const std::string& path,
+                                     const DeviceResolver& resolver) {
+  return parse_experiment(toml::parse_file(path), resolver);
+}
+
+namespace {
+
+template <typename T, typename Format>
+void write_axis(std::ostream& os, const char* key, const std::vector<T>& axis,
+                Format&& format) {
+  os << key << " = ";
+  if (axis.size() == 1) {
+    os << format(axis.front()) << "\n";
+    return;
+  }
+  os << "[";
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    os << (i ? ", " : "") << format(axis[i]);
+  }
+  os << "]\n";
+}
+
+std::string format_integer(std::uint64_t v) { return std::to_string(v); }
+
+void write_string_list(std::ostream& os, const char* key,
+                       const std::vector<std::string>& values) {
+  os << key << " = [";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << (i ? ", " : "") << toml::format_string(values[i]);
+  }
+  os << "]\n";
+}
+
+}  // namespace
+
+void write_experiment(std::ostream& os, const ExperimentSpec& spec) {
+  os << "# comet_sim experiment specification\n"
+     << "[experiment]\n"
+     << "name = " << toml::format_string(spec.name) << "\n";
+  if (!spec.device_tokens.empty()) {
+    write_string_list(os, "devices", spec.device_tokens);
+  }
+  if (!spec.workload_names.empty()) {
+    write_string_list(os, "workloads", spec.workload_names);
+  }
+  write_axis(os, "requests", spec.requests, format_integer);
+  write_axis(os, "seed", spec.seeds, format_integer);
+  write_axis(os, "channels", spec.channels,
+             [](int v) { return std::to_string(v); });
+  os << "line_bytes = " << spec.line_bytes << "\n";
+  if (!spec.trace_file.empty()) {
+    os << "trace_file = " << toml::format_string(spec.trace_file) << "\n"
+       << "cpu_ghz = " << toml::format_float(spec.cpu_ghz) << "\n";
+  }
+  for (const auto& device : spec.devices) {
+    os << "\n[[device]]\n";
+    write_device_spec_body(os, device, "device");
+  }
+  for (const auto& workload : spec.workloads) {
+    os << "\n[[workload]]\n";
+    write_workload_body(os, workload);
+  }
+}
+
+std::string experiment_to_toml(const ExperimentSpec& spec) {
+  std::ostringstream os;
+  write_experiment(os, spec);
+  return os.str();
+}
+
+}  // namespace comet::config

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "config/device_spec.hpp"
+#include "config/serialize.hpp"
+#include "memsim/trace_gen.hpp"
+
+/// The declarative experiment API: one document (or one builder chain)
+/// describes a full comet_sim run — devices, workloads, request counts,
+/// seeds, channel overrides and trace files — and expands into the
+/// sweep matrix without touching C++.
+///
+/// Document shape (`--config`):
+///
+///     [experiment]
+///     name = "fig9"
+///     devices = ["comet", "hybrid-comet"]   # registry tokens / all
+///     workloads = ["gcc_like", "lbm_like"]  # profile names / all
+///     requests = 20000                      # scalar or array (axis)
+///     seed = [1, 2, 3]                      # scalar or array (axis)
+///     channels = [8, 16]                    # scalar or array (axis);
+///                                           # 0 keeps the device default
+///     line_bytes = 128
+///
+///     [[device]]                            # inline device definitions
+///     base = "comet"                        # (appended after tokens)
+///     name = "comet-16ch"
+///     [device.timing]
+///     channels = 16
+///
+///     [[workload]]                          # inline workload profiles
+///     name = "scan"
+///     pattern = "streaming"
+///
+/// The matrix expands devices × channels × workloads × requests × seeds
+/// in that nesting order, devices ordered tokens-first then inline
+/// definitions (same for workloads).
+namespace comet::config {
+
+struct ExperimentSpec {
+  std::string name = "experiment";
+
+  /// Registry tokens (including `all` / `hybrid-all`), expanded before
+  /// the inline `devices` below. The config layer cannot resolve these
+  /// itself — the driver's registry does (resolve_experiment).
+  std::vector<std::string> device_tokens;
+  std::vector<DeviceSpec> devices;  ///< Inline / resolved definitions.
+
+  /// Built-in profile names (including `all`), expanded before the
+  /// inline `workloads`.
+  std::vector<std::string> workload_names;
+  std::vector<memsim::WorkloadProfile> workloads;
+
+  // --- Sweep axes. Single-element vectors reproduce the CLI flags; a
+  // --- longer vector multiplies the matrix.
+  std::vector<std::uint64_t> requests = {20000};
+  std::vector<std::uint64_t> seeds = {42};
+  std::vector<int> channels = {0};  ///< 0 keeps each device's topology.
+
+  std::uint32_t line_bytes = 128;
+  std::string trace_file;  ///< Non-empty: replay instead of synthesis.
+  double cpu_ghz = 2.0;
+
+  /// Provenance label: the config file path, or "" for CLI/programmatic
+  /// specs. Carried into the JSON report's config_file field.
+  std::string source;
+
+  /// Throws std::invalid_argument on an inconsistent spec: no devices,
+  /// no workloads without a trace file, workloads alongside a trace
+  /// file, empty axes, or an empty inline device.
+  void validate() const;
+};
+
+/// Fluent construction of an ExperimentSpec — the programmatic face of
+/// the same API the config files use.
+///
+///     auto spec = ExperimentBuilder()
+///                     .name("ablation")
+///                     .device("comet")
+///                     .workload("gcc_like")
+///                     .channels({4, 8, 16})
+///                     .requests({10000})
+///                     .build();
+class ExperimentBuilder {
+ public:
+  ExperimentBuilder& name(std::string value);
+  ExperimentBuilder& device(std::string token);
+  ExperimentBuilder& device(DeviceSpec spec);
+  ExperimentBuilder& workload(std::string profile_name);
+  ExperimentBuilder& workload(memsim::WorkloadProfile profile);
+  ExperimentBuilder& requests(std::vector<std::uint64_t> values);
+  ExperimentBuilder& seeds(std::vector<std::uint64_t> values);
+  ExperimentBuilder& channels(std::vector<int> values);
+  ExperimentBuilder& line_bytes(std::uint32_t value);
+  ExperimentBuilder& trace(std::string path, double cpu_ghz = 2.0);
+
+  /// Validates and returns the spec (throws std::invalid_argument).
+  ExperimentSpec build() const;
+
+ private:
+  ExperimentSpec spec_;
+};
+
+/// Parses a whole experiment document. `resolver` resolves `base`
+/// references inside inline [[device]] tables (registry tokens in the
+/// `devices` list are left for resolve_experiment / the driver). Throws
+/// toml::ParseError with source:line diagnostics.
+ExperimentSpec parse_experiment(const toml::Document& doc,
+                                const DeviceResolver& resolver);
+
+ExperimentSpec parse_experiment_file(const std::string& path,
+                                     const DeviceResolver& resolver);
+
+/// Serializes a spec as a parse_experiment-compatible document. Inline
+/// devices/workloads are written in full; token lists are written
+/// symbolically — resolve first (driver::resolve_experiment) for a
+/// registry-independent dump.
+void write_experiment(std::ostream& os, const ExperimentSpec& spec);
+
+std::string experiment_to_toml(const ExperimentSpec& spec);
+
+}  // namespace comet::config

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/device_spec.hpp"
+#include "config/toml.hpp"
+#include "memsim/trace_gen.hpp"
+
+/// Two-way serialization between the simulator's configuration structs
+/// (memsim::DeviceModel, hybrid::TieredConfig, memsim::WorkloadProfile,
+/// DeviceSpec) and the TOML-subset documents of the declarative
+/// experiment API.
+///
+/// Reading is schema-checked: unknown keys, wrong value types and
+/// out-of-range values all raise toml::ParseError anchored to the
+/// offending line. Writing emits every field with round-trip precision,
+/// so `parse(write(x)) == x` for any valid spec — the invariant behind
+/// `--dump-config`.
+namespace comet::config {
+
+/// Maps a `base = "<token>"` reference to a resolved built-in spec. The
+/// driver registry supplies one (registry_resolver()); pass an empty
+/// function where base references must be rejected. Expected to throw
+/// std::invalid_argument on unknown tokens.
+using DeviceResolver = std::function<DeviceSpec(const std::string& token)>;
+
+/// Schema-checking view over one parsed table: typed getters with range
+/// checks, consumed-key tracking, and a finish() pass that rejects any
+/// key the schema never asked for — with the key's own line number.
+/// Getters are idempotent (reading a key twice is fine) and return
+/// nullopt for absent keys, so callers layer "present ⇒ override"
+/// semantics on top.
+class TableReader {
+ public:
+  /// `section` names the table in diagnostics, e.g. "[device.timing]".
+  TableReader(const toml::Table& table, std::string source,
+              std::string section);
+
+  const std::string& source() const { return source_; }
+  const std::string& section() const { return section_; }
+
+  bool has(const std::string& key) const;
+
+  /// Line of `key` (0 when absent) — for anchoring follow-on errors.
+  std::uint64_t key_line(const std::string& key) const;
+
+  std::optional<std::string> get_string(const std::string& key);
+  std::optional<bool> get_bool(const std::string& key);
+  std::optional<std::int64_t> get_int(const std::string& key,
+                                      std::int64_t min, std::int64_t max);
+  std::optional<std::uint64_t> get_u64(const std::string& key,
+                                       std::uint64_t min = 0,
+                                       std::uint64_t max = UINT64_MAX);
+  std::optional<double> get_double(const std::string& key, double min,
+                                   double max);
+
+  /// Scalar-or-array readers for sweep axes: a single value yields a
+  /// one-element vector. Every element is range-checked.
+  std::optional<std::vector<std::uint64_t>> get_u64_list(
+      const std::string& key, std::uint64_t min = 0,
+      std::uint64_t max = UINT64_MAX);
+  std::optional<std::vector<std::string>> get_string_list(
+      const std::string& key);
+
+  /// Named sub-table, or nullptr when absent. Fails when the key is a
+  /// scalar or an array of tables.
+  const toml::Table* child(const std::string& key);
+
+  /// `[[key]]` tables, or nullptr when absent.
+  const std::vector<toml::Table>* array_of_tables(const std::string& key);
+
+  /// Rejects every key the schema never consumed, naming the first (by
+  /// line) unknown key and this section.
+  void finish();
+
+  [[noreturn]] void fail(const std::string& message) const;
+  [[noreturn]] void fail_at(std::uint64_t line,
+                            const std::string& message) const;
+
+ private:
+  const toml::Value* find_value(const std::string& key,
+                                toml::Value::Type expected);
+
+  const toml::Table& table_;
+  std::string source_;
+  std::string section_;
+  std::set<std::string> consumed_;
+};
+
+// --- Pattern names ("streaming", "strided", "random", "pointer_chase",
+// --- "mixed") used by workload documents.
+
+const char* pattern_name(memsim::Pattern pattern);
+
+/// Throws std::invalid_argument naming the valid set on unknown names.
+memsim::Pattern pattern_from_name(const std::string& name);
+
+// --- Writers. The *_body forms assume the caller has just emitted the
+// --- section header (`[prefix]` or `[[prefix]]`) and write the keys
+// --- plus any `[prefix.*]` sub-sections; `prefix` is the header path.
+
+void write_device_model_body(std::ostream& os, const memsim::DeviceModel& model,
+                             const std::string& prefix);
+
+/// Flat specs: `kind = "flat"` + the model body. Hybrid specs: `kind =
+/// "hybrid"` plus [prefix.cache], [prefix.dram] and [prefix.backend].
+/// Throws std::logic_error on an empty spec.
+void write_device_spec_body(std::ostream& os, const DeviceSpec& spec,
+                            const std::string& prefix);
+
+void write_workload_body(std::ostream& os,
+                         const memsim::WorkloadProfile& profile);
+
+/// Standalone `[device]` document for one spec — the `--device-file`
+/// input format.
+std::string device_spec_to_toml(const DeviceSpec& spec);
+
+std::string workload_to_toml(const memsim::WorkloadProfile& profile);
+
+// --- Readers.
+
+/// Parses one device table (the contents of a `[device]` section or a
+/// `[[device]]` element) into a resolved spec. Semantics:
+///   - `base = "<token>"` starts from the resolver's spec for that
+///     token; all other keys are overrides on top of it.
+///   - a flat base (or no base) plus a [cache] section *promotes* the
+///     device to a hybrid: the flat model becomes the backend.
+///   - hybrid tables take [cache] / [backend] / [dram] sections; the
+///     DRAM tier is re-derived from the cache capacity unless [dram] is
+///     given explicitly.
+/// Throws toml::ParseError with source:line on any schema violation and
+/// on model validation failures.
+DeviceSpec parse_device(const toml::Table& table, const std::string& source,
+                        const DeviceResolver& resolver);
+
+/// Parses a file containing exactly one `[device]` section.
+DeviceSpec parse_device_file(const std::string& path,
+                             const DeviceResolver& resolver);
+
+/// Parses one workload table; `name` is required, everything else
+/// defaults to the WorkloadProfile defaults.
+memsim::WorkloadProfile parse_workload(const toml::Table& table,
+                                       const std::string& source);
+
+}  // namespace comet::config

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "config/experiment.hpp"
 #include "driver/options.hpp"
 #include "driver/registry.hpp"
 #include "driver/report.hpp"
@@ -63,6 +64,36 @@ int main(int argc, char** argv) {
       }
       std::cout << "wrote " << options.dump_trace << " (" << options.requests
                 << " requests, " << profile.name << ")\n";
+    } catch (const std::exception& e) {
+      std::cerr << "comet_sim: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+  if (!options.dump_config.empty()) {
+    // Round-trip the resolved experiment back to disk: registry tokens
+    // and profile names are expanded to fully inline definitions, so the
+    // dumped spec replays anywhere `--config` does — the config analogue
+    // of --dump-trace.
+    try {
+      const auto spec =
+          resolve_experiment(experiment_from_options(options));
+      std::ofstream out(options.dump_config);
+      if (!out) {
+        std::cerr << "comet_sim: cannot open '" << options.dump_config
+                  << "' for writing\n";
+        return 1;
+      }
+      comet::config::write_experiment(out, spec);
+      out.close();
+      if (out.fail()) {
+        std::cerr << "comet_sim: error writing '" << options.dump_config
+                  << "' (disk full?)\n";
+        return 1;
+      }
+      std::cout << "wrote " << options.dump_config << " ("
+                << spec.devices.size() << " device(s), "
+                << spec.workloads.size() << " workload(s))\n";
     } catch (const std::exception& e) {
       std::cerr << "comet_sim: " << e.what() << "\n";
       return 1;

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "config/experiment.hpp"
+#include "config/serialize.hpp"
 #include "driver/registry.hpp"
 #include "memsim/trace_gen.hpp"
 
@@ -60,10 +62,26 @@ double parse_positive_double(const std::string& flag,
   return parsed;
 }
 
+/// True when `path` names an openable, readable file. peek() forces a
+/// first read, catching paths that open but cannot be read (e.g. a
+/// directory, which fopen happily opens on glibc); an empty regular
+/// file only sets eofbit and stays valid.
+bool file_readable(const std::string& path) {
+  std::ifstream probe(path);
+  probe.peek();
+  return probe.is_open() && !probe.bad();
+}
+
 }  // namespace
 
 Options parse_args(const std::vector<std::string>& args) {
   Options opt;
+  // First matrix-defining flag seen, for the --config conflict
+  // diagnostic: a config file owns the whole matrix.
+  std::string matrix_flag;
+  const auto matrix = [&](const std::string& flag) {
+    if (matrix_flag.empty()) matrix_flag = flag;
+  };
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& flag = args[i];
     if (flag == "--help" || flag == "-h") {
@@ -90,55 +108,85 @@ Options parse_args(const std::vector<std::string>& args) {
     };
     if (flag == "--device") {
       opt.device = next();
+      opt.device_given = true;
+      matrix(flag);
     } else if (flag == "--workload") {
       opt.workload = next();
+      matrix(flag);
     } else if (flag == "--channels") {
       opt.channels = static_cast<int>(parse_u64(flag, next(), INT_MAX));
       if (opt.channels <= 0) {
         throw std::invalid_argument("--channels must be >= 1");
       }
+      matrix(flag);
     } else if (flag == "--requests") {
       opt.requests =
           static_cast<std::size_t>(parse_u64(flag, next(), SIZE_MAX));
       if (opt.requests == 0) {
         throw std::invalid_argument("--requests must be >= 1");
       }
+      matrix(flag);
     } else if (flag == "--threads") {
       opt.threads = static_cast<int>(parse_u64(flag, next(), INT_MAX));
     } else if (flag == "--seed") {
       opt.seed = parse_u64(flag, next());
+      matrix(flag);
     } else if (flag == "--line-bytes") {
       opt.line_bytes =
           static_cast<std::uint32_t>(parse_u64(flag, next(), UINT32_MAX));
       if (opt.line_bytes == 0) {
         throw std::invalid_argument("--line-bytes must be >= 1");
       }
+      matrix(flag);
     } else if (flag == "--cache-mb") {
       // Bounded so the capacity in bytes fits comfortably in 64 bits.
       opt.cache_mb = parse_u64(flag, next(), 1ull << 30);
-      if (opt.cache_mb == 0) {
+      if (*opt.cache_mb == 0) {
         throw std::invalid_argument("--cache-mb must be >= 1");
       }
+      matrix(flag);
     } else if (flag == "--cache-ways") {
       opt.cache_ways = static_cast<int>(parse_u64(flag, next(), INT_MAX));
-      if (opt.cache_ways == 0) {
+      if (*opt.cache_ways == 0) {
         throw std::invalid_argument("--cache-ways must be >= 1");
       }
+      matrix(flag);
     } else if (flag == "--cache-policy") {
       opt.cache_policy = next();
-      (void)parse_cache_policy(opt.cache_policy);
+      (void)parse_cache_policy(*opt.cache_policy);
+      matrix(flag);
+    } else if (flag == "--config") {
+      opt.config = next();
+      if (opt.config.empty()) {
+        throw std::invalid_argument("--config requires a non-empty path");
+      }
+    } else if (flag == "--device-file") {
+      const std::string& path = next();
+      if (path.empty()) {
+        throw std::invalid_argument("--device-file requires a non-empty path");
+      }
+      opt.device_files.push_back(path);
+      matrix(flag);
+    } else if (flag == "--dump-config") {
+      opt.dump_config = next();
+      if (opt.dump_config.empty()) {
+        throw std::invalid_argument("--dump-config requires a non-empty path");
+      }
     } else if (flag == "--trace-file") {
       opt.trace_file = next();
       if (opt.trace_file.empty()) {
         throw std::invalid_argument("--trace-file requires a non-empty path");
       }
+      matrix(flag);
     } else if (flag == "--cpu-ghz") {
       opt.cpu_ghz = parse_positive_double(flag, next());
+      matrix(flag);
     } else if (flag == "--dump-trace") {
       opt.dump_trace = next();
       if (opt.dump_trace.empty()) {
         throw std::invalid_argument("--dump-trace requires a non-empty path");
       }
+      matrix(flag);
     } else if (flag == "--json") {
       opt.json_path = next();
       if (opt.json_path.empty()) {
@@ -150,25 +198,55 @@ Options parse_args(const std::vector<std::string>& args) {
     }
   }
 
-  // Validate names (and hybrid cache overrides) eagerly so a typo or an
-  // inconsistent cache geometry fails before any simulation runs. `all`
-  // is flat-only, so cache overrides cannot invalidate it.
+  // Validate names, files and flag combinations eagerly so a typo, an
+  // inconsistent cache geometry or a malformed config document fails
+  // with exit 2 before any simulation runs. `all` is flat-only, so
+  // cache overrides cannot invalidate it.
+  if (!opt.config.empty() && !matrix_flag.empty()) {
+    throw std::invalid_argument(
+        "--config cannot be combined with " + matrix_flag +
+        " (the config file defines the whole experiment)");
+  }
+  if (!opt.config.empty()) {
+    // Parse and schema-check the document now, including the pieces the
+    // schema alone cannot settle: registry tokens, profile names and the
+    // trace file must all resolve so every typo is an exit-2 parse
+    // failure, exactly like its CLI-flag equivalent. The sweep re-reads
+    // the file later — config documents are small, and re-parsing keeps
+    // Options a plain value struct.
+    const auto spec =
+        config::parse_experiment_file(opt.config, registry_resolver());
+    try {
+      for (const auto& token : spec.device_tokens) {
+        (void)resolve_device_specs(token);
+      }
+      for (const auto& name : spec.workload_names) {
+        if (name != "all") (void)memsim::profile_by_name(name);
+      }
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(opt.config + ": " + e.what());
+    }
+    if (!spec.trace_file.empty() && !file_readable(spec.trace_file)) {
+      throw std::invalid_argument(opt.config + ": trace_file: cannot open '" +
+                                  spec.trace_file + "'");
+    }
+  }
+  for (const auto& path : opt.device_files) {
+    (void)config::parse_device_file(path, registry_resolver());
+  }
   if (!opt.trace_file.empty() && !opt.dump_trace.empty()) {
     throw std::invalid_argument(
         "--trace-file and --dump-trace cannot be combined (one replays a "
         "trace, the other writes one)");
   }
-  if (!opt.trace_file.empty()) {
+  if (!opt.dump_trace.empty() && !opt.dump_config.empty()) {
+    throw std::invalid_argument(
+        "--dump-trace and --dump-config cannot be combined");
+  }
+  if (!opt.trace_file.empty() && !file_readable(opt.trace_file)) {
     // Fail a bad path at parse time (exit 2), not deep inside a sweep.
-    // peek() forces a first read, catching paths that open but cannot be
-    // read (e.g. a directory, which fopen happily opens on glibc); an
-    // empty regular file only sets eofbit and stays valid.
-    std::ifstream probe(opt.trace_file);
-    probe.peek();
-    if (!probe.is_open() || probe.bad()) {
-      throw std::invalid_argument("--trace-file: cannot open '" +
-                                  opt.trace_file + "'");
-    }
+    throw std::invalid_argument("--trace-file: cannot open '" +
+                                opt.trace_file + "'");
   }
   if (!opt.dump_trace.empty() && opt.workload == "all") {
     throw std::invalid_argument(
@@ -202,6 +280,13 @@ std::string usage() {
     os << ", " << profile.name;
   }
   os << "\n"
+     << "  --config <path>        run the experiment described by a TOML\n"
+     << "                         spec (devices, workloads, sweep axes);\n"
+     << "                         conflicts with the matrix flags above\n"
+     << "  --device-file <path>   add a device defined in a [device] TOML\n"
+     << "                         file to the sweep (repeatable)\n"
+     << "  --dump-config <path>   write the fully resolved experiment spec\n"
+     << "                         (config analogue of --dump-trace) and exit\n"
      << "  --channels N           override the device channel count\n"
      << "  --requests N           requests per run (default: 20000)\n"
      << "  --threads N            sweep worker threads (default: hardware)\n"

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,19 @@ struct Options {
   bool list_devices = false;     ///< Print device tokens and exit 0.
   bool list_workloads = false;   ///< Print workload names and exit 0.
 
+  // --- Declarative experiment API (--config / --device-file /
+  // --- --dump-config). A config file defines the whole sweep matrix,
+  // --- so it conflicts with every matrix flag above; --device-file adds
+  // --- inline device definitions to the CLI-built matrix instead (and
+  // --- replaces the default `--device all` unless --device is given
+  // --- explicitly). Files are parsed at option-parse time: a bad path
+  // --- or a schema error exits 2 with a file:line diagnostic.
+  std::string config;            ///< Non-empty: experiment spec file.
+  std::vector<std::string> device_files;  ///< Inline [device] spec files.
+  std::string dump_config;       ///< Non-empty: write the fully resolved
+                                 ///< experiment spec here and exit.
+  bool device_given = false;     ///< --device appeared explicitly.
+
   // --- On-disk NVMain trace replay (--trace-file): replaces synthetic
   // --- workloads with a streamed trace file; --workload/--requests/
   // --- --seed are then ignored. The file must be openable at parse
@@ -32,17 +46,22 @@ struct Options {
                                  ///< trace here and exit (needs a single
                                  ///< --workload; no simulation runs).
 
-  // --- Hybrid DRAM-cache overrides (apply to hybrid-* devices only;
-  // --- zero / empty keeps each variant's default).
-  std::uint64_t cache_mb = 0;    ///< Cache tier capacity [MiB].
-  int cache_ways = 0;            ///< Cache associativity.
-  std::string cache_policy;      ///< write-allocate | write-no-allocate.
+  // --- Hybrid DRAM-cache overrides (apply to hybrid-* devices only).
+  // --- Disengaged means "keep each variant's default" — explicit, so a
+  // --- 0 can never be conflated with "unset".
+  std::optional<std::uint64_t> cache_mb;   ///< Cache tier capacity [MiB].
+  std::optional<int> cache_ways;           ///< Cache associativity.
+  std::optional<std::string> cache_policy; ///< write-allocate |
+                                           ///< write-no-allocate.
 };
 
 /// Parses argv-style arguments (excluding argv[0]). Throws
 /// std::invalid_argument on unknown flags, missing values, malformed
-/// numbers, or unknown `--device` / `--workload` names (validated against
-/// the registry and the SPEC-like profile set at parse time).
+/// numbers, unknown `--device` / `--workload` names (validated against
+/// the registry and the SPEC-like profile set at parse time), and
+/// conflicting flag combinations; config/device files are parsed and
+/// schema-checked here too (config::toml::ParseError, a
+/// std::runtime_error, carries the file:line diagnostic).
 Options parse_args(const std::vector<std::string>& args);
 
 /// The --help text.

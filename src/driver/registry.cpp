@@ -9,27 +9,49 @@
 #include "cosmos/cosmos_memory.hpp"
 #include "dram/dram_device.hpp"
 #include "dram/epcm.hpp"
-#include "memsim/system.hpp"
 #include "photonics/losses.hpp"
 
 namespace comet::driver {
 
 namespace {
 
-/// Backend token and default cache capacity for each hybrid variant.
-struct HybridVariant {
-  const char* token;
-  const char* backend;
-  std::uint64_t cache_mb;
-};
+/// The built-in hybrid design points, expressed in the exact document
+/// format `--config` and `--device-file` accept: a DRAM cache tier
+/// ([device.cache]) promoted in front of a flat backend (`base`). The
+/// registry is just a parsed config document — user files and built-in
+/// tokens flow through config::parse_device alike. Order here is the
+/// expansion order of `hybrid-all`.
+constexpr char kBuiltinHybridSpecs[] = R"(
+[[device]]
+name = "hybrid-comet"
+base = "comet"
+[device.cache]
+capacity_mb = 64
 
-constexpr HybridVariant kHybridVariants[] = {
-    {"hybrid-comet", "comet", 64},
-    {"hybrid-comet-small", "comet", 16},
-    {"hybrid-comet-large", "comet", 256},
-    {"hybrid-epcm", "epcm", 64},
-    {"hybrid-cosmos", "cosmos", 64},
-};
+[[device]]
+name = "hybrid-comet-small"
+base = "comet"
+[device.cache]
+capacity_mb = 16
+
+[[device]]
+name = "hybrid-comet-large"
+base = "comet"
+[device.cache]
+capacity_mb = 256
+
+[[device]]
+name = "hybrid-epcm"
+base = "epcm"
+[device.cache]
+capacity_mb = 64
+
+[[device]]
+name = "hybrid-cosmos"
+base = "cosmos"
+[device.cache]
+capacity_mb = 64
+)";
 
 std::invalid_argument unknown_token(const std::string& token,
                                     bool include_hybrid) {
@@ -64,47 +86,27 @@ std::optional<memsim::DeviceModel> try_make_device(const std::string& token) {
   return std::nullopt;
 }
 
+/// Parsed-once view of the built-in hybrid document.
+const std::vector<config::toml::Table>& builtin_hybrid_tables() {
+  static const config::toml::Document doc =
+      config::toml::parse_string(kBuiltinHybridSpecs, "<registry>");
+  return doc.root.arrays.at("device");
+}
+
+const std::string& hybrid_table_name(const config::toml::Table& table) {
+  return table.values.at("name").str;
+}
+
+/// Base resolver for the built-in hybrid specs: flat tokens only (the
+/// built-ins never reference each other).
+DeviceSpec resolve_flat_base(const std::string& token) {
+  if (auto model = try_make_device(token)) {
+    return DeviceSpec(*std::move(model));
+  }
+  throw unknown_token(token, /*include_hybrid=*/false);
+}
+
 }  // namespace
-
-DeviceSpec::DeviceSpec(memsim::DeviceModel model)
-    : name(model.name), flat(std::move(model)) {}
-
-DeviceSpec::DeviceSpec(hybrid::TieredConfig config)
-    : name(config.name), tiered(std::move(config)) {}
-
-int DeviceSpec::channels() const {
-  // .value() so a default-constructed (never-assigned) spec throws
-  // std::bad_optional_access instead of silently reading garbage.
-  return is_hybrid() ? tiered->backend.timing.channels
-                     : flat.value().timing.channels;
-}
-
-std::unique_ptr<memsim::Engine> DeviceSpec::make_engine() const {
-  if (tiered) return std::make_unique<hybrid::TieredSystem>(*tiered);
-  if (flat) return std::make_unique<memsim::MemorySystem>(*flat);
-  throw std::logic_error(
-      "DeviceSpec::make_engine: empty spec '" + name +
-      "' (default-constructed; neither flat nor tiered is engaged — build "
-      "specs through make_device_spec/resolve_device_specs)");
-}
-
-void DeviceSpec::set_channels(int channels) {
-  if (tiered) {
-    // The override targets the main-memory part: for hybrid devices
-    // that is the backend behind the cache tier.
-    tiered->backend.timing.channels = channels;
-    tiered->validate();
-    return;
-  }
-  if (flat) {
-    flat->timing.channels = channels;
-    flat->validate();
-    return;
-  }
-  throw std::logic_error(
-      "DeviceSpec::set_channels: empty spec '" + name +
-      "' (neither flat nor tiered is engaged)");
-}
 
 std::vector<std::string> known_devices() {
   return {"ddr3", "ddr3_3d", "ddr4", "ddr4_3d", "hbm",
@@ -113,7 +115,9 @@ std::vector<std::string> known_devices() {
 
 std::vector<std::string> known_hybrid_devices() {
   std::vector<std::string> tokens;
-  for (const auto& variant : kHybridVariants) tokens.push_back(variant.token);
+  for (const auto& table : builtin_hybrid_tables()) {
+    tokens.push_back(hybrid_table_name(table));
+  }
   return tokens;
 }
 
@@ -132,30 +136,40 @@ bool parse_cache_policy(const std::string& policy) {
 
 DeviceSpec make_device_spec(const std::string& token,
                             const HybridOverrides& overrides) {
-  for (const auto& variant : kHybridVariants) {
-    if (token != variant.token) continue;
-    hybrid::DramCacheConfig cache;
-    cache.capacity_bytes =
-        (overrides.cache_mb ? overrides.cache_mb : variant.cache_mb) << 20;
-    if (overrides.cache_ways) cache.ways = overrides.cache_ways;
-    if (!overrides.cache_policy.empty()) {
-      cache.write_allocate = parse_cache_policy(overrides.cache_policy);
-    }
-    return DeviceSpec(hybrid::make_tiered_config(
-        token, make_device(variant.backend), cache));
-  }
   if (auto model = try_make_device(token)) {
     return DeviceSpec(*std::move(model));
   }
+  for (const auto& table : builtin_hybrid_tables()) {
+    if (hybrid_table_name(table) != token) continue;
+    return apply_hybrid_overrides(
+        config::parse_device(table, "<registry>", resolve_flat_base),
+        overrides);
+  }
   throw unknown_token(token, /*include_hybrid=*/true);
+}
+
+DeviceSpec apply_hybrid_overrides(DeviceSpec spec,
+                                  const HybridOverrides& overrides) {
+  if (!spec.is_hybrid() || !overrides.any()) return spec;
+  // The DRAM tier model is re-derived from the adjusted cache capacity
+  // (make_tiered_config), like any declarative cache change.
+  hybrid::DramCacheConfig cache = spec.tiered->cache;
+  if (overrides.cache_mb) cache.capacity_bytes = *overrides.cache_mb << 20;
+  if (overrides.cache_ways) cache.ways = *overrides.cache_ways;
+  if (overrides.cache_policy) {
+    cache.write_allocate = parse_cache_policy(*overrides.cache_policy);
+  }
+  return DeviceSpec(hybrid::make_tiered_config(
+      spec.name, std::move(spec.tiered->backend), cache));
 }
 
 std::vector<DeviceSpec> resolve_device_specs(const std::string& spec,
                                              const HybridOverrides& overrides) {
   std::vector<DeviceSpec> specs;
   if (spec == "all") {
-    for (auto& model : resolve_devices(spec)) {
-      specs.push_back(DeviceSpec(std::move(model)));
+    for (const auto& token : known_devices()) {
+      if (token == "hbm") continue;  // Alias of ddr4_3d, not an 8th device.
+      specs.push_back(make_device_spec(token, overrides));
     }
   } else if (spec == "hybrid-all") {
     for (const auto& token : known_hybrid_devices()) {
@@ -167,17 +181,8 @@ std::vector<DeviceSpec> resolve_device_specs(const std::string& spec,
   return specs;
 }
 
-std::vector<memsim::DeviceModel> resolve_devices(const std::string& spec) {
-  std::vector<memsim::DeviceModel> models;
-  if (spec == "all") {
-    for (const auto& token : known_devices()) {
-      if (token == "hbm") continue;
-      models.push_back(make_device(token));
-    }
-  } else {
-    models.push_back(make_device(spec));
-  }
-  return models;
+config::DeviceResolver registry_resolver() {
+  return [](const std::string& token) { return make_device_spec(token); };
 }
 
 }  // namespace comet::driver

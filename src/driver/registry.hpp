@@ -1,24 +1,29 @@
 #pragma once
 
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "hybrid/tiered_system.hpp"
+#include "config/device_spec.hpp"
+#include "config/serialize.hpp"
 #include "memsim/device.hpp"
-#include "memsim/engine.hpp"
 
 /// CLI-token → architecture registry for the comet_sim driver.
 ///
 /// Tokens are the names users type on the command line (`--device
 /// comet`, `--device hybrid-comet`). Flat tokens resolve to the
 /// paper-configured DeviceModel factories from the dram/cosmos/core
-/// layers; `hybrid-*` tokens resolve to a hybrid::TieredConfig (a DRAM
-/// cache tier in front of one of those backends). `all` expands to the
-/// seven Fig. 9 architectures in the paper's presentation order;
-/// `hybrid-all` expands to every hybrid design point.
+/// layers; `hybrid-*` tokens are declarative specs — the same document
+/// structure `--config` / `--device-file` accept — resolved through
+/// config::parse_device, so built-ins and user files flow through one
+/// code path. `all` expands to the seven Fig. 9 architectures in the
+/// paper's presentation order; `hybrid-all` expands to every hybrid
+/// design point.
 namespace comet::driver {
+
+/// The resolved-device type is shared with the config layer (it is what
+/// config documents parse into).
+using DeviceSpec = config::DeviceSpec;
 
 /// Canonical flat device tokens accepted by `--device`, in expansion
 /// order of `all`: ddr3, ddr3_3d, ddr4, ddr4_3d (alias: hbm), epcm,
@@ -30,47 +35,19 @@ std::vector<std::string> known_devices();
 std::vector<std::string> known_hybrid_devices();
 
 /// `--cache-*` CLI overrides applied on top of each hybrid variant's
-/// defaults; zero / empty fields keep the variant's own value. Flat
-/// devices ignore them.
+/// defaults. Disengaged optionals keep the variant's own value — the
+/// explicit form of "unset", so a literal 0 can never be conflated with
+/// "keep the default". Flat devices ignore them.
 struct HybridOverrides {
-  std::uint64_t cache_mb = 0;  ///< DRAM tier capacity [MiB].
-  int cache_ways = 0;          ///< Associativity.
-  std::string cache_policy;    ///< "write-allocate" | "write-no-allocate".
-};
+  std::optional<std::uint64_t> cache_mb;   ///< DRAM tier capacity [MiB].
+  std::optional<int> cache_ways;           ///< Associativity.
+  std::optional<std::string> cache_policy; ///< "write-allocate" |
+                                           ///< "write-no-allocate".
 
-/// One resolved `--device` entry: either a flat DeviceModel or a hybrid
-/// TieredConfig, under one display name. A registry-built spec always
-/// has exactly one of the two optionals engaged; call sites never read
-/// them directly — make_engine() hands back the polymorphic
-/// memsim::Engine that replays this architecture, and set_channels()
-/// applies the one CLI override that reaches inside a model. (A
-/// default-constructed spec has *neither* optional engaged; every
-/// accessor below fails loudly on one rather than dereferencing an
-/// empty optional.)
-struct DeviceSpec {
-  std::string name;
-  std::optional<memsim::DeviceModel> flat;     ///< Engaged for flat tokens.
-  std::optional<hybrid::TieredConfig> tiered;  ///< Engaged for hybrid-*.
-
-  DeviceSpec() = default;
-  explicit DeviceSpec(memsim::DeviceModel model);
-  explicit DeviceSpec(hybrid::TieredConfig config);
-
-  bool is_hybrid() const { return tiered.has_value(); }
-
-  /// Channel count of the (backend) main-memory device.
-  int channels() const;
-
-  /// Instantiates the replay engine for this architecture: a
-  /// memsim::MemorySystem for flat specs, a hybrid::TieredSystem for
-  /// hybrid ones. Throws std::logic_error on a default-constructed spec
-  /// with neither alternative engaged.
-  std::unique_ptr<memsim::Engine> make_engine() const;
-
-  /// Applies a channel-count override to the main-memory part (the
-  /// backend behind the cache tier for hybrid specs) and re-validates
-  /// the adjusted model. Throws std::logic_error on an empty spec.
-  void set_channels(int channels);
+  bool any() const {
+    return cache_mb.has_value() || cache_ways.has_value() ||
+           cache_policy.has_value();
+  }
 };
 
 /// Builds the paper-configured model for one flat token; throws
@@ -90,14 +67,25 @@ bool parse_cache_policy(const std::string& policy);
 DeviceSpec make_device_spec(const std::string& token,
                             const HybridOverrides& overrides = {});
 
+/// Applies the `--cache-*` overrides to a hybrid spec, re-deriving the
+/// DRAM tier model from the adjusted cache capacity; flat specs pass
+/// through untouched. One path for registry tokens and --device-file
+/// specs alike, so the flags are never silently ignored for
+/// file-defined hybrids. Throws std::invalid_argument on an invalid
+/// resulting geometry or policy.
+DeviceSpec apply_hybrid_overrides(DeviceSpec spec,
+                                  const HybridOverrides& overrides);
+
 /// Expands a `--device` argument: `all` → every flat device,
 /// `hybrid-all` → every hybrid design point, otherwise the single named
 /// one. Throws std::invalid_argument on unknown tokens.
 std::vector<DeviceSpec> resolve_device_specs(
     const std::string& spec, const HybridOverrides& overrides = {});
 
-/// Flat-only expansion kept for the paper-figure benches: `all` → every
-/// known flat device, otherwise the single named one.
-std::vector<memsim::DeviceModel> resolve_devices(const std::string& spec);
+/// The registry as a config-layer base resolver: maps any single
+/// flat/hybrid token to its spec (no CLI overrides). Hand this to
+/// config::parse_device / parse_experiment so user documents can write
+/// `base = "comet"`.
+config::DeviceResolver registry_resolver();
 
 }  // namespace comet::driver

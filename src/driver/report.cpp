@@ -124,6 +124,8 @@ void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
        << ", \"seed\": " << job.seed
        << ", \"line_bytes\": " << job.line_bytes
        << ", \"trace_file\": " << json_str(job.trace_path)
+       << ", \"experiment\": " << json_str(job.experiment)
+       << ", \"config_file\": " << json_str(job.config_file)
        << ", \"reads\": " << stats.reads
        << ", \"writes\": " << stats.writes
        << ", \"span_ps\": " << stats.span_ps

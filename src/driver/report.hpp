@@ -17,7 +17,9 @@ void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
 
 /// BENCH_fig9.json-style record: `{"bench": "comet_sim_sweep",
 /// "results": [{device, workload, channels, requests, seed,
-/// avg_read_latency_ns, ..., bandwidth_gbps, energy_pj_per_bit}, ...]}`.
+/// experiment, config_file, avg_read_latency_ns, ..., bandwidth_gbps,
+/// energy_pj_per_bit}, ...]}`. The experiment/config_file pair is the
+/// run's config provenance (`"cli"` / `""` for flag-driven runs).
 /// Numbers are emitted with round-trip precision.
 void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
                 const std::vector<memsim::SimStats>& results);

@@ -20,42 +20,125 @@ std::string trace_display_name(const std::string& path) {
 
 }  // namespace
 
-std::vector<SweepJob> build_matrix(const Options& options) {
+config::ExperimentSpec experiment_from_options(const Options& options) {
+  if (!options.config.empty()) {
+    return config::parse_experiment_file(options.config, registry_resolver());
+  }
+
+  config::ExperimentBuilder builder;
+  builder.name("cli");
+
+  // Registry tokens resolve here (with the cache overrides) so the spec
+  // is already inline; --device-file definitions follow. The default
+  // `--device all` steps aside when only files define the matrix.
   const HybridOverrides overrides{.cache_mb = options.cache_mb,
                                   .cache_ways = options.cache_ways,
                                   .cache_policy = options.cache_policy};
-  auto devices = resolve_device_specs(options.device, overrides);
+  if (options.device_given || options.device_files.empty()) {
+    for (auto& spec : resolve_device_specs(options.device, overrides)) {
+      builder.device(std::move(spec));
+    }
+  }
+  for (const auto& path : options.device_files) {
+    builder.device(apply_hybrid_overrides(
+        config::parse_device_file(path, registry_resolver()), overrides));
+  }
+
+  if (!options.trace_file.empty()) {
+    builder.trace(options.trace_file, options.cpu_ghz);
+  } else if (options.workload == "all") {
+    for (auto& profile : memsim::spec_like_profiles()) {
+      builder.workload(std::move(profile));
+    }
+  } else {
+    builder.workload(memsim::profile_by_name(options.workload));
+  }
+
+  builder.requests({options.requests})
+      .seeds({options.seed})
+      .channels({options.channels})
+      .line_bytes(options.line_bytes);
+  return builder.build();
+}
+
+config::ExperimentSpec resolve_experiment(config::ExperimentSpec spec) {
+  std::vector<DeviceSpec> devices;
+  for (const auto& token : spec.device_tokens) {
+    for (auto& resolved : resolve_device_specs(token)) {
+      devices.push_back(std::move(resolved));
+    }
+  }
+  for (auto& inline_device : spec.devices) {
+    devices.push_back(std::move(inline_device));
+  }
+  spec.devices = std::move(devices);
+  spec.device_tokens.clear();
+
+  std::vector<memsim::WorkloadProfile> workloads;
+  for (const auto& name : spec.workload_names) {
+    if (name == "all") {
+      for (auto& profile : memsim::spec_like_profiles()) {
+        workloads.push_back(std::move(profile));
+      }
+    } else {
+      workloads.push_back(memsim::profile_by_name(name));
+    }
+  }
+  for (auto& inline_workload : spec.workloads) {
+    workloads.push_back(std::move(inline_workload));
+  }
+  spec.workloads = std::move(workloads);
+  spec.workload_names.clear();
+  return spec;
+}
+
+std::vector<SweepJob> build_matrix(const config::ExperimentSpec& spec) {
+  const config::ExperimentSpec resolved = resolve_experiment(spec);
+  resolved.validate();
 
   std::vector<memsim::WorkloadProfile> profiles;
-  if (!options.trace_file.empty()) {
+  if (!resolved.trace_file.empty()) {
     // On-disk replay: one pseudo-workload per trace file, labelled with
     // its basename; the profile is never used for synthesis.
     memsim::WorkloadProfile pseudo;
-    pseudo.name = trace_display_name(options.trace_file);
+    pseudo.name = trace_display_name(resolved.trace_file);
     profiles.push_back(std::move(pseudo));
-  } else if (options.workload == "all") {
-    profiles = memsim::spec_like_profiles();
   } else {
-    profiles.push_back(memsim::profile_by_name(options.workload));
+    profiles = resolved.workloads;
   }
 
   std::vector<SweepJob> jobs;
-  jobs.reserve(devices.size() * profiles.size());
-  for (auto& device : devices) {
-    if (options.channels > 0) device.set_channels(options.channels);
-    for (const auto& profile : profiles) {
-      SweepJob job;
-      job.device = device;
-      job.profile = profile;
-      job.requests = options.requests;
-      job.seed = options.seed;
-      job.line_bytes = options.line_bytes;
-      job.trace_path = options.trace_file;
-      job.cpu_ghz = options.cpu_ghz;
-      jobs.push_back(std::move(job));
+  jobs.reserve(resolved.devices.size() * resolved.channels.size() *
+               profiles.size() * resolved.requests.size() *
+               resolved.seeds.size());
+  for (const auto& device : resolved.devices) {
+    for (const int channels : resolved.channels) {
+      DeviceSpec configured = device;
+      if (channels > 0) configured.set_channels(channels);
+      for (const auto& profile : profiles) {
+        for (const auto requests : resolved.requests) {
+          for (const auto seed : resolved.seeds) {
+            SweepJob job;
+            job.device = configured;
+            job.profile = profile;
+            job.requests = static_cast<std::size_t>(requests);
+            job.seed = seed;
+            job.line_bytes = resolved.line_bytes;
+            job.trace_path = resolved.trace_file;
+            job.cpu_ghz = resolved.cpu_ghz;
+            job.experiment = resolved.name;
+            job.config_file = resolved.source;
+            jobs.push_back(std::move(job));
+          }
+        }
+      }
     }
   }
   return jobs;
+}
+
+std::vector<SweepJob> build_matrix(const Options& options) {
+  return build_matrix(experiment_from_options(options));
 }
 
 memsim::SimStats run_job(const SweepJob& job) {

@@ -4,26 +4,31 @@
 #include <string>
 #include <vector>
 
+#include "config/experiment.hpp"
 #include "driver/options.hpp"
 #include "driver/registry.hpp"
 #include "memsim/stats.hpp"
 #include "memsim/trace_gen.hpp"
 
-/// Parallel sweep engine: fans the device × workload matrix out across a
+/// Parallel sweep engine: fans the experiment matrix out across a
 /// thread pool. Each job is fully independent — the request stream is
 /// either synthesized lazily inside the worker from (profile, seed) or
 /// streamed from an on-disk NVMain trace, and the polymorphic
 /// memsim::Engine built per job (DeviceSpec::make_engine) is const — so
 /// results are bit-identical for any thread count, and the Fig. 9 matrix
 /// parallelises with near-linear speedup.
+///
+/// The matrix itself comes from a config::ExperimentSpec — either built
+/// from the CLI flags (experiment_from_options) or parsed from a
+/// `--config` document — so both entry points expand through one path.
 namespace comet::driver {
 
-/// One (device, workload) cell of the sweep matrix. `device` is either a
-/// flat architecture or a hybrid DRAM-cache + backend design point.
-/// When `trace_path` is empty the worker synthesizes `requests` requests
-/// from (profile, seed); otherwise it streams the on-disk trace
-/// (profile.name then only labels the run — by convention the trace
-/// file's basename) and requests/seed are ignored.
+/// One cell of the sweep matrix. `device` is either a flat architecture
+/// or a hybrid DRAM-cache + backend design point. When `trace_path` is
+/// empty the worker synthesizes `requests` requests from (profile,
+/// seed); otherwise it streams the on-disk trace (profile.name then only
+/// labels the run — by convention the trace file's basename) and
+/// requests/seed are ignored.
 struct SweepJob {
   DeviceSpec device;
   memsim::WorkloadProfile profile;
@@ -32,12 +37,31 @@ struct SweepJob {
   std::uint32_t line_bytes = 128;
   std::string trace_path;  ///< Non-empty: replay this NVMain trace file.
   double cpu_ghz = 2.0;    ///< Trace cycle -> time conversion.
+
+  // --- Provenance, echoed into the JSON report.
+  std::string experiment;   ///< Experiment name ("cli" for flag runs).
+  std::string config_file;  ///< The --config path; empty for flag runs.
 };
 
-/// Expands Options into the job matrix (devices × workloads in registry
-/// and profile order, or devices × one trace-file job under
-/// --trace-file). Applies the --channels override, re-validating the
-/// adjusted model. Throws std::invalid_argument on unknown names.
+/// Lifts the CLI flags into the declarative API: registry tokens are
+/// resolved (with the --cache-* overrides applied), --device-file specs
+/// are appended, and workload names become inline profiles — or, under
+/// --config, the file is parsed as-is. Throws std::invalid_argument /
+/// config::toml::ParseError on unknown names or malformed documents.
+config::ExperimentSpec experiment_from_options(const Options& options);
+
+/// Expands every registry token (`all`, `hybrid-all`, single names) and
+/// workload name in the spec into inline definitions, in tokens-first
+/// order. The result is registry-independent — what --dump-config
+/// writes. Throws std::invalid_argument on unknown tokens/names.
+config::ExperimentSpec resolve_experiment(config::ExperimentSpec spec);
+
+/// Expands a spec into the job matrix: devices × channels × workloads ×
+/// requests × seeds (resolving registry tokens first). The channel
+/// override re-validates each adjusted model.
+std::vector<SweepJob> build_matrix(const config::ExperimentSpec& spec);
+
+/// CLI shorthand: build_matrix(experiment_from_options(options)).
 std::vector<SweepJob> build_matrix(const Options& options);
 
 /// Runs one job serially (the reference path the tests compare against):

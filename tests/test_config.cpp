@@ -1,0 +1,522 @@
+// Config-layer tests: the TOML-subset parser (values, sections, arrays
+// of tables, line-numbered diagnostics), two-way device/workload
+// serialization (every registry device round-trips through
+// --dump-config-equivalent API with identical sweep results), and the
+// declarative ExperimentSpec/ExperimentBuilder matrix expansion.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "config/experiment.hpp"
+#include "config/serialize.hpp"
+#include "config/toml.hpp"
+#include "driver/registry.hpp"
+#include "driver/sweep.hpp"
+
+namespace {
+
+using comet::config::DeviceSpec;
+using comet::config::ExperimentBuilder;
+using comet::config::parse_device;
+using comet::config::parse_workload;
+using comet::driver::make_device_spec;
+using comet::driver::registry_resolver;
+namespace toml = comet::config::toml;
+
+// --- Parser --------------------------------------------------------------
+
+TEST(TomlParser, ScalarsSectionsAndArrays) {
+  const auto doc = toml::parse_string(
+      "top = 1\n"
+      "# a comment\n"
+      "[section]\n"
+      "text = \"hi # not a comment\"  # trailing comment\n"
+      "flag = true\n"
+      "ratio = 2.5\n"
+      "negative = -7\n"
+      "big = 68_719_476_736\n"
+      "list = [1, 2, 3]\n"
+      "names = [\"a\", \"b\",]\n"
+      "[section.nested]\n"
+      "depth = 2\n",
+      "test");
+  const auto& root = doc.root;
+  EXPECT_EQ(root.values.at("top").integer, 1);
+  const auto& section = root.children.at("section");
+  EXPECT_EQ(section.values.at("text").str, "hi # not a comment");
+  EXPECT_TRUE(section.values.at("flag").boolean);
+  EXPECT_DOUBLE_EQ(section.values.at("ratio").number, 2.5);
+  EXPECT_EQ(section.values.at("negative").integer, -7);
+  EXPECT_EQ(section.values.at("big").integer, 68719476736);
+  EXPECT_EQ(section.values.at("list").array.size(), 3u);
+  EXPECT_EQ(section.values.at("names").array[1].str, "b");
+  EXPECT_EQ(section.children.at("nested").values.at("depth").integer, 2);
+  // Line numbers are recorded for diagnostics.
+  EXPECT_EQ(section.values.at("flag").line, 5u);
+  EXPECT_EQ(section.line, 3u);
+}
+
+TEST(TomlParser, ArrayOfTablesNestsUnderLastElement) {
+  const auto doc = toml::parse_string(
+      "[[device]]\n"
+      "name = \"first\"\n"
+      "[device.timing]\n"
+      "channels = 4\n"
+      "[[device]]\n"
+      "name = \"second\"\n"
+      "[device.timing]\n"
+      "channels = 8\n",
+      "test");
+  const auto& devices = doc.root.arrays.at("device");
+  ASSERT_EQ(devices.size(), 2u);
+  EXPECT_EQ(devices[0].values.at("name").str, "first");
+  EXPECT_EQ(devices[0].children.at("timing").values.at("channels").integer, 4);
+  EXPECT_EQ(devices[1].children.at("timing").values.at("channels").integer, 8);
+}
+
+TEST(TomlParser, DiagnosticsCarrySourceAndLine) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& fragment,
+                               std::uint64_t line) {
+    try {
+      toml::parse_string(text, "spec.toml");
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const toml::ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+      EXPECT_NE(std::string(e.what()).find("spec.toml:" +
+                                           std::to_string(line)),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("a = 1\na = 2\n", "duplicate key", 2);
+  expect_error("x = \"unterminated\n", "unterminated string", 1);
+  expect_error("\n[bad\n", "malformed section header", 2);
+  expect_error("v = what?\n", "unrecognized value", 1);
+  expect_error("v = {a = 1}\n", "inline tables", 1);
+  expect_error("v = [1, 2\n", "unterminated array", 1);
+  expect_error("just words\n", "expected 'key = value'", 1);
+  expect_error("[s]\n[s]\n", "duplicate section", 2);
+  expect_error("[s]\nk = 1\n[[s]]\n", "conflicts", 3);
+  expect_error("a.b = 1\n", "dotted/quoted keys", 1);
+}
+
+// --- Device serialization round-trips ------------------------------------
+
+/// Runs one small deterministic job on a spec.
+comet::memsim::SimStats probe(const DeviceSpec& spec) {
+  comet::driver::SweepJob job;
+  job.device = spec;
+  job.profile = comet::memsim::profile_by_name("gcc_like");
+  job.requests = 600;
+  job.seed = 9;
+  job.line_bytes = 128;
+  return comet::driver::run_job(job);
+}
+
+void expect_same_stats(const comet::memsim::SimStats& a,
+                       const comet::memsim::SimStats& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.reads, b.reads) << label;
+  EXPECT_EQ(a.writes, b.writes) << label;
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred) << label;
+  EXPECT_EQ(a.span_ps, b.span_ps) << label;
+  EXPECT_EQ(a.read_latency_ns.mean(), b.read_latency_ns.mean()) << label;
+  EXPECT_EQ(a.write_latency_ns.mean(), b.write_latency_ns.mean()) << label;
+  EXPECT_EQ(a.queue_delay_ns.mean(), b.queue_delay_ns.mean()) << label;
+  EXPECT_EQ(a.dynamic_energy_pj, b.dynamic_energy_pj) << label;
+  EXPECT_EQ(a.background_energy_pj, b.background_energy_pj) << label;
+  EXPECT_EQ(a.cache_hits, b.cache_hits) << label;
+  EXPECT_EQ(a.cache_misses, b.cache_misses) << label;
+  EXPECT_EQ(a.writebacks, b.writebacks) << label;
+  EXPECT_EQ(a.dram_tier_energy_pj, b.dram_tier_energy_pj) << label;
+  EXPECT_EQ(a.backend_tier_energy_pj, b.backend_tier_energy_pj) << label;
+}
+
+TEST(DeviceSerialization, EveryRegistryDeviceRoundTrips) {
+  // The --dump-config invariant: serialize → re-parse (with NO registry
+  // resolver, so the dump must be self-contained) → identical structs
+  // and bit-identical sweep results.
+  std::vector<std::string> tokens = comet::driver::known_devices();
+  for (const auto& token : comet::driver::known_hybrid_devices()) {
+    tokens.push_back(token);
+  }
+  for (const auto& token : tokens) {
+    const DeviceSpec original = make_device_spec(token);
+    const std::string text = comet::config::device_spec_to_toml(original);
+    const auto doc = toml::parse_string(text, token + ".toml");
+    const DeviceSpec reparsed =
+        parse_device(doc.root.children.at("device"), doc.source, nullptr);
+
+    EXPECT_EQ(reparsed.name, original.name) << token;
+    EXPECT_EQ(reparsed.is_hybrid(), original.is_hybrid()) << token;
+    EXPECT_EQ(reparsed.channels(), original.channels()) << token;
+    if (original.is_hybrid()) {
+      EXPECT_EQ(reparsed.tiered->cache.capacity_bytes,
+                original.tiered->cache.capacity_bytes)
+          << token;
+      EXPECT_EQ(reparsed.tiered->cache.ways, original.tiered->cache.ways)
+          << token;
+      EXPECT_EQ(reparsed.tiered->cache.write_allocate,
+                original.tiered->cache.write_allocate)
+          << token;
+      EXPECT_EQ(reparsed.tiered->dram.energy.background_power_w,
+                original.tiered->dram.energy.background_power_w)
+          << token;
+    } else {
+      EXPECT_EQ(reparsed.flat->capacity_bytes, original.flat->capacity_bytes)
+          << token;
+      EXPECT_EQ(reparsed.flat->energy.read_pj_per_bit,
+                original.flat->energy.read_pj_per_bit)
+          << token;
+    }
+    expect_same_stats(probe(original), probe(reparsed), token);
+  }
+}
+
+TEST(DeviceSerialization, UnknownKeyNamesLineAndSection) {
+  const std::string text =
+      "[device]\n"
+      "name = \"x\"\n"
+      "capacity_bytes = 1073741824\n"
+      "[device.timing]\n"
+      "chanels = 4\n";  // Typo.
+  const auto doc = toml::parse_string(text, "bad.toml");
+  try {
+    parse_device(doc.root.children.at("device"), doc.source, nullptr);
+    FAIL();
+  } catch (const toml::ParseError& e) {
+    EXPECT_EQ(e.line(), 5u) << e.what();
+    EXPECT_NE(std::string(e.what()).find("unknown key 'chanels'"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("[device].timing"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DeviceSerialization, BadTypeAndOutOfRangeDiagnostics) {
+  const auto expect_device_error = [](const std::string& body,
+                                      const std::string& fragment,
+                                      std::uint64_t line) {
+    const auto doc = toml::parse_string(body, "bad.toml");
+    try {
+      parse_device(doc.root.children.at("device"), doc.source,
+                   registry_resolver());
+      FAIL() << "expected error containing: " << fragment;
+    } catch (const toml::ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_device_error(
+      "[device]\nbase = \"comet\"\n[device.timing]\nchannels = \"four\"\n",
+      "'channels' expects integer, got string", 4);
+  expect_device_error(
+      "[device]\nbase = \"comet\"\n[device.timing]\nchannels = 0\n",
+      "'channels' must be between 1 and", 4);
+  expect_device_error("[device]\nbase = \"sram\"\n", "unknown device 'sram'",
+                      2);
+  expect_device_error("[device]\ncapacity_bytes = 1024\n",
+                      "'name' is required", 1);
+  expect_device_error(
+      "[device]\nbase = \"comet\"\n[device.cache]\npolicy = \"lru\"\n",
+      "unknown cache policy 'lru'", 4);
+  expect_device_error(
+      "[device]\nname = \"h\"\nkind = \"flat\"\n[device.cache]\n"
+      "capacity_mb = 64\n",
+      "contradicts", 3);
+  // Validation failures are re-anchored to the document too.
+  expect_device_error(
+      "[device]\nbase = \"comet\"\n[device.timing]\nline_bytes = 96\n",
+      "line size must be 2^k", 1);
+}
+
+TEST(DeviceSerialization, FlatBasePromotesToHybrid) {
+  // base = "comet" + [cache] is exactly the registry's own hybrid-comet
+  // expressed by a user: the two must be indistinguishable.
+  const std::string text =
+      "[device]\n"
+      "name = \"hybrid-comet\"\n"
+      "base = \"comet\"\n"
+      "[device.cache]\n"
+      "capacity_mb = 64\n";
+  const auto doc = toml::parse_string(text, "user.toml");
+  const DeviceSpec user =
+      parse_device(doc.root.children.at("device"), doc.source,
+                   registry_resolver());
+  ASSERT_TRUE(user.is_hybrid());
+  expect_same_stats(probe(make_device_spec("hybrid-comet")), probe(user),
+                    "promotion");
+}
+
+TEST(DeviceSerialization, HybridBaseOverridesRebuildDramTier) {
+  const std::string text =
+      "[device]\n"
+      "name = \"big-cache\"\n"
+      "base = \"hybrid-comet\"\n"
+      "[device.cache]\n"
+      "capacity_mb = 128\n";
+  const auto doc = toml::parse_string(text, "user.toml");
+  const DeviceSpec spec = parse_device(doc.root.children.at("device"),
+                                       doc.source, registry_resolver());
+  ASSERT_TRUE(spec.is_hybrid());
+  EXPECT_EQ(spec.name, "big-cache");
+  EXPECT_EQ(spec.tiered->cache.capacity_bytes, 128ull << 20);
+  // The DRAM tier is re-derived from the new capacity.
+  EXPECT_EQ(spec.tiered->dram.capacity_bytes, 128ull << 20);
+  // Backend fields on a hybrid must go under [..backend].
+  const std::string ambiguous =
+      "[device]\nbase = \"hybrid-comet\"\n[device.timing]\nchannels = 4\n";
+  const auto bad = toml::parse_string(ambiguous, "user.toml");
+  EXPECT_THROW(parse_device(bad.root.children.at("device"), bad.source,
+                            registry_resolver()),
+               toml::ParseError);
+}
+
+TEST(DeviceSerialization, BackendSectionOverridesBackendModel) {
+  const std::string text =
+      "[device]\n"
+      "name = \"custom\"\n"
+      "base = \"hybrid-comet\"\n"
+      "[device.backend]\n"
+      "[device.backend.timing]\n"
+      "channels = 32\n";
+  const auto doc = toml::parse_string(text, "user.toml");
+  const DeviceSpec spec = parse_device(doc.root.children.at("device"),
+                                       doc.source, registry_resolver());
+  EXPECT_EQ(spec.channels(), 32);
+  // The cache geometry is untouched.
+  EXPECT_EQ(spec.tiered->cache.capacity_bytes,
+            make_device_spec("hybrid-comet").tiered->cache.capacity_bytes);
+}
+
+TEST(WorkloadSerialization, EveryProfileRoundTrips) {
+  for (const auto& profile : comet::memsim::spec_like_profiles()) {
+    const std::string text = comet::config::workload_to_toml(profile);
+    const auto doc = toml::parse_string(text, profile.name + ".toml");
+    const auto reparsed =
+        parse_workload(doc.root.children.at("workload"), doc.source);
+    EXPECT_EQ(reparsed.name, profile.name);
+    EXPECT_EQ(reparsed.pattern, profile.pattern) << profile.name;
+    EXPECT_EQ(reparsed.read_fraction, profile.read_fraction) << profile.name;
+    EXPECT_EQ(reparsed.locality, profile.locality) << profile.name;
+    EXPECT_EQ(reparsed.zipf_exponent, profile.zipf_exponent) << profile.name;
+    EXPECT_EQ(reparsed.working_set_bytes, profile.working_set_bytes)
+        << profile.name;
+    EXPECT_EQ(reparsed.avg_interarrival_ns, profile.avg_interarrival_ns)
+        << profile.name;
+    EXPECT_EQ(reparsed.stride_bytes, profile.stride_bytes) << profile.name;
+  }
+}
+
+TEST(WorkloadSerialization, RangeAndPatternDiagnostics) {
+  const auto expect_workload_error = [](const std::string& body,
+                                        const std::string& fragment) {
+    const auto doc = toml::parse_string(body, "w.toml");
+    try {
+      parse_workload(doc.root.children.at("workload"), doc.source);
+      FAIL() << "expected error containing: " << fragment;
+    } catch (const toml::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_workload_error("[workload]\npattern = \"zigzag\"\n",
+                        "'name' is required");
+  expect_workload_error(
+      "[workload]\nname = \"w\"\npattern = \"zigzag\"\n",
+      "unknown pattern 'zigzag'");
+  expect_workload_error(
+      "[workload]\nname = \"w\"\nread_fraction = 1.5\n",
+      "'read_fraction' must be between 0 and 1");
+}
+
+// --- Experiment API ------------------------------------------------------
+
+TEST(ExperimentApi, BuilderValidates) {
+  EXPECT_THROW(ExperimentBuilder().build(), std::invalid_argument);
+  EXPECT_THROW(ExperimentBuilder().device("comet").build(),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentBuilder()
+                   .device("comet")
+                   .workload("gcc_like")
+                   .trace("x.trace")
+                   .build(),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentBuilder()
+                   .device("comet")
+                   .workload("gcc_like")
+                   .requests({})
+                   .build(),
+               std::invalid_argument);
+  const auto spec = ExperimentBuilder()
+                        .name("ok")
+                        .device("comet")
+                        .workload("gcc_like")
+                        .channels({4, 8})
+                        .build();
+  EXPECT_EQ(spec.name, "ok");
+  EXPECT_EQ(spec.channels.size(), 2u);
+}
+
+TEST(ExperimentApi, AxesMultiplyTheMatrix) {
+  const auto spec = ExperimentBuilder()
+                        .device("comet")
+                        .device("epcm")
+                        .workload("gcc_like")
+                        .channels({0, 4})
+                        .requests({500, 1000})
+                        .seeds({1, 2, 3})
+                        .build();
+  const auto jobs = comet::driver::build_matrix(spec);
+  EXPECT_EQ(jobs.size(), 2u * 2u * 1u * 2u * 3u);
+  // Nesting order: devices × channels × workloads × requests × seeds.
+  EXPECT_EQ(jobs[0].seed, 1u);
+  EXPECT_EQ(jobs[1].seed, 2u);
+  EXPECT_EQ(jobs[3].requests, 1000u);
+  EXPECT_EQ(jobs[0].device.name, jobs[11].device.name);
+  EXPECT_NE(jobs[0].device.name, jobs[12].device.name);
+  // channels = 0 keeps the device topology; 4 overrides it.
+  EXPECT_EQ(jobs[6].device.channels(), 4);
+}
+
+TEST(ExperimentApi, ParseExperimentDocument) {
+  const std::string text =
+      "[experiment]\n"
+      "name = \"demo\"\n"
+      "devices = [\"comet\", \"hybrid-comet\"]\n"
+      "workloads = [\"gcc_like\"]\n"
+      "requests = 400\n"
+      "seed = [7, 8]\n"
+      "\n"
+      "[[device]]\n"
+      "name = \"comet-16ch\"\n"
+      "base = \"comet\"\n"
+      "[device.timing]\n"
+      "channels = 16\n"
+      "\n"
+      "[[workload]]\n"
+      "name = \"scan\"\n"
+      "pattern = \"streaming\"\n"
+      "read_fraction = 0.5\n";
+  const auto spec = comet::config::parse_experiment(
+      toml::parse_string(text, "demo.toml"), registry_resolver());
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.source, "demo.toml");
+  ASSERT_EQ(spec.device_tokens.size(), 2u);
+  ASSERT_EQ(spec.devices.size(), 1u);
+  EXPECT_EQ(spec.devices[0].channels(), 16);
+  ASSERT_EQ(spec.workloads.size(), 1u);
+  EXPECT_EQ(spec.workloads[0].name, "scan");
+
+  const auto jobs = comet::driver::build_matrix(spec);
+  // (2 tokens + 1 inline) devices × (1 named + 1 inline) workloads × 2
+  // seeds, tokens/names expanding before inline definitions.
+  EXPECT_EQ(jobs.size(), 3u * 2u * 2u);
+  EXPECT_EQ(jobs[0].device.name, make_device_spec("comet").name);
+  EXPECT_EQ(jobs.back().device.name, "comet-16ch");
+  EXPECT_EQ(jobs.back().profile.name, "scan");
+  EXPECT_EQ(jobs[0].experiment, "demo");
+  EXPECT_EQ(jobs[0].config_file, "demo.toml");
+}
+
+TEST(ExperimentApi, UnknownTopLevelSectionRejected) {
+  EXPECT_THROW(comet::config::parse_experiment(
+                   toml::parse_string("[expirement]\nname = \"x\"\n", "t"),
+                   nullptr),
+               toml::ParseError);
+}
+
+TEST(ExperimentApi, ConfigMatrixMatchesCliFlagMatrix) {
+  // Acceptance criterion: a config-file experiment reproduces the exact
+  // SimStats of the equivalent CLI-flag invocation.
+  const auto cli_options = comet::driver::parse_args(
+      {"--device", "hybrid-comet", "--workload", "milc_like", "--requests",
+       "700", "--seed", "5", "--channels", "8"});
+  const auto cli_jobs = comet::driver::build_matrix(cli_options);
+
+  const std::string text =
+      "[experiment]\n"
+      "devices = [\"hybrid-comet\"]\n"
+      "workloads = [\"milc_like\"]\n"
+      "requests = 700\n"
+      "seed = 5\n"
+      "channels = 8\n";
+  const auto cfg_jobs = comet::driver::build_matrix(
+      comet::config::parse_experiment(toml::parse_string(text, "cli.toml"),
+                                      registry_resolver()));
+  ASSERT_EQ(cli_jobs.size(), cfg_jobs.size());
+  const auto cli_results = comet::driver::run_sweep(cli_jobs, 1);
+  const auto cfg_results = comet::driver::run_sweep(cfg_jobs, 1);
+  for (std::size_t i = 0; i < cli_results.size(); ++i) {
+    expect_same_stats(cli_results[i], cfg_results[i], "cli-vs-config");
+  }
+}
+
+TEST(ExperimentApi, ResolvedExperimentRoundTripsThroughToml) {
+  // The --dump-config → --config loop in-process: resolve an experiment
+  // to inline definitions, serialize, re-parse WITHOUT a registry, and
+  // compare sweep results bit-exactly.
+  const auto options = comet::driver::parse_args(
+      {"--device", "hybrid-comet-small", "--workload", "lbm_like",
+       "--requests", "500"});
+  const auto resolved = comet::driver::resolve_experiment(
+      comet::driver::experiment_from_options(options));
+  EXPECT_TRUE(resolved.device_tokens.empty());
+  EXPECT_TRUE(resolved.workload_names.empty());
+
+  const std::string text = comet::config::experiment_to_toml(resolved);
+  const auto reparsed = comet::config::parse_experiment(
+      toml::parse_string(text, "dump.toml"), nullptr);
+  const auto jobs_a = comet::driver::build_matrix(resolved);
+  const auto jobs_b = comet::driver::build_matrix(reparsed);
+  ASSERT_EQ(jobs_a.size(), jobs_b.size());
+  const auto results_a = comet::driver::run_sweep(jobs_a, 1);
+  const auto results_b = comet::driver::run_sweep(jobs_b, 1);
+  for (std::size_t i = 0; i < results_a.size(); ++i) {
+    expect_same_stats(results_a[i], results_b[i], "dump-roundtrip");
+  }
+}
+
+TEST(ExperimentApi, TraceExperimentValidates) {
+  auto spec = ExperimentBuilder()
+                  .device("comet")
+                  .trace("some.trace", 3.0)
+                  .build();
+  EXPECT_EQ(spec.trace_file, "some.trace");
+  EXPECT_DOUBLE_EQ(spec.cpu_ghz, 3.0);
+  // requests/seed are ignored during replay, so an axis alongside a
+  // trace file is rejected instead of running N identical replays.
+  EXPECT_THROW(ExperimentBuilder()
+                   .device("comet")
+                   .trace("some.trace")
+                   .seeds({1, 2})
+                   .build(),
+               std::invalid_argument);
+  EXPECT_THROW(ExperimentBuilder()
+                   .device("comet")
+                   .trace("some.trace")
+                   .requests({100, 200})
+                   .build(),
+               std::invalid_argument);
+  // parse path: trace_file + workloads is rejected with a line anchor.
+  const std::string text =
+      "[experiment]\n"
+      "devices = [\"comet\"]\n"
+      "workloads = [\"gcc_like\"]\n"
+      "trace_file = \"t.nvt\"\n";
+  EXPECT_THROW(comet::config::parse_experiment(
+                   toml::parse_string(text, "t.toml"), nullptr),
+               toml::ParseError);
+}
+
+}  // namespace

@@ -22,7 +22,7 @@ namespace {
 using comet::driver::build_matrix;
 using comet::driver::Options;
 using comet::driver::parse_args;
-using comet::driver::resolve_devices;
+using comet::driver::resolve_device_specs;
 using comet::driver::run_sweep;
 
 TEST(OptionsTest, DefaultsAreAllDevicesAllWorkloads) {
@@ -155,6 +155,155 @@ TEST(OptionsTest, DumpTraceAndTraceFileConflict) {
                std::invalid_argument);
 }
 
+namespace {
+
+/// Writes TOML content to a pid-qualified temp file, deleted on exit.
+class TempTomlFile {
+ public:
+  explicit TempTomlFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+  ~TempTomlFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_ =
+      "test_driver_tmp_" + std::to_string(::getpid()) + "_" +
+      std::to_string(counter_++) + ".toml";
+  static int counter_;
+};
+
+int TempTomlFile::counter_ = 0;
+
+}  // namespace
+
+TEST(OptionsTest, ConfigOwnsTheMatrix) {
+  const TempTomlFile file(
+      "[experiment]\ndevices = [\"comet\"]\nworkloads = [\"gcc_like\"]\n");
+  const Options opt = parse_args({"--config", file.path()});
+  EXPECT_EQ(opt.config, file.path());
+  // Non-matrix flags still compose with --config...
+  EXPECT_NO_THROW(parse_args(
+      {"--config", file.path(), "--threads", "2", "--json", "o.json"}));
+  // ...but every matrix-defining flag conflicts.
+  for (const std::vector<std::string>& extra :
+       {std::vector<std::string>{"--device", "comet"},
+        {"--workload", "gcc_like"},
+        {"--requests", "10"},
+        {"--seed", "1"},
+        {"--channels", "4"},
+        {"--cache-mb", "32"}}) {
+    std::vector<std::string> args{"--config", file.path()};
+    args.insert(args.end(), extra.begin(), extra.end());
+    EXPECT_THROW(parse_args(args), std::invalid_argument) << extra[0];
+  }
+}
+
+TEST(OptionsTest, ConfigFileValidatedAtParseTime) {
+  EXPECT_THROW(parse_args({"--config", "/no/such/file.toml"}),
+               std::runtime_error);
+  const TempTomlFile typo(
+      "[experiment]\ndevices = [\"comet\"]\nworkloads = [\"gcc_like\"]\n"
+      "requets = 5\n");
+  try {
+    parse_args({"--config", typo.path()});
+    FAIL() << "expected a schema error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(typo.path() + ":4"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("requets"), std::string::npos)
+        << e.what();
+  }
+  // Unknown tokens, profile names and a missing trace_file inside the
+  // document are parse-time (exit 2) failures too, naming the file.
+  const TempTomlFile bad_token(
+      "[experiment]\ndevices = [\"optane\"]\nworkloads = [\"gcc_like\"]\n");
+  try {
+    parse_args({"--config", bad_token.path()});
+    FAIL() << "expected an unknown-device error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(bad_token.path()),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("unknown device 'optane'"),
+              std::string::npos)
+        << e.what();
+  }
+  const TempTomlFile bad_workload(
+      "[experiment]\ndevices = [\"comet\"]\nworkloads = [\"nope_like\"]\n");
+  EXPECT_THROW(parse_args({"--config", bad_workload.path()}),
+               std::invalid_argument);
+  const TempTomlFile bad_trace(
+      "[experiment]\ndevices = [\"comet\"]\n"
+      "trace_file = \"/no/such.trace\"\n");
+  EXPECT_THROW(parse_args({"--config", bad_trace.path()}),
+               std::invalid_argument);
+}
+
+TEST(OptionsTest, DeviceFilesAddDevicesToTheMatrix) {
+  const TempTomlFile custom(
+      "[device]\nname = \"comet-2ch\"\nbase = \"comet\"\n"
+      "[device.timing]\nchannels = 2\n");
+  // Without an explicit --device, the file replaces the default `all`.
+  const auto solo = build_matrix(
+      parse_args({"--device-file", custom.path(), "--workload", "gcc_like"}));
+  ASSERT_EQ(solo.size(), 1u);
+  EXPECT_EQ(solo[0].device.name, "comet-2ch");
+  EXPECT_EQ(solo[0].device.channels(), 2);
+  // With one, tokens come first and the file's devices follow.
+  const auto both = build_matrix(
+      parse_args({"--device", "epcm", "--device-file", custom.path(),
+                  "--workload", "gcc_like"}));
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[1].device.name, "comet-2ch");
+  // A bad file fails at parse time.
+  EXPECT_THROW(parse_args({"--device-file", "/no/such/device.toml"}),
+               std::runtime_error);
+}
+
+TEST(OptionsTest, CacheOverridesReachDeviceFileHybrids) {
+  // --cache-* must not be silently ignored for a file-defined hybrid:
+  // the flags apply to every hybrid in the matrix, token- or
+  // file-sourced, through the same apply_hybrid_overrides path.
+  const TempTomlFile hybrid_file(
+      "[device]\nname = \"hc\"\nbase = \"comet\"\n"
+      "[device.cache]\ncapacity_mb = 32\n");
+  const auto jobs = build_matrix(parse_args(
+      {"--device-file", hybrid_file.path(), "--workload", "gcc_like",
+       "--cache-mb", "64", "--cache-policy", "write-no-allocate"}));
+  ASSERT_EQ(jobs.size(), 1u);
+  ASSERT_TRUE(jobs[0].device.is_hybrid());
+  EXPECT_EQ(jobs[0].device.tiered->cache.capacity_bytes, 64ull << 20);
+  EXPECT_FALSE(jobs[0].device.tiered->cache.write_allocate);
+  // The DRAM tier resized with the cache.
+  EXPECT_EQ(jobs[0].device.tiered->dram.capacity_bytes, 64ull << 20);
+}
+
+TEST(OptionsTest, DumpConfigConflictsWithDumpTrace) {
+  EXPECT_THROW(parse_args({"--dump-config", "a.toml", "--dump-trace",
+                           "b.nvt", "--workload", "gcc_like"}),
+               std::invalid_argument);
+  const Options opt = parse_args({"--dump-config", "a.toml"});
+  EXPECT_EQ(opt.dump_config, "a.toml");
+}
+
+TEST(SweepTest, CliOptionsLiftIntoExperimentSpec) {
+  const auto spec = comet::driver::experiment_from_options(
+      parse_args({"--device", "comet", "--workload", "lbm_like",
+                  "--requests", "123", "--seed", "9", "--channels", "4"}));
+  EXPECT_EQ(spec.name, "cli");
+  EXPECT_TRUE(spec.device_tokens.empty());  // Resolved inline.
+  ASSERT_EQ(spec.devices.size(), 1u);
+  ASSERT_EQ(spec.workloads.size(), 1u);
+  EXPECT_EQ(spec.workloads[0].name, "lbm_like");
+  EXPECT_EQ(spec.requests, std::vector<std::uint64_t>{123});
+  EXPECT_EQ(spec.seeds, std::vector<std::uint64_t>{9});
+  EXPECT_EQ(spec.channels, std::vector<int>{4});
+  EXPECT_TRUE(spec.source.empty());
+}
+
 TEST(RegistryTest, EmptyDeviceSpecFailsLoudly) {
   // The documented footgun: a default-constructed spec has neither
   // optional engaged; make_engine/set_channels must throw a clear
@@ -233,11 +382,14 @@ TEST(RegistryTest, HybridTokensAreDistinctFromFlatOnes) {
 }
 
 TEST(RegistryTest, AllExpandsToSevenUniqueModels) {
-  const auto models = resolve_devices("all");
-  EXPECT_EQ(models.size(), 7u);
-  for (std::size_t i = 0; i < models.size(); ++i) {
-    for (std::size_t j = i + 1; j < models.size(); ++j) {
-      EXPECT_NE(models[i].name, models[j].name);
+  // The flat-only resolve_devices() duplicate is retired: the single
+  // expansion path serves flat and hybrid tokens alike.
+  const auto specs = resolve_device_specs("all");
+  EXPECT_EQ(specs.size(), 7u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_FALSE(specs[i].is_hybrid()) << specs[i].name;
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      EXPECT_NE(specs[i].name, specs[j].name);
     }
   }
 }
@@ -248,7 +400,7 @@ TEST(RegistryTest, HbmAliasesTheStackedDdr4Part) {
 }
 
 TEST(RegistryTest, UnknownTokenThrows) {
-  EXPECT_THROW(resolve_devices("optane"), std::invalid_argument);
+  EXPECT_THROW(resolve_device_specs("optane"), std::invalid_argument);
 }
 
 TEST(SweepTest, MatrixIsDevicesTimesWorkloads) {
