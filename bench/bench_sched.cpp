@@ -1,0 +1,155 @@
+// Memory-controller scheduling study: policy x queue-depth matrix on
+// the COMET OPCM and the EPCM-MM electronic baseline, quantifying what
+// the controller front-end buys on top of raw device timing.
+//
+// For every (device, policy, depth) cell the bench reports demand
+// throughput, mean/p95 end-to-end read latency and the queueing-delay
+// split (controller queue vs device service), plus per-cell deltas
+// against the unbounded-fcfs baseline — which is bit-identical to the
+// legacy arrival-order replay, so every delta is attributable to the
+// scheduler alone. The full matrix also lands in BENCH_sched.json (the
+// driver's sweep-JSON schema) to seed a perf trajectory.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/registry.hpp"
+#include "driver/report.hpp"
+#include "driver/sweep.hpp"
+#include "memsim/trace_gen.hpp"
+#include "sched/controller.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr std::size_t kRequestsPerTrace = 40000;
+constexpr std::uint32_t kLineBytes = 128;
+
+const std::vector<int> kQueueDepths = {8, 32, 128};
+
+}  // namespace
+
+int main() {
+  namespace sc = comet::sched;
+  using comet::util::Table;
+
+  const std::vector<std::string> device_tokens = {"comet", "epcm"};
+  // fcfs never holds transactions, so queue depth cannot affect it —
+  // its single cell is the unbounded baseline; only the reordering
+  // policies sweep the depth axis.
+  const std::vector<sc::Policy> policies = {sc::Policy::kFrFcfs,
+                                            sc::Policy::kReadFirst};
+  // lbm_like is write-heavy (write-drain territory), mcf_like is
+  // pointer-chasing reads, omnetpp_like is a hot-set mix.
+  const std::vector<std::string> workload_names = {"mcf_like", "lbm_like",
+                                                   "omnetpp_like"};
+
+  std::vector<comet::driver::SweepJob> jobs;
+  for (const auto& token : device_tokens) {
+    const auto device = comet::driver::make_device_spec(token);
+    for (const auto& workload : workload_names) {
+      const auto profile = comet::memsim::profile_by_name(workload);
+      const auto add_job =
+          [&](const std::optional<sc::ControllerConfig>& controller) {
+            comet::driver::SweepJob job;
+            job.device = device;
+            job.profile = profile;
+            job.requests = kRequestsPerTrace;
+            job.seed = 42;
+            job.line_bytes = kLineBytes;
+            job.controller = controller;
+            jobs.push_back(std::move(job));
+          };
+      // The baseline cell: unbounded fcfs (== legacy direct replay).
+      add_job(sc::ControllerConfig::with_depths(sc::Policy::kFcfs, 0, 0));
+      for (const auto policy : policies) {
+        for (const int depth : kQueueDepths) {
+          add_job(sc::ControllerConfig::with_depths(policy, depth, depth));
+        }
+      }
+    }
+  }
+
+  const auto stats = comet::driver::run_sweep(jobs, /*threads=*/0);
+
+  // Index the unbounded-fcfs baseline per (device, workload).
+  std::map<std::string, const comet::memsim::SimStats*> baseline;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].controller->read_queue_depth == 0) {
+      baseline[jobs[i].device.name + "/" + jobs[i].profile.name] = &stats[i];
+    }
+  }
+
+  Table table({"device", "workload", "policy", "depth", "BW (GB/s)",
+               "read lat (ns)", "p95 read (ns)", "queued (ns)",
+               "service (ns)", "drains", "stalls", "BW vs fcfs",
+               "queued vs fcfs (ns)"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& s = stats[i];
+    const auto& c = *jobs[i].controller;
+    const bool is_baseline = c.read_queue_depth == 0;
+    const auto* base = baseline.at(jobs[i].device.name + "/" +
+                                   jobs[i].profile.name);
+    table.add_row(
+        {jobs[i].device.name, jobs[i].profile.name, s.sched_policy,
+         is_baseline ? "inf" : std::to_string(c.read_queue_depth),
+         Table::num(s.bandwidth_gbps(), 2),
+         Table::num(s.read_latency_ns.mean(), 1),
+         Table::num(s.read_latency_ns.p95(), 1),
+         Table::num(s.sched_queue_delay_ns.mean(), 1),
+         Table::num(s.service_latency_ns.mean(), 1),
+         std::to_string(s.write_drains), std::to_string(s.admit_stalls),
+         Table::num(base->bandwidth_gbps() > 0.0
+                        ? s.bandwidth_gbps() / base->bandwidth_gbps()
+                        : 0.0,
+                    3) +
+             "x",
+         Table::num(s.sched_queue_delay_ns.mean() -
+                        base->sched_queue_delay_ns.mean(),
+                    1)});
+  }
+  std::cout << "=== Controller policy x queue-depth matrix ===\n";
+  table.print(std::cout);
+
+  // Per-device policy averages over workloads at the default depth
+  // (the unbounded baseline cell for fcfs).
+  Table summary({"device", "policy", "avg BW (GB/s)", "avg read lat (ns)",
+                 "avg queued (ns)"});
+  for (const auto& token : device_tokens) {
+    const std::string device_name =
+        comet::driver::make_device_spec(token).name;
+    for (const auto policy :
+         {sc::Policy::kFcfs, sc::Policy::kFrFcfs, sc::Policy::kReadFirst}) {
+      const int wanted_depth = policy == sc::Policy::kFcfs ? 0 : 32;
+      double bw = 0.0, lat = 0.0, queued = 0.0;
+      int n = 0;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto& c = *jobs[i].controller;
+        if (jobs[i].device.name != device_name || c.policy != policy ||
+            c.read_queue_depth != wanted_depth) {
+          continue;
+        }
+        bw += stats[i].bandwidth_gbps();
+        lat += stats[i].read_latency_ns.mean();
+        queued += stats[i].sched_queue_delay_ns.mean();
+        ++n;
+      }
+      if (n == 0) continue;
+      summary.add_row({token, sc::policy_name(policy), Table::num(bw / n, 2),
+                       Table::num(lat / n, 1), Table::num(queued / n, 1)});
+    }
+  }
+  std::cout << "\n=== Policy averages (fcfs = unbounded baseline, "
+               "reordering policies at depth 32) ===\n";
+  summary.print(std::cout);
+
+  std::ofstream json("BENCH_sched.json");
+  if (json) {
+    comet::driver::write_json(json, jobs, stats);
+    std::cout << "\nwrote BENCH_sched.json (" << jobs.size() << " cells)\n";
+  }
+  return 0;
+}

@@ -20,8 +20,18 @@ int DeviceSpec::channels() const {
 }
 
 std::unique_ptr<memsim::Engine> DeviceSpec::make_engine() const {
-  if (tiered) return std::make_unique<hybrid::TieredSystem>(*tiered);
-  if (flat) return std::make_unique<memsim::MemorySystem>(*flat);
+  return make_engine(std::nullopt);
+}
+
+std::unique_ptr<memsim::Engine> DeviceSpec::make_engine(
+    const std::optional<sched::ControllerConfig>& controller) const {
+  if (tiered) return std::make_unique<hybrid::TieredSystem>(*tiered, controller);
+  if (flat) {
+    if (controller) {
+      return std::make_unique<sched::ScheduledSystem>(*flat, *controller);
+    }
+    return std::make_unique<memsim::MemorySystem>(*flat);
+  }
   throw std::logic_error(
       "DeviceSpec::make_engine: empty spec '" + name +
       "' (default-constructed; neither flat nor tiered is engaged — build "

@@ -7,6 +7,7 @@
 #include "hybrid/tiered_system.hpp"
 #include "memsim/device.hpp"
 #include "memsim/engine.hpp"
+#include "sched/controller.hpp"
 
 /// The resolved-architecture type shared by the registry, the config
 /// files and the sweep engine.
@@ -46,6 +47,13 @@ struct DeviceSpec {
   /// hybrid ones. Throws std::logic_error on a default-constructed spec
   /// with neither alternative engaged.
   std::unique_ptr<memsim::Engine> make_engine() const;
+
+  /// Scheduled variant: with a controller config, flat specs replay
+  /// behind a sched::ScheduledSystem front-end and hybrid specs route
+  /// their backend miss stream through the controller; nullopt is the
+  /// plain make_engine() above.
+  std::unique_ptr<memsim::Engine> make_engine(
+      const std::optional<sched::ControllerConfig>& controller) const;
 
   /// Applies a channel-count override to the main-memory part (the
   /// backend behind the cache tier for hybrid specs) and re-validates

@@ -65,6 +65,7 @@ void ExperimentSpec::validate() const {
     throw std::invalid_argument("experiment '" + name +
                                 "': cpu_ghz must be a positive number");
   }
+  if (!policies.empty()) controller.validate();
 }
 
 ExperimentBuilder& ExperimentBuilder::name(std::string value) {
@@ -106,6 +107,18 @@ ExperimentBuilder& ExperimentBuilder::seeds(std::vector<std::uint64_t> values) {
 
 ExperimentBuilder& ExperimentBuilder::channels(std::vector<int> values) {
   spec_.channels = std::move(values);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::schedule(
+    std::vector<sched::Policy> policies) {
+  spec_.policies = std::move(policies);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::controller_config(
+    sched::ControllerConfig config) {
+  spec_.controller = config;
   return *this;
 }
 
@@ -153,6 +166,11 @@ ExperimentSpec parse_experiment(const toml::Document& doc,
     if (auto v = reader.get_string("trace_file")) spec.trace_file = *v;
     if (auto v = reader.get_double("cpu_ghz", 1e-6, 1e6)) spec.cpu_ghz = *v;
     reader.finish();
+  }
+
+  if (const toml::Table* controller = root.child("controller")) {
+    parse_controller_section(*controller, doc.source, spec.policies,
+                             spec.controller);
   }
 
   if (const auto* devices = root.array_of_tables("device")) {
@@ -228,6 +246,18 @@ void write_experiment(std::ostream& os, const ExperimentSpec& spec) {
   if (!spec.trace_file.empty()) {
     os << "trace_file = " << toml::format_string(spec.trace_file) << "\n"
        << "cpu_ghz = " << toml::format_float(spec.cpu_ghz) << "\n";
+  }
+  if (!spec.policies.empty()) {
+    os << "\n[controller]\n";
+    write_axis(os, "policy", spec.policies, [](sched::Policy policy) {
+      return toml::format_string(sched::policy_name(policy));
+    });
+    os << "read_queue_depth = " << spec.controller.read_queue_depth << "\n"
+       << "write_queue_depth = " << spec.controller.write_queue_depth << "\n"
+       << "drain_high_watermark = " << spec.controller.drain_high_watermark
+       << "\n"
+       << "drain_low_watermark = " << spec.controller.drain_low_watermark
+       << "\n";
   }
   for (const auto& device : spec.devices) {
     os << "\n[[device]]\n";

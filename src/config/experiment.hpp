@@ -36,9 +36,16 @@
 ///     name = "scan"
 ///     pattern = "streaming"
 ///
-/// The matrix expands devices × channels × workloads × requests × seeds
-/// in that nesting order, devices ordered tokens-first then inline
-/// definitions (same for workloads).
+///     [controller]                          # scheduled replay (optional)
+///     policy = ["fcfs", "frfcfs"]           # scalar or array (axis)
+///     read_queue_depth = 32                 # 0 = unbounded
+///     write_queue_depth = 32
+///     drain_high_watermark = 28
+///     drain_low_watermark = 12
+///
+/// The matrix expands devices × channels × policies × workloads ×
+/// requests × seeds in that nesting order, devices ordered tokens-first
+/// then inline definitions (same for workloads).
 namespace comet::config {
 
 struct ExperimentSpec {
@@ -60,6 +67,12 @@ struct ExperimentSpec {
   std::vector<std::uint64_t> requests = {20000};
   std::vector<std::uint64_t> seeds = {42};
   std::vector<int> channels = {0};  ///< 0 keeps each device's topology.
+
+  /// Scheduling-policy axis: empty = legacy direct replay (no
+  /// controller stage). Otherwise one matrix cell per policy, every
+  /// cell sharing `controller`'s queue depths and drain watermarks.
+  std::vector<sched::Policy> policies;
+  sched::ControllerConfig controller;
 
   std::uint32_t line_bytes = 128;
   std::string trace_file;  ///< Non-empty: replay instead of synthesis.
@@ -95,6 +108,13 @@ class ExperimentBuilder {
   ExperimentBuilder& requests(std::vector<std::uint64_t> values);
   ExperimentBuilder& seeds(std::vector<std::uint64_t> values);
   ExperimentBuilder& channels(std::vector<int> values);
+
+  /// Engages the scheduler stage: one matrix cell per policy.
+  ExperimentBuilder& schedule(std::vector<sched::Policy> policies);
+
+  /// Queue depths / drain watermarks shared by every policy cell (the
+  /// config's own `policy` field is overwritten per cell).
+  ExperimentBuilder& controller_config(sched::ControllerConfig config);
   ExperimentBuilder& line_bytes(std::uint32_t value);
   ExperimentBuilder& trace(std::string path, double cpu_ghz = 2.0);
 

@@ -702,4 +702,54 @@ memsim::WorkloadProfile parse_workload(const toml::Table& table,
   return profile;
 }
 
+void parse_controller_section(const toml::Table& table,
+                              const std::string& source,
+                              std::vector<sched::Policy>& policies,
+                              sched::ControllerConfig& config) {
+  TableReader reader(table, source, "[controller]");
+  policies.clear();
+  if (auto names = reader.get_string_list("policy")) {
+    if (names->empty()) {
+      reader.fail_at(reader.key_line("policy"),
+                     "'policy' must name at least one scheduling policy");
+    }
+    for (const auto& name : *names) {
+      try {
+        policies.push_back(sched::policy_from_name(name));
+      } catch (const std::exception& e) {
+        reader.fail_at(reader.key_line("policy"), e.what());
+      }
+    }
+  } else {
+    policies.push_back(sched::Policy::kFcfs);
+  }
+  config.policy = policies.front();
+
+  const bool depth_given = reader.has("write_queue_depth");
+  if (auto v = reader.get_int("read_queue_depth", 0, INT_MAX)) {
+    config.read_queue_depth = int(*v);
+  }
+  if (auto v = reader.get_int("write_queue_depth", 0, INT_MAX)) {
+    config.write_queue_depth = int(*v);
+  }
+  // A document that bounds the write queue wants watermarks scaled to
+  // that bound, not left at the depth-32 defaults; explicit watermark
+  // keys below then override the derived values — the same semantics
+  // as the --write-q/--drain-* CLI flags.
+  if (depth_given) {
+    const auto derived = sched::ControllerConfig::with_depths(
+        config.policy, config.read_queue_depth, config.write_queue_depth);
+    config.drain_high_watermark = derived.drain_high_watermark;
+    config.drain_low_watermark = derived.drain_low_watermark;
+  }
+  if (auto v = reader.get_int("drain_high_watermark", 1, INT_MAX)) {
+    config.drain_high_watermark = int(*v);
+  }
+  if (auto v = reader.get_int("drain_low_watermark", 0, INT_MAX)) {
+    config.drain_low_watermark = int(*v);
+  }
+  reader.finish();
+  validated(reader, table.line, [&] { config.validate(); });
+}
+
 }  // namespace comet::config

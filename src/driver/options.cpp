@@ -155,6 +155,22 @@ Options parse_args(const std::vector<std::string>& args) {
       opt.cache_policy = next();
       (void)parse_cache_policy(*opt.cache_policy);
       matrix(flag);
+    } else if (flag == "--schedule") {
+      opt.schedule = next();
+      (void)sched::policy_from_name(opt.schedule);
+      matrix(flag);
+    } else if (flag == "--read-q") {
+      opt.read_q = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+      matrix(flag);
+    } else if (flag == "--write-q") {
+      opt.write_q = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+      matrix(flag);
+    } else if (flag == "--drain-high") {
+      opt.drain_high = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+      matrix(flag);
+    } else if (flag == "--drain-low") {
+      opt.drain_low = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+      matrix(flag);
     } else if (flag == "--config") {
       opt.config = next();
       if (opt.config.empty()) {
@@ -260,7 +276,37 @@ Options parse_args(const std::vector<std::string>& args) {
                                                .cache_policy = opt.cache_policy});
   }
   if (opt.workload != "all") (void)memsim::profile_by_name(opt.workload);
+  // Inconsistent scheduler flags (depths/watermarks without --schedule,
+  // watermarks the bounded queue can never reach) also exit 2 here.
+  (void)scheduler_from_options(opt);
   return opt;
+}
+
+std::optional<sched::ControllerConfig> scheduler_from_options(
+    const Options& options) {
+  if (options.schedule.empty()) {
+    if (options.read_q || options.write_q || options.drain_high ||
+        options.drain_low) {
+      throw std::invalid_argument(
+          "--read-q/--write-q/--drain-high/--drain-low require --schedule");
+    }
+    return std::nullopt;
+  }
+  auto config = sched::ControllerConfig::with_depths(
+      sched::policy_from_name(options.schedule), options.read_q.value_or(32),
+      options.write_q.value_or(32));
+  // Only read-first drains writes; accepting watermarks for the other
+  // policies would silently ignore them (the --cache-* precedent).
+  if (config.policy != sched::Policy::kReadFirst &&
+      (options.drain_high || options.drain_low)) {
+    throw std::invalid_argument(
+        "--drain-high/--drain-low apply to --schedule read-first only "
+        "(the " + options.schedule + " policy never drains writes)");
+  }
+  if (options.drain_high) config.drain_high_watermark = *options.drain_high;
+  if (options.drain_low) config.drain_low_watermark = *options.drain_low;
+  config.validate();
+  return config;
 }
 
 std::string usage() {
@@ -296,6 +342,19 @@ std::string usage() {
      << "  --cache-ways N         hybrid devices: cache associativity\n"
      << "  --cache-policy <p>     hybrid devices: write-allocate (default)\n"
      << "                         or write-no-allocate\n"
+     << "  --schedule <policy>    engage the memory-controller scheduler:\n"
+     << "                         fcfs (in-order), frfcfs (open-row reuse)\n"
+     << "                         or read-first (write-drain watermarks)\n"
+     << "  --read-q N             scheduler read-queue depth per channel\n"
+     << "                         (default: 32; 0 = unbounded)\n"
+     << "  --write-q N            scheduler write-queue depth per channel\n"
+     << "                         (default: 32; 0 = unbounded)\n"
+     << "  --drain-high N         write-drain high watermark, read-first\n"
+     << "                         only (default: 7/8 of the write-queue\n"
+     << "                         depth)\n"
+     << "  --drain-low N          write-drain low watermark, read-first\n"
+     << "                         only (default: 3/8 of the write-queue\n"
+     << "                         depth)\n"
      << "  --trace-file <path>    replay an on-disk NVMain trace (streamed,\n"
      << "                         O(1) memory) instead of a synthetic\n"
      << "                         workload; ignores --workload/--requests\n"

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "sched/controller.hpp"
+
 /// comet_sim command-line parsing, separated from main() so the parser is
 /// unit-testable (tests/test_driver.cpp) and reusable from scripts.
 namespace comet::driver {
@@ -53,7 +55,26 @@ struct Options {
   std::optional<int> cache_ways;           ///< Cache associativity.
   std::optional<std::string> cache_policy; ///< write-allocate |
                                            ///< write-no-allocate.
+
+  // --- Memory-controller scheduling (--schedule engages the sched::
+  // --- Controller front-end; empty = legacy direct replay). The queue
+  // --- and watermark flags refine it and are rejected without
+  // --- --schedule. Unset depth flags default to 32; unset watermarks
+  // --- are derived from the write-queue depth.
+  std::string schedule;          ///< fcfs | frfcfs | read-first.
+  std::optional<int> read_q;     ///< Read-queue depth (0 = unbounded).
+  std::optional<int> write_q;    ///< Write-queue depth (0 = unbounded).
+  std::optional<int> drain_high; ///< Write-drain high watermark.
+  std::optional<int> drain_low;  ///< Write-drain low watermark.
 };
+
+/// The controller config the --schedule/--read-q/--write-q/--drain-*
+/// flags describe, or nullopt without --schedule. Throws
+/// std::invalid_argument on queue/watermark flags without --schedule or
+/// an inconsistent watermark combination (parse_args calls this, so bad
+/// combinations exit 2 before any simulation).
+std::optional<sched::ControllerConfig> scheduler_from_options(
+    const Options& options);
 
 /// Parses argv-style arguments (excluding argv[0]). Throws
 /// std::invalid_argument on unknown flags, missing values, malformed

@@ -105,6 +105,31 @@ void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
     os << "\n=== Hybrid tier breakdown ===\n";
     if (csv) hybrid.print_csv(os); else hybrid.print(os);
   }
+
+  // Scheduled runs get the controller breakdown: how much of the
+  // end-to-end latency was controller-queue wait vs device service,
+  // what the transaction queues held, and the write-drain activity.
+  Table sched({"device", "workload", "policy", "queued (ns)", "service (ns)",
+               "p95 read (ns)", "rd occ", "wr occ", "drains",
+               "drain stalls", "admit stalls"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& stats = results[i];
+    if (!stats.is_scheduled()) continue;
+    sched.add_row({jobs[i].device.name, jobs[i].profile.name,
+                   stats.sched_policy,
+                   Table::num(stats.sched_queue_delay_ns.mean(), 1),
+                   Table::num(stats.service_latency_ns.mean(), 1),
+                   Table::num(stats.read_latency_ns.p95(), 1),
+                   Table::num(stats.read_queue_occupancy.mean(), 2),
+                   Table::num(stats.write_queue_occupancy.mean(), 2),
+                   std::to_string(stats.write_drains),
+                   std::to_string(stats.drain_stalls),
+                   std::to_string(stats.admit_stalls)});
+  }
+  if (sched.rows() > 0) {
+    os << "\n=== Scheduler breakdown ===\n";
+    if (csv) sched.print_csv(os); else sched.print(os);
+  }
 }
 
 void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
@@ -132,6 +157,15 @@ void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
        << ", \"avg_read_latency_ns\": " << json_num(stats.read_latency_ns.mean())
        << ", \"avg_write_latency_ns\": "
        << json_num(stats.write_latency_ns.mean())
+       << ", \"p50_read_latency_ns\": " << json_num(stats.read_latency_ns.p50())
+       << ", \"p95_read_latency_ns\": " << json_num(stats.read_latency_ns.p95())
+       << ", \"p99_read_latency_ns\": " << json_num(stats.read_latency_ns.p99())
+       << ", \"p50_write_latency_ns\": "
+       << json_num(stats.write_latency_ns.p50())
+       << ", \"p95_write_latency_ns\": "
+       << json_num(stats.write_latency_ns.p95())
+       << ", \"p99_write_latency_ns\": "
+       << json_num(stats.write_latency_ns.p99())
        << ", \"avg_queue_delay_ns\": " << json_num(stats.queue_delay_ns.mean())
        << ", \"bandwidth_gbps\": " << json_num(stats.bandwidth_gbps())
        << ", \"energy_pj_per_bit\": " << json_num(stats.epb_pj_per_bit())
@@ -144,8 +178,39 @@ void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
        << ", \"writebacks\": " << stats.writebacks
        << ", \"dram_tier_energy_pj\": " << json_num(stats.dram_tier_energy_pj)
        << ", \"backend_tier_energy_pj\": "
-       << json_num(stats.backend_tier_energy_pj)
-       << "}";
+       << json_num(stats.backend_tier_energy_pj);
+    // Every scheduler field lives under one "sched" object (null for
+    // legacy runs), so a jq del(.results[].sched) compares a scheduled
+    // run against the direct-replay path field for field.
+    if (stats.is_scheduled() && job.controller) {
+      const auto& c = *job.controller;
+      os << ", \"sched\": {"
+         << "\"policy\": " << json_str(stats.sched_policy)
+         << ", \"read_queue_depth\": " << c.read_queue_depth
+         << ", \"write_queue_depth\": " << c.write_queue_depth
+         << ", \"drain_high_watermark\": " << c.drain_high_watermark
+         << ", \"drain_low_watermark\": " << c.drain_low_watermark
+         << ", \"avg_queue_delay_ns\": "
+         << json_num(stats.sched_queue_delay_ns.mean())
+         << ", \"p95_queue_delay_ns\": "
+         << json_num(stats.sched_queue_delay_ns.p95())
+         << ", \"avg_service_latency_ns\": "
+         << json_num(stats.service_latency_ns.mean())
+         << ", \"avg_read_queue_occupancy\": "
+         << json_num(stats.read_queue_occupancy.mean())
+         << ", \"avg_write_queue_occupancy\": "
+         << json_num(stats.write_queue_occupancy.mean())
+         << ", \"max_write_queue_occupancy\": "
+         << json_num(stats.write_queue_occupancy.max())
+         << ", \"write_drains\": " << stats.write_drains
+         << ", \"drained_writes\": " << stats.drained_writes
+         << ", \"drain_stalls\": " << stats.drain_stalls
+         << ", \"admit_stalls\": " << stats.admit_stalls
+         << "}";
+    } else {
+      os << ", \"sched\": null";
+    }
+    os << "}";
   }
   os << "\n  ]\n}\n";
 }

@@ -54,6 +54,11 @@ config::ExperimentSpec experiment_from_options(const Options& options) {
     builder.workload(memsim::profile_by_name(options.workload));
   }
 
+  if (const auto controller = scheduler_from_options(options)) {
+    builder.schedule({controller->policy});
+    builder.controller_config(*controller);
+  }
+
   builder.requests({options.requests})
       .seeds({options.seed})
       .channels({options.channels})
@@ -107,28 +112,44 @@ std::vector<SweepJob> build_matrix(const config::ExperimentSpec& spec) {
     profiles = resolved.workloads;
   }
 
+  // The scheduler axis: no [controller] section runs the legacy direct
+  // replay (one cell, no controller); otherwise one cell per policy.
+  std::vector<std::optional<sched::ControllerConfig>> controllers;
+  if (resolved.policies.empty()) {
+    controllers.push_back(std::nullopt);
+  } else {
+    for (const auto policy : resolved.policies) {
+      sched::ControllerConfig controller = resolved.controller;
+      controller.policy = policy;
+      controllers.emplace_back(controller);
+    }
+  }
+
   std::vector<SweepJob> jobs;
   jobs.reserve(resolved.devices.size() * resolved.channels.size() *
-               profiles.size() * resolved.requests.size() *
-               resolved.seeds.size());
+               controllers.size() * profiles.size() *
+               resolved.requests.size() * resolved.seeds.size());
   for (const auto& device : resolved.devices) {
     for (const int channels : resolved.channels) {
       DeviceSpec configured = device;
       if (channels > 0) configured.set_channels(channels);
-      for (const auto& profile : profiles) {
-        for (const auto requests : resolved.requests) {
-          for (const auto seed : resolved.seeds) {
-            SweepJob job;
-            job.device = configured;
-            job.profile = profile;
-            job.requests = static_cast<std::size_t>(requests);
-            job.seed = seed;
-            job.line_bytes = resolved.line_bytes;
-            job.trace_path = resolved.trace_file;
-            job.cpu_ghz = resolved.cpu_ghz;
-            job.experiment = resolved.name;
-            job.config_file = resolved.source;
-            jobs.push_back(std::move(job));
+      for (const auto& controller : controllers) {
+        for (const auto& profile : profiles) {
+          for (const auto requests : resolved.requests) {
+            for (const auto seed : resolved.seeds) {
+              SweepJob job;
+              job.device = configured;
+              job.profile = profile;
+              job.requests = static_cast<std::size_t>(requests);
+              job.seed = seed;
+              job.line_bytes = resolved.line_bytes;
+              job.trace_path = resolved.trace_file;
+              job.cpu_ghz = resolved.cpu_ghz;
+              job.controller = controller;
+              job.experiment = resolved.name;
+              job.config_file = resolved.source;
+              jobs.push_back(std::move(job));
+            }
           }
         }
       }
@@ -142,7 +163,7 @@ std::vector<SweepJob> build_matrix(const Options& options) {
 }
 
 memsim::SimStats run_job(const SweepJob& job) {
-  const auto engine = job.device.make_engine();
+  const auto engine = job.device.make_engine(job.controller);
   if (!job.trace_path.empty()) {
     memsim::TraceFileSource source(
         job.trace_path, memsim::TraceConfig{.cpu_clock_ghz = job.cpu_ghz,

@@ -38,6 +38,10 @@ struct SweepJob {
   std::string trace_path;  ///< Non-empty: replay this NVMain trace file.
   double cpu_ghz = 2.0;    ///< Trace cycle -> time conversion.
 
+  /// Engaged: run behind a sched::Controller front-end (the backend
+  /// tier of hybrid devices); disengaged: legacy direct replay.
+  std::optional<sched::ControllerConfig> controller;
+
   // --- Provenance, echoed into the JSON report.
   std::string experiment;   ///< Experiment name ("cli" for flag runs).
   std::string config_file;  ///< The --config path; empty for flag runs.

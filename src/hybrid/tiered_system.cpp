@@ -70,9 +70,61 @@ TieredConfig make_tiered_config(const std::string& name,
   return config;
 }
 
-TieredSystem::TieredSystem(TieredConfig config) : config_(std::move(config)) {
+TieredSystem::TieredSystem(TieredConfig config)
+    : TieredSystem(std::move(config), std::nullopt) {}
+
+TieredSystem::TieredSystem(
+    TieredConfig config, std::optional<sched::ControllerConfig> backend_controller)
+    : config_(std::move(config)),
+      backend_controller_(std::move(backend_controller)) {
   config_.validate();
+  if (backend_controller_) backend_controller_->validate();
 }
+
+namespace {
+
+/// The backend replay stage: a bare ReplaySession, or a
+/// sched::Controller queuing in front of one — both push-mode with the
+/// same feed/finish surface, selected once per run.
+class BackendStage {
+ public:
+  BackendStage(const memsim::MemorySystem& system,
+               const std::optional<sched::ControllerConfig>& controller,
+               const std::string& workload_name) {
+    if (controller) {
+      controller_.emplace(system, *controller, workload_name);
+    } else {
+      session_.emplace(system, workload_name);
+    }
+  }
+
+  void feed(const memsim::Request& request) {
+    if (controller_) {
+      controller_->feed(request);
+    } else {
+      session_->feed(request);
+    }
+  }
+
+  std::uint64_t fed() const {
+    return controller_ ? controller_->fed() : session_->fed();
+  }
+
+  std::uint64_t first_arrival_ps() const {
+    return controller_ ? controller_->first_arrival_ps()
+                       : session_->first_arrival_ps();
+  }
+
+  memsim::SimStats finish() {
+    return controller_ ? controller_->finish() : session_->finish();
+  }
+
+ private:
+  std::optional<memsim::ReplaySession> session_;
+  std::optional<sched::Controller> controller_;
+};
+
+}  // namespace
 
 TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
                                      const std::string& workload_name) const {
@@ -93,7 +145,7 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
   const memsim::MemorySystem dram_system(config_.dram);
   const memsim::MemorySystem backend_system(config_.backend);
   memsim::ReplaySession dram(dram_system, workload_name);
-  memsim::ReplaySession backend(backend_system, workload_name);
+  BackendStage backend(backend_system, backend_controller_, workload_name);
   // Derived-request ids live in their own (top-bit) namespace, above any
   // realistic demand id space, for traceability.
   std::uint64_t next_id = 1ull << 63;
@@ -129,7 +181,7 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
       const std::uint64_t line_address = line * line_bytes;
       const auto outcome = cache.access(line_address, is_write);
 
-      const auto emit = [&](memsim::ReplaySession& tier, Op op,
+      const auto emit = [&](auto& tier, Op op,
                             std::uint64_t address, std::uint32_t size,
                             std::uint64_t id) {
         tier.feed(Request{.id = id,
@@ -232,6 +284,20 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
       stats.dram.dynamic_energy_pj + stats.dram.background_energy_pj;
   c.backend_tier_energy_pj =
       stats.backend.dynamic_energy_pj + stats.backend.background_energy_pj;
+  // A scheduled backend's controller breakdown surfaces on the combined
+  // view (the DRAM tier is always direct, so there is only one).
+  if (stats.backend.is_scheduled()) {
+    c.scheduled = true;
+    c.sched_policy = stats.backend.sched_policy;
+    c.sched_queue_delay_ns = stats.backend.sched_queue_delay_ns;
+    c.service_latency_ns = stats.backend.service_latency_ns;
+    c.read_queue_occupancy = stats.backend.read_queue_occupancy;
+    c.write_queue_occupancy = stats.backend.write_queue_occupancy;
+    c.write_drains = stats.backend.write_drains;
+    c.drained_writes = stats.backend.drained_writes;
+    c.drain_stalls = stats.backend.drain_stalls;
+    c.admit_stalls = stats.backend.admit_stalls;
+  }
   return stats;
 }
 

@@ -4,12 +4,15 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "hybrid/dram_cache.hpp"
 #include "memsim/device.hpp"
 #include "memsim/engine.hpp"
 #include "memsim/request.hpp"
 #include "memsim/source.hpp"
 #include "memsim/stats.hpp"
+#include "sched/controller.hpp"
 
 /// Hybrid tiered-memory subsystem: a DRAM cache in front of an OPCM /
 /// EPCM / COSMOS main-memory backend (the HybridSim-style architecture
@@ -64,7 +67,20 @@ class TieredSystem final : public memsim::Engine {
  public:
   explicit TieredSystem(TieredConfig config);  ///< Validates the config.
 
+  /// With a backend controller: the miss/fetch/writeback stream the
+  /// cache filter derives is routed through a sched::Controller (its
+  /// transaction queues and policy) in front of the backend replay,
+  /// instead of straight into it — the tier where OPCM's asymmetric
+  /// write latency actually bites. The DRAM tier stays direct. The
+  /// combined stats then carry the scheduler breakdown of the backend.
+  /// Validates both configs.
+  TieredSystem(TieredConfig config,
+               std::optional<sched::ControllerConfig> backend_controller);
+
   const TieredConfig& config() const { return config_; }
+  const std::optional<sched::ControllerConfig>& backend_controller() const {
+    return backend_controller_;
+  }
 
   /// Streams the demand source (which must yield requests sorted by
   /// arrival time; throws std::invalid_argument naming the offending
@@ -87,6 +103,7 @@ class TieredSystem final : public memsim::Engine {
 
  private:
   TieredConfig config_;
+  std::optional<sched::ControllerConfig> backend_controller_;
 };
 
 }  // namespace comet::hybrid

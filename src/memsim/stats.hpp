@@ -39,6 +39,28 @@ struct SimStats {
   double dram_tier_energy_pj = 0.0;
   double backend_tier_energy_pj = 0.0;
 
+  // --- Scheduler breakdown, populated only when a sched::Controller
+  // --- front-end drove the replay (the backend replay, for hybrid
+  // --- runs; all zero/empty otherwise). The end-to-end latency stats
+  // --- above always include this queueing time; these fields split it
+  // --- out: queue wait (arrival -> issue) vs device service
+  // --- (issue -> completion), plus the transaction-queue occupancies
+  // --- each arriving request observed and the write-drain /
+  // --- backpressure event counts.
+  bool scheduled = false;
+  std::string sched_policy;  ///< "fcfs" | "frfcfs" | "read-first".
+  util::RunningStats sched_queue_delay_ns;  ///< Controller-queue wait.
+  util::RunningStats service_latency_ns;    ///< Issue to completion.
+  util::RunningStats read_queue_occupancy;  ///< Waiting reads at admit.
+  util::RunningStats write_queue_occupancy;
+  std::uint64_t write_drains = 0;    ///< Drain episodes entered.
+  std::uint64_t drained_writes = 0;  ///< Writes issued while draining.
+  std::uint64_t drain_stalls = 0;    ///< Drained writes with reads waiting.
+  std::uint64_t admit_stalls = 0;    ///< Admissions delayed by a full queue.
+
+  /// True once a scheduler front-end queued this run's stream.
+  bool is_scheduled() const { return scheduled; }
+
   /// True once a DRAM cache tier has filtered this run's stream (even
   /// an empty one).
   bool is_hybrid() const { return hybrid; }

@@ -58,6 +58,23 @@ void require_sorted_by_arrival(const std::vector<Request>& requests) {
   }
 }
 
+RequestPlacement place_request(const DeviceTiming& timing,
+                               const Request& request) {
+  const std::uint64_t line_index =
+      mix_line_index(request.address / timing.line_bytes);
+  RequestPlacement placement;
+  placement.channel = static_cast<int>(
+      line_index % static_cast<std::uint64_t>(timing.channels));
+  placement.bank = static_cast<int>(
+      (line_index / static_cast<std::uint64_t>(timing.channels)) %
+      static_cast<std::uint64_t>(timing.banks_per_channel));
+  placement.row = request.address / timing.row_size_bytes;
+  placement.region = timing.region_size_bytes
+                         ? request.address / timing.region_size_bytes
+                         : 0;
+  return placement;
+}
+
 struct ReplaySession::Impl {
   const MemorySystem& system;
   SimStats stats;
@@ -65,6 +82,7 @@ struct ReplaySession::Impl {
   std::uint64_t fed = 0;
   std::uint64_t first_arrival = 0;
   std::uint64_t prev_arrival = 0;
+  std::uint64_t prev_issue = 0;
   std::uint64_t last_completion = 0;
   bool finished = false;
 
@@ -79,21 +97,24 @@ struct ReplaySession::Impl {
     }
   }
 
-  void feed(const Request& req) {
+  FeedResult feed(const Request& req, std::uint64_t issue_ps) {
     const DeviceModel& model = system.model_;
     const DeviceTiming& t = model.timing;
 
     if (fed == 0) {
       first_arrival = req.arrival_ps;
     } else {
-      check_arrival_order(fed, prev_arrival, req.arrival_ps);
+      // A scheduled (reordered) stream can deliver an earlier arrival
+      // late; the span is still anchored at the true first arrival. On
+      // a sorted stream this is exactly the legacy "first fed" rule.
+      first_arrival = std::min(first_arrival, req.arrival_ps);
     }
     prev_arrival = req.arrival_ps;
+    prev_issue = issue_ps;
     ++fed;
 
-    const std::uint64_t line_index =
-        mix_line_index(req.address / t.line_bytes);
-    auto& ch = channels[line_index % static_cast<std::uint64_t>(t.channels)];
+    const RequestPlacement placement = place_request(t, req);
+    auto& ch = channels[static_cast<std::size_t>(placement.channel)];
 
     // One request may need several device accesses: large requests span
     // lines, and narrow-subarray architectures (corrected COSMOS) need
@@ -103,7 +124,7 @@ struct ReplaySession::Impl {
     const std::uint64_t accesses =
         lines_needed * static_cast<std::uint64_t>(t.accesses_per_line);
 
-    std::uint64_t earliest = req.arrival_ps;
+    std::uint64_t earliest = issue_ps;
     // Bounded outstanding window: with queue_depth requests in flight,
     // service waits for the oldest to complete.
     if (ch.inflight_completions.size() >=
@@ -113,12 +134,9 @@ struct ReplaySession::Impl {
     }
 
     // Resolve the serving bank set.
-    const std::uint64_t bank_index =
-        (line_index / static_cast<std::uint64_t>(t.channels)) %
-        static_cast<std::uint64_t>(t.banks_per_channel);
-    const std::uint64_t row = req.address / t.row_size_bytes;
-    const std::uint64_t region =
-        t.region_size_bytes ? req.address / t.region_size_bytes : 0;
+    const auto bank_index = static_cast<std::size_t>(placement.bank);
+    const std::uint64_t row = placement.row;
+    const std::uint64_t region = placement.region;
 
     std::uint64_t bank_free = 0;
     if (t.line_striped_across_banks) {
@@ -194,6 +212,7 @@ struct ReplaySession::Impl {
     }
     stats.bytes_transferred += req.size_bytes;
     last_completion = std::max(last_completion, completion);
+    return FeedResult{start, completion, bank_busy_until};
   }
 
   SimStats finish() {
@@ -223,11 +242,31 @@ ReplaySession::ReplaySession(ReplaySession&&) noexcept = default;
 ReplaySession& ReplaySession::operator=(ReplaySession&&) noexcept = default;
 ReplaySession::~ReplaySession() = default;
 
-void ReplaySession::feed(const Request& request) {
+FeedResult ReplaySession::feed(const Request& request) {
   if (impl_->finished) {
     throw std::logic_error("ReplaySession: feed() after finish()");
   }
-  impl_->feed(request);
+  if (impl_->fed > 0) {
+    check_arrival_order(impl_->fed, impl_->prev_arrival, request.arrival_ps);
+  }
+  return impl_->feed(request, request.arrival_ps);
+}
+
+FeedResult ReplaySession::feed_issued(const Request& request,
+                                      std::uint64_t issue_ps) {
+  if (impl_->finished) {
+    throw std::logic_error("ReplaySession: feed_issued() after finish()");
+  }
+  // Violations here are scheduler bugs, not malformed input traces.
+  if (issue_ps < request.arrival_ps) {
+    throw std::logic_error(
+        "ReplaySession: request issued before its arrival");
+  }
+  if (impl_->fed > 0 && issue_ps < impl_->prev_issue) {
+    throw std::logic_error(
+        "ReplaySession: scheduler issued requests out of order");
+  }
+  return impl_->feed(request, issue_ps);
 }
 
 std::uint64_t ReplaySession::fed() const { return impl_->fed; }

@@ -44,6 +44,33 @@ void require_sorted_by_arrival(const std::vector<Request>& requests);
 void check_arrival_order(std::uint64_t index, std::uint64_t prev_ps,
                          std::uint64_t arrival_ps);
 
+/// Where the controller address hash places one request: the serving
+/// channel, the bank within it (the lead bank for striped devices,
+/// which occupy every bank of the channel), and the row / photonic
+/// region the first line falls into. Single source of truth shared by
+/// the replay engine and the sched::Controller front-end, so queue
+/// arbitration and bank timing always agree on the mapping.
+struct RequestPlacement {
+  int channel = 0;
+  int bank = 0;
+  std::uint64_t row = 0;
+  std::uint64_t region = 0;
+};
+
+RequestPlacement place_request(const DeviceTiming& timing,
+                               const Request& request);
+
+/// Per-request scheduling feedback returned by ReplaySession::feed /
+/// feed_issued: when service began (post bank-busy / window / refresh
+/// arbitration), when the data returned, and how long the serving
+/// bank(s) stay busy (including off-latency-path restore/erase tails).
+/// The sched::Controller mirrors bank state from this.
+struct FeedResult {
+  std::uint64_t start_ps = 0;
+  std::uint64_t completion_ps = 0;
+  std::uint64_t bank_busy_until_ps = 0;
+};
+
 class MemorySystem;
 
 /// Push-mode incremental replay against one MemorySystem: feed()
@@ -62,7 +89,18 @@ class ReplaySession {
 
   /// Schedules one request. Throws std::invalid_argument if it arrives
   /// before its predecessor, std::logic_error after finish().
-  void feed(const Request& request);
+  FeedResult feed(const Request& request);
+
+  /// Scheduled-controller entry point: schedules `request` as if it
+  /// were handed to the device at `issue_ps` (>= its arrival time),
+  /// while all latency/queue-delay statistics stay anchored at the
+  /// original arrival. A sched::Controller reorders its transaction
+  /// queues and feeds in issue order; the stream must therefore be
+  /// sorted by issue_ps, not arrival_ps. Violations (issue before
+  /// arrival, non-monotonic issue times) are controller bugs and throw
+  /// std::logic_error. With issue_ps == arrival_ps on a sorted stream
+  /// this is exactly feed(), bit for bit.
+  FeedResult feed_issued(const Request& request, std::uint64_t issue_ps);
 
   /// Number of requests fed so far.
   std::uint64_t fed() const;

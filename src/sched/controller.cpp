@@ -1,0 +1,444 @@
+#include "sched/controller.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace comet::sched {
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kFcfs: return "fcfs";
+    case Policy::kFrFcfs: return "frfcfs";
+    case Policy::kReadFirst: return "read-first";
+  }
+  return "fcfs";
+}
+
+Policy policy_from_name(const std::string& name) {
+  if (name == "fcfs") return Policy::kFcfs;
+  if (name == "frfcfs") return Policy::kFrFcfs;
+  if (name == "read-first") return Policy::kReadFirst;
+  throw std::invalid_argument("unknown scheduling policy '" + name +
+                              "'; expected fcfs, frfcfs or read-first");
+}
+
+void ControllerConfig::validate() const {
+  if (read_queue_depth < 0 || write_queue_depth < 0) {
+    throw std::invalid_argument(
+        "ControllerConfig: queue depths must be >= 0 (0 = unbounded)");
+  }
+  if (drain_high_watermark < 1) {
+    throw std::invalid_argument(
+        "ControllerConfig: drain_high_watermark must be >= 1");
+  }
+  if (drain_low_watermark < 0 ||
+      drain_low_watermark > drain_high_watermark) {
+    throw std::invalid_argument(
+        "ControllerConfig: need 0 <= drain_low_watermark <= "
+        "drain_high_watermark");
+  }
+  if (write_queue_depth > 0 && drain_high_watermark > write_queue_depth) {
+    throw std::invalid_argument(
+        "ControllerConfig: drain_high_watermark " +
+        std::to_string(drain_high_watermark) + " exceeds write_queue_depth " +
+        std::to_string(write_queue_depth) +
+        "; the write queue can never fill that far");
+  }
+}
+
+ControllerConfig ControllerConfig::with_depths(Policy policy,
+                                               int read_queue_depth,
+                                               int write_queue_depth) {
+  ControllerConfig config;
+  config.policy = policy;
+  config.read_queue_depth = read_queue_depth;
+  config.write_queue_depth = write_queue_depth;
+  if (write_queue_depth > 0) {
+    config.drain_high_watermark = std::max(1, write_queue_depth * 7 / 8);
+    config.drain_low_watermark = write_queue_depth * 3 / 8;
+  }
+  config.validate();
+  return config;
+}
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+/// Policies consider at most this many of the oldest entries per queue
+/// — the finite scheduler window of a real controller's CAM. It only
+/// binds for unbounded (depth-0) queues deeper than any built-in
+/// configuration, and keeps each issue decision O(window) instead of
+/// O(queued), so saturating unbounded runs stay linear overall.
+constexpr std::size_t kScanWindow = 256;
+
+struct QueuedTx {
+  std::uint64_t seq = 0;
+  memsim::Request request;
+  std::uint64_t admit_ps = 0;  ///< When it entered the transaction queue.
+  memsim::RequestPlacement placement;
+};
+
+}  // namespace
+
+struct Controller::Impl {
+  const memsim::MemorySystem& system;
+  const ControllerConfig config;
+  memsim::ReplaySession session;
+
+  struct Pick {
+    bool valid = false;
+    bool from_writes = false;
+    std::size_t index = 0;
+    std::uint64_t issue_ps = 0;
+    int hit_rank = 1;  ///< 0 = open-row/-region hit (preferred).
+    std::uint64_t seq = 0;
+
+    bool beats(const Pick& other) const {
+      if (!other.valid) return true;
+      if (issue_ps != other.issue_ps) return issue_ps < other.issue_ps;
+      if (hit_rank != other.hit_rank) return hit_rank < other.hit_rank;
+      return seq < other.seq;
+    }
+  };
+
+  struct Channel {
+    std::deque<QueuedTx> reads;
+    std::deque<QueuedTx> writes;
+    // Admission overflow: arrivals that found their (bounded) queue
+    // full wait here, entering FIFO when an issue frees a slot.
+    std::deque<QueuedTx> stalled_reads;
+    std::deque<QueuedTx> stalled_writes;
+    // Bank-state mirror rebuilt from feed feedback, so arbitration and
+    // the device timing always agree on busy windows and open
+    // rows/regions.
+    std::vector<std::uint64_t> bank_free;
+    std::vector<std::uint64_t> open_row;
+    std::vector<std::uint64_t> open_region;
+    bool draining = false;
+    // A channel's pick depends only on its own queues/mirror/drain
+    // state, so it stays valid until this channel issues or admits —
+    // advance_until then rescans only the touched channel.
+    Pick cached_pick;
+    bool pick_dirty = true;
+  };
+  std::vector<Channel> channels;
+
+  std::uint64_t next_seq = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t first_arrival = 0;
+  std::uint64_t prev_arrival = 0;
+  /// The controller's issue clock: only ever moves forward. A deferred
+  /// transaction (a write held behind reads, say) whose bank has long
+  /// been idle still issues when the scheduler turns to it, not
+  /// retroactively — which is also what keeps the session's
+  /// issue-sorted contract intact.
+  std::uint64_t last_issue = 0;
+  bool finished = false;
+
+  util::RunningStats queue_delay_ns;
+  util::RunningStats service_ns;
+  util::RunningStats read_occupancy;
+  util::RunningStats write_occupancy;
+  std::uint64_t write_drains = 0;
+  std::uint64_t drained_writes = 0;
+  std::uint64_t drain_stalls = 0;
+  std::uint64_t admit_stalls = 0;
+
+  Impl(const memsim::MemorySystem& sys, const ControllerConfig& cfg,
+       std::string workload_name)
+      : system(sys), config(cfg), session(sys, std::move(workload_name)) {
+    const auto& t = sys.model().timing;
+    channels.resize(static_cast<std::size_t>(t.channels));
+    for (auto& ch : channels) {
+      const auto banks = static_cast<std::size_t>(t.banks_per_channel);
+      ch.bank_free.assign(banks, 0);
+      ch.open_row.assign(banks, ~0ull);
+      ch.open_region.assign(banks, ~0ull);
+    }
+  }
+
+  /// Earliest instant `tx` could start on its target bank(s) — striped
+  /// devices occupy every bank of the channel, so all must be free.
+  std::uint64_t ready_time(const Channel& ch, const QueuedTx& tx) const {
+    const auto& t = system.model().timing;
+    std::uint64_t bank_free = 0;
+    if (t.line_striped_across_banks) {
+      for (const auto free_ps : ch.bank_free) {
+        bank_free = std::max(bank_free, free_ps);
+      }
+    } else {
+      bank_free = ch.bank_free[static_cast<std::size_t>(tx.placement.bank)];
+    }
+    return std::max(tx.admit_ps, bank_free);
+  }
+
+  /// FR-FCFS preference: the open DRAM row, or the currently selected
+  /// photonic GST region (whose switch penalty behaves like a row miss).
+  bool open_hit(const Channel& ch, const QueuedTx& tx) const {
+    const auto& t = system.model().timing;
+    const auto lead = static_cast<std::size_t>(
+        t.line_striped_across_banks ? 0 : tx.placement.bank);
+    if (t.has_row_buffer && ch.open_row[lead] == tx.placement.row) {
+      return true;
+    }
+    if (t.region_size_bytes && ch.open_region[lead] == tx.placement.region) {
+      return true;
+    }
+    return false;
+  }
+
+  /// The transaction this channel's policy would issue next (and when),
+  /// or an invalid pick when nothing is queued. fcfs never holds
+  /// transactions, so its channels never have picks.
+  Pick next_issue(const Channel& ch) const {
+    Pick best;
+    const auto consider = [&](const std::deque<QueuedTx>& q, bool from_writes,
+                              bool prefer_hits) {
+      const std::size_t window = std::min(q.size(), kScanWindow);
+      for (std::size_t i = 0; i < window; ++i) {
+        Pick p;
+        p.valid = true;
+        p.from_writes = from_writes;
+        p.index = i;
+        p.issue_ps = ready_time(ch, q[i]);
+        p.hit_rank = prefer_hits && open_hit(ch, q[i]) ? 0 : 1;
+        p.seq = q[i].seq;
+        if (p.beats(best)) best = p;
+      }
+    };
+    switch (config.policy) {
+      case Policy::kFcfs:
+        break;
+      case Policy::kFrFcfs:
+        consider(ch.reads, /*from_writes=*/false, /*prefer_hits=*/true);
+        consider(ch.writes, /*from_writes=*/true, /*prefer_hits=*/true);
+        break;
+      case Policy::kReadFirst: {
+        // Strict read priority: writes issue only while draining or
+        // when no read is pending (opportunistic background writes).
+        const bool writes_first = ch.draining || ch.reads.empty();
+        const auto& preferred = writes_first ? ch.writes : ch.reads;
+        if (!preferred.empty()) {
+          consider(preferred, writes_first, /*prefer_hits=*/false);
+        } else {
+          consider(writes_first ? ch.reads : ch.writes, !writes_first,
+                   /*prefer_hits=*/false);
+        }
+        break;
+      }
+    }
+    return best;
+  }
+
+  void update_drain(Channel& ch) {
+    if (config.policy != Policy::kReadFirst) return;
+    if (!ch.draining) {
+      if (static_cast<int>(ch.writes.size()) >= config.drain_high_watermark) {
+        ch.draining = true;
+        ++write_drains;
+      }
+    } else if (static_cast<int>(ch.writes.size()) <=
+               config.drain_low_watermark) {
+      ch.draining = false;
+    }
+  }
+
+  /// Moves stalled arrivals into the queue a just-freed slot belongs
+  /// to; they entered the controller at `at_ps` (the freeing issue).
+  void admit_overflow(Channel& ch, bool from_writes, std::uint64_t at_ps) {
+    auto& stalled = from_writes ? ch.stalled_writes : ch.stalled_reads;
+    auto& q = from_writes ? ch.writes : ch.reads;
+    const int depth =
+        from_writes ? config.write_queue_depth : config.read_queue_depth;
+    while (!stalled.empty() &&
+           (depth == 0 || static_cast<int>(q.size()) < depth)) {
+      QueuedTx tx = std::move(stalled.front());
+      stalled.pop_front();
+      tx.admit_ps = std::max(tx.request.arrival_ps, at_ps);
+      q.push_back(std::move(tx));
+    }
+  }
+
+  void issue(Channel& ch, bool from_writes, std::size_t index,
+             std::uint64_t ready_ps) {
+    auto& q = from_writes ? ch.writes : ch.reads;
+    const QueuedTx tx = std::move(q[index]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(index));
+
+    const std::uint64_t issue_ps = std::max(ready_ps, last_issue);
+    last_issue = issue_ps;
+    const memsim::FeedResult result = session.feed_issued(tx.request, issue_ps);
+    queue_delay_ns.add(
+        static_cast<double>(issue_ps - tx.request.arrival_ps) * 1e-3);
+    service_ns.add(
+        static_cast<double>(result.completion_ps - issue_ps) * 1e-3);
+
+    // Mirror commit — the same rule the replay engine applies.
+    const auto& t = system.model().timing;
+    if (t.line_striped_across_banks) {
+      for (std::size_t b = 0; b < ch.bank_free.size(); ++b) {
+        ch.bank_free[b] = result.bank_busy_until_ps;
+        ch.open_row[b] = tx.placement.row;
+        ch.open_region[b] = tx.placement.region;
+      }
+    } else {
+      const auto b = static_cast<std::size_t>(tx.placement.bank);
+      ch.bank_free[b] = result.bank_busy_until_ps;
+      ch.open_row[b] = tx.placement.row;
+      ch.open_region[b] = tx.placement.region;
+    }
+
+    if (from_writes && ch.draining) {
+      ++drained_writes;
+      if (!ch.reads.empty()) ++drain_stalls;
+    }
+    admit_overflow(ch, from_writes, issue_ps);
+    update_drain(ch);
+    ch.pick_dirty = true;
+  }
+
+  const Pick& channel_pick(Channel& ch) {
+    if (ch.pick_dirty) {
+      ch.cached_pick = next_issue(ch);
+      ch.pick_dirty = false;
+    }
+    return ch.cached_pick;
+  }
+
+  /// Issues, globally in (time, age) order, every transaction whose
+  /// issue instant is <= limit. Issue instants only move forward (bank
+  /// mirrors monotonically advance, overflow admits at the freeing
+  /// issue), so the session's issue-sorted contract holds.
+  void advance_until(std::uint64_t limit) {
+    for (;;) {
+      Pick best;
+      std::size_t best_channel = 0;
+      for (std::size_t c = 0; c < channels.size(); ++c) {
+        const Pick& p = channel_pick(channels[c]);
+        if (p.valid && p.beats(best)) {
+          best = p;
+          best_channel = c;
+        }
+      }
+      if (!best.valid || best.issue_ps > limit) return;
+      issue(channels[best_channel], best.from_writes, best.index,
+            best.issue_ps);
+    }
+  }
+
+  void feed(const memsim::Request& req) {
+    if (admitted == 0) {
+      first_arrival = req.arrival_ps;
+    } else {
+      memsim::check_arrival_order(admitted, prev_arrival, req.arrival_ps);
+    }
+    prev_arrival = req.arrival_ps;
+    ++admitted;
+
+    // Bring the controller up to this arrival instant.
+    advance_until(req.arrival_ps);
+
+    const auto& t = system.model().timing;
+    QueuedTx tx;
+    tx.seq = next_seq++;
+    tx.request = req;
+    tx.admit_ps = req.arrival_ps;
+    tx.placement = memsim::place_request(t, req);
+
+    auto& ch = channels[static_cast<std::size_t>(tx.placement.channel)];
+    const bool is_write = req.op == memsim::Op::kWrite;
+    // The queue state each arrival observes (before joining it).
+    read_occupancy.add(static_cast<double>(ch.reads.size()));
+    write_occupancy.add(static_cast<double>(ch.writes.size()));
+
+    auto& q = is_write ? ch.writes : ch.reads;
+    if (config.policy == Policy::kFcfs) {
+      // In-order immediate handoff: the device's own outstanding window
+      // does all buffering — exactly the legacy arrival-order replay,
+      // so unbounded-queue fcfs is bit-identical to no controller.
+      q.push_back(std::move(tx));
+      issue(ch, is_write, q.size() - 1, req.arrival_ps);
+      return;
+    }
+
+    auto& stalled = is_write ? ch.stalled_writes : ch.stalled_reads;
+    const int depth =
+        is_write ? config.write_queue_depth : config.read_queue_depth;
+    if (depth > 0 &&
+        (static_cast<int>(q.size()) >= depth || !stalled.empty())) {
+      ++admit_stalls;
+      stalled.push_back(std::move(tx));
+    } else {
+      q.push_back(std::move(tx));
+      update_drain(ch);
+      ch.pick_dirty = true;
+    }
+  }
+
+  memsim::SimStats finish() {
+    finished = true;
+    advance_until(kNever);  // Drain every queue, stalled arrivals included.
+    memsim::SimStats stats = session.finish();
+    stats.scheduled = true;
+    stats.sched_policy = policy_name(config.policy);
+    stats.sched_queue_delay_ns = queue_delay_ns;
+    stats.service_latency_ns = service_ns;
+    stats.read_queue_occupancy = read_occupancy;
+    stats.write_queue_occupancy = write_occupancy;
+    stats.write_drains = write_drains;
+    stats.drained_writes = drained_writes;
+    stats.drain_stalls = drain_stalls;
+    stats.admit_stalls = admit_stalls;
+    return stats;
+  }
+};
+
+Controller::Controller(const memsim::MemorySystem& system,
+                       ControllerConfig config, std::string workload_name) {
+  config.validate();
+  impl_ = std::make_unique<Impl>(system, config, std::move(workload_name));
+}
+
+Controller::Controller(Controller&&) noexcept = default;
+Controller& Controller::operator=(Controller&&) noexcept = default;
+Controller::~Controller() = default;
+
+void Controller::feed(const memsim::Request& request) {
+  if (impl_->finished) {
+    throw std::logic_error("sched::Controller: feed() after finish()");
+  }
+  impl_->feed(request);
+}
+
+std::uint64_t Controller::fed() const { return impl_->admitted; }
+
+std::uint64_t Controller::first_arrival_ps() const {
+  return impl_->first_arrival;
+}
+
+memsim::SimStats Controller::finish() {
+  if (impl_->finished) {
+    throw std::logic_error("sched::Controller: finish() called twice");
+  }
+  return impl_->finish();
+}
+
+ScheduledSystem::ScheduledSystem(memsim::DeviceModel model,
+                                 ControllerConfig config)
+    : system_(std::move(model)), config_(config) {
+  config_.validate();
+}
+
+memsim::SimStats ScheduledSystem::run(memsim::RequestSource& source,
+                                      const std::string& workload_name) const {
+  Controller controller(system_, config_, workload_name);
+  while (const auto req = source.next()) controller.feed(*req);
+  return controller.finish();
+}
+
+}  // namespace comet::sched

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "memsim/device.hpp"
+#include "memsim/engine.hpp"
+#include "memsim/request.hpp"
+#include "memsim/stats.hpp"
+#include "memsim/system.hpp"
+
+/// Event-driven memory-controller front-end: per-channel transaction
+/// queues (a bounded read queue and a bounded write queue) with
+/// pluggable scheduling policies, layered on top of the existing
+/// DeviceModel bank timing (the ReplaySession back-end).
+///
+/// The paper's controller hides OPCM's asymmetric read/write latencies
+/// by reordering around busy banks and deferring writes (cf. PCMCsim's
+/// uCMDEngine/queue pipeline); the arrival-order replay the engine used
+/// until now models none of that. This layer does:
+///
+///   - `fcfs`: in-order immediate handoff — every request is issued to
+///     the device the instant it arrives, exactly the legacy
+///     arrival-order replay. With unbounded queues this is bit-identical
+///     to running without a controller (the regression anchor).
+///   - `frfcfs`: first-ready FCFS — a transaction issues when its
+///     target bank frees, oldest-first among ready candidates but
+///     preferring open-row hits (DRAM row buffer) and open-region hits
+///     (photonic GST region, whose switch penalty behaves like a row
+///     miss). Batching same-row/-region traffic is where the reorder
+///     gain comes from.
+///   - `read-first`: reads always issue ahead of writes (reads are
+///     latency-critical; OPCM writes are several times slower), with
+///     write-drain hysteresis: when the write queue reaches the high
+///     watermark the channel enters drain mode and issues writes —
+///     stalling reads — until occupancy falls to the low watermark.
+///
+/// Queue bounds model finite controller SRAM: an arrival that finds its
+/// queue full waits (an admit stall) until the scheduler issues enough
+/// queued transactions to free a slot. fcfs never holds transactions,
+/// so its queues never fill and the bounds only bind for the reordering
+/// policies. Reordering policies scan at most the 256 oldest entries
+/// per queue (a real controller's finite CAM window), so even unbounded
+/// queues schedule in O(1) amortized work per transaction.
+///
+/// Everything is deterministic and single-threaded per run; Controller
+/// instances live on the stack of each Engine::run call, so sweeps stay
+/// bit-identical for any thread count.
+namespace comet::sched {
+
+enum class Policy : std::uint8_t { kFcfs, kFrFcfs, kReadFirst };
+
+/// "fcfs" | "frfcfs" | "read-first".
+const char* policy_name(Policy policy);
+
+/// Throws std::invalid_argument naming the valid set on unknown names.
+Policy policy_from_name(const std::string& name);
+
+struct ControllerConfig {
+  Policy policy = Policy::kFcfs;
+
+  /// Transaction-queue bounds per channel; 0 = unbounded.
+  int read_queue_depth = 32;
+  int write_queue_depth = 32;
+
+  /// Write-drain hysteresis (read-first policy): enter drain mode at
+  /// `write queue occupancy >= high`, leave at `occupancy <= low`.
+  /// Equal watermarks are legal (each episode drains one write).
+  int drain_high_watermark = 28;
+  int drain_low_watermark = 12;
+
+  /// Throws std::invalid_argument on negative depths, watermarks
+  /// outside [0 <= low <= high], high < 1, or a high watermark the
+  /// bounded write queue can never reach.
+  void validate() const;
+
+  /// Config with the drain watermarks re-derived from the write-queue
+  /// depth (high = 7/8, low = 3/8 of a bounded depth; the defaults for
+  /// an unbounded one) — what the CLI and TOML layers use when only
+  /// depths are given.
+  static ControllerConfig with_depths(Policy policy, int read_queue_depth,
+                                      int write_queue_depth);
+};
+
+/// Push-mode scheduled replay against one MemorySystem — the
+/// ReplaySession of the scheduler world, and the stage composite
+/// engines route streams through (hybrid::TieredSystem feeds its
+/// backend miss stream here). feed() admits demand requests in arrival
+/// order; the controller queues, reorders and issues them into an
+/// internal ReplaySession (in issue order, via feed_issued), and
+/// finish() drains every queue and returns the statistics with the
+/// scheduler breakdown filled in. The MemorySystem must outlive the
+/// controller.
+class Controller {
+ public:
+  /// Validates the config.
+  Controller(const memsim::MemorySystem& system, ControllerConfig config,
+             std::string workload_name);
+  Controller(Controller&&) noexcept;
+  Controller& operator=(Controller&&) noexcept;
+  ~Controller();
+
+  /// Admits one demand request. Throws std::invalid_argument if it
+  /// arrives before its predecessor, std::logic_error after finish().
+  void feed(const memsim::Request& request);
+
+  /// Number of demand requests admitted so far.
+  std::uint64_t fed() const;
+
+  /// Arrival time of the first admitted request (0 before any feed).
+  std::uint64_t first_arrival_ps() const;
+
+  /// Drains every queue, closes the run and returns the statistics.
+  /// May be called once; throws std::logic_error on a second call.
+  memsim::SimStats finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Engine adapter: a flat MemorySystem behind a Controller front-end.
+/// Const and stateless across runs like every Engine — the controller
+/// lives on the stack of each run() call.
+class ScheduledSystem final : public memsim::Engine {
+ public:
+  /// Validates both the model and the controller config.
+  ScheduledSystem(memsim::DeviceModel model, ControllerConfig config);
+
+  const memsim::MemorySystem& system() const { return system_; }
+  const ControllerConfig& config() const { return config_; }
+
+  using Engine::run;
+
+  memsim::SimStats run(memsim::RequestSource& source,
+                       const std::string& workload_name = "") const override;
+
+ private:
+  memsim::MemorySystem system_;
+  ControllerConfig config_;
+};
+
+}  // namespace comet::sched

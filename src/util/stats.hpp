@@ -7,13 +7,17 @@
 /// Streaming statistics used by the memory simulator and the benches.
 namespace comet::util {
 
-/// Welford-style running mean/variance plus min/max, O(1) memory.
+/// Welford-style running mean/variance plus min/max, and a fixed-size
+/// log2-bucketed histogram (HDR-histogram style: 8 sub-buckets per
+/// octave over [2^-20, 2^40)) for approximate percentiles — O(1) memory
+/// regardless of sample count, and exactly mergeable.
 class RunningStats {
  public:
   void add(double x);
 
   /// Folds another accumulator into this one (Chan's parallel Welford
-  /// combination), as if every sample of `other` had been add()ed here.
+  /// combination plus an element-wise histogram sum), as if every
+  /// sample of `other` had been add()ed here.
   void merge(const RunningStats& other);
 
   std::uint64_t count() const { return n_; }
@@ -24,6 +28,18 @@ class RunningStats {
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return sum_; }
 
+  /// Value below which fraction `p` (0..1) of the samples fall, read
+  /// from the log-bucketed histogram: accurate to the bucket width
+  /// (2^(1/8), i.e. within ~±4.5% of the exact sample) and clamped to
+  /// [min(), max()], so constant streams report exact percentiles.
+  /// Samples ≤ 0 (or below 2^-20) collapse into one underflow bucket
+  /// represented by min(). Returns 0 on an empty accumulator.
+  double percentile(double p) const;
+
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -31,6 +47,7 @@ class RunningStats {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<std::uint64_t> histogram_;  ///< Allocated on first add().
 };
 
 /// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.

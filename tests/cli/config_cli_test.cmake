@@ -68,6 +68,39 @@ foreach(device comet hybrid-comet)
   endif()
 endforeach()
 
+# --- 1b. The scheduled analogue: a --schedule run dumps a [controller]
+# ---     section and replays from it bit-identically (modulo
+# ---     provenance), including the scheduler JSON fields.
+set(sched_flags --device comet --workload gcc_like --requests 800 --seed 11
+    --schedule frfcfs --read-q 16 --write-q 16)
+execute_process(
+  COMMAND ${COMET_SIM} ${sched_flags} --json ${WORK_DIR}/sched_flags.json
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+expect_rc("scheduled flag run" "${rc}" 0)
+execute_process(
+  COMMAND ${COMET_SIM} ${sched_flags} --dump-config ${WORK_DIR}/sched.toml
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+expect_rc("scheduled dump-config" "${rc}" 0)
+file(READ ${WORK_DIR}/sched.toml sched_toml)
+expect_contains("scheduled dump-config" "${sched_toml}" "[controller]")
+expect_contains("scheduled dump-config" "${sched_toml}" "policy = \"frfcfs\"")
+expect_contains("scheduled dump-config" "${sched_toml}" "read_queue_depth = 16")
+execute_process(
+  COMMAND ${COMET_SIM} --config ${WORK_DIR}/sched.toml
+          --json ${WORK_DIR}/sched_config.json
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+expect_rc("scheduled config run" "${rc}" 0)
+file(READ ${WORK_DIR}/sched_flags.json sched_from_flags)
+file(READ ${WORK_DIR}/sched_config.json sched_from_config)
+expect_contains("scheduled json" "${sched_from_flags}" "\"sched\": {")
+expect_contains("scheduled json" "${sched_from_flags}" "\"policy\": \"frfcfs\"")
+strip_provenance("${sched_from_flags}" sched_from_flags)
+strip_provenance("${sched_from_config}" sched_from_config)
+if(NOT sched_from_flags STREQUAL sched_from_config)
+  message(FATAL_ERROR "scheduled config run diverged from the flag run:\n"
+                      "${sched_from_flags}\n--- vs ---\n${sched_from_config}")
+endif()
+
 # --- 2. A custom device defined only in a file runs with no registry
 # ---    edit (the committed example specs double as the fixtures).
 foreach(example comet_16ch hybrid_custom)
@@ -87,7 +120,7 @@ execute_process(
 expect_rc("custom device table" "${rc}" 0)
 expect_contains("custom device table" "${out}" "comet-16ch")
 
-# --- 3. The committed sweep experiment parses and expands.
+# --- 3. The committed sweep experiments parse and expand.
 execute_process(
   COMMAND ${COMET_SIM} --config ${EXAMPLES_DIR}/full_sweep.toml
           --dump-config ${WORK_DIR}/full_sweep_resolved.toml
@@ -95,6 +128,15 @@ execute_process(
 expect_rc("example sweep resolves" "${rc}" 0)
 expect_contains("example sweep resolves" "${out}" "3 device(s)")
 expect_contains("example sweep resolves" "${out}" "3 workload(s)")
+execute_process(
+  COMMAND ${COMET_SIM} --config ${EXAMPLES_DIR}/scheduled_sweep.toml
+          --dump-config ${WORK_DIR}/scheduled_sweep_resolved.toml
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc("scheduled example resolves" "${rc}" 0)
+expect_contains("scheduled example resolves" "${out}" "3 device(s)")
+file(READ ${WORK_DIR}/scheduled_sweep_resolved.toml sched_sweep_toml)
+expect_contains("scheduled example resolves" "${sched_sweep_toml}"
+                "policy = [\"fcfs\", \"frfcfs\", \"read-first\"]")
 
 # --- 4. Missing config file: exit 2 before any simulation runs.
 execute_process(
@@ -128,5 +170,11 @@ execute_process(
   RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
 expect_rc("config conflicts" "${rc}" 2)
 expect_contains("config conflicts" "${err}" "--config cannot be combined")
+execute_process(
+  COMMAND ${COMET_SIM} --config ${WORK_DIR}/comet.toml --schedule frfcfs
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+expect_rc("config/schedule conflict" "${rc}" 2)
+expect_contains("config/schedule conflict" "${err}"
+                "--config cannot be combined")
 
 message(STATUS "config CLI tests passed")

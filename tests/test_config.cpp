@@ -487,6 +487,110 @@ TEST(ExperimentApi, ResolvedExperimentRoundTripsThroughToml) {
   }
 }
 
+TEST(ExperimentApi, ControllerSectionParsesAndDerivesWatermarks) {
+  const std::string text =
+      "[experiment]\n"
+      "devices = [\"comet\"]\n"
+      "workloads = [\"gcc_like\"]\n"
+      "\n"
+      "[controller]\n"
+      "policy = [\"fcfs\", \"read-first\"]\n"
+      "write_queue_depth = 16\n";
+  const auto spec = comet::config::parse_experiment(
+      toml::parse_string(text, "sched.toml"), nullptr);
+  ASSERT_EQ(spec.policies.size(), 2u);
+  EXPECT_EQ(spec.policies[0], comet::sched::Policy::kFcfs);
+  EXPECT_EQ(spec.policies[1], comet::sched::Policy::kReadFirst);
+  // Watermarks re-derived from the bounded write queue (7/8 and 3/8).
+  EXPECT_EQ(spec.controller.write_queue_depth, 16);
+  EXPECT_EQ(spec.controller.drain_high_watermark, 14);
+  EXPECT_EQ(spec.controller.drain_low_watermark, 6);
+  // Read depth kept its default.
+  EXPECT_EQ(spec.controller.read_queue_depth, 32);
+
+  // Giving one watermark explicitly still derives the other from the
+  // depth — the same semantics as the --write-q/--drain-* CLI flags.
+  const std::string partial =
+      "[experiment]\n"
+      "devices = [\"comet\"]\n"
+      "workloads = [\"gcc_like\"]\n"
+      "\n"
+      "[controller]\n"
+      "policy = \"read-first\"\n"
+      "write_queue_depth = 8\n"
+      "drain_low_watermark = 2\n";
+  const auto mixed = comet::config::parse_experiment(
+      toml::parse_string(partial, "sched.toml"), nullptr);
+  EXPECT_EQ(mixed.controller.drain_high_watermark, 7);  // derived: 8 * 7/8
+  EXPECT_EQ(mixed.controller.drain_low_watermark, 2);   // explicit
+  const auto jobs = comet::driver::build_matrix(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  ASSERT_TRUE(jobs[1].controller.has_value());
+  EXPECT_EQ(jobs[1].controller->policy, comet::sched::Policy::kReadFirst);
+}
+
+TEST(ExperimentApi, ControllerSectionDiagnostics) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& fragment) {
+    try {
+      (void)comet::config::parse_experiment(
+          toml::parse_string(text, "sched.toml"), nullptr);
+      FAIL() << "expected error containing: " << fragment;
+    } catch (const toml::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  const std::string header =
+      "[experiment]\ndevices = [\"comet\"]\nworkloads = [\"gcc_like\"]\n";
+  expect_error(header + "[controller]\npolicy = \"lifo\"\n",
+               "unknown scheduling policy 'lifo'");
+  expect_error(header + "[controller]\nqueue = 4\n", "unknown key 'queue'");
+  expect_error(header +
+                   "[controller]\nwrite_queue_depth = 8\n"
+                   "drain_high_watermark = 50\n",
+               "drain_high_watermark 50 exceeds write_queue_depth 8");
+}
+
+TEST(ExperimentApi, ScheduledExperimentRoundTripsThroughToml) {
+  // The scheduled --dump-config loop: the [controller] section (policy
+  // axis, depths, watermarks) must survive serialize → reparse with
+  // bit-identical sweep results.
+  const auto options = comet::driver::parse_args(
+      {"--device", "comet", "--workload", "gcc_like", "--requests", "400",
+       "--schedule", "frfcfs", "--read-q", "16", "--write-q", "16"});
+  const auto resolved = comet::driver::resolve_experiment(
+      comet::driver::experiment_from_options(options));
+  ASSERT_EQ(resolved.policies.size(), 1u);
+
+  const std::string text = comet::config::experiment_to_toml(resolved);
+  EXPECT_NE(text.find("[controller]"), std::string::npos);
+  EXPECT_NE(text.find("policy = \"frfcfs\""), std::string::npos);
+  const auto reparsed = comet::config::parse_experiment(
+      toml::parse_string(text, "dump.toml"), nullptr);
+  ASSERT_EQ(reparsed.policies, resolved.policies);
+  EXPECT_EQ(reparsed.controller.read_queue_depth,
+            resolved.controller.read_queue_depth);
+  EXPECT_EQ(reparsed.controller.write_queue_depth,
+            resolved.controller.write_queue_depth);
+  EXPECT_EQ(reparsed.controller.drain_high_watermark,
+            resolved.controller.drain_high_watermark);
+  EXPECT_EQ(reparsed.controller.drain_low_watermark,
+            resolved.controller.drain_low_watermark);
+
+  const auto results_a =
+      comet::driver::run_sweep(comet::driver::build_matrix(resolved), 1);
+  const auto results_b =
+      comet::driver::run_sweep(comet::driver::build_matrix(reparsed), 1);
+  ASSERT_EQ(results_a.size(), results_b.size());
+  for (std::size_t i = 0; i < results_a.size(); ++i) {
+    expect_same_stats(results_a[i], results_b[i], "sched-roundtrip");
+    EXPECT_EQ(results_a[i].sched_policy, results_b[i].sched_policy);
+    EXPECT_EQ(results_a[i].sched_queue_delay_ns.mean(),
+              results_b[i].sched_queue_delay_ns.mean());
+  }
+}
+
 TEST(ExperimentApi, TraceExperimentValidates) {
   auto spec = ExperimentBuilder()
                   .device("comet")

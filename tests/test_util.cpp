@@ -190,6 +190,71 @@ TEST(RunningStats, EmptyIsSafe) {
   cu::RunningStats st;
   EXPECT_DOUBLE_EQ(st.mean(), 0.0);
   EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(st.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(st.p95(), 0.0);
+}
+
+TEST(RunningStats, PercentileOfConstantStreamIsExact) {
+  // Min/max clamping makes single-value and constant streams exact
+  // despite the log bucketing.
+  cu::RunningStats st;
+  st.add(42.5);
+  EXPECT_DOUBLE_EQ(st.p50(), 42.5);
+  for (int i = 0; i < 100; ++i) st.add(42.5);
+  EXPECT_DOUBLE_EQ(st.p50(), 42.5);
+  EXPECT_DOUBLE_EQ(st.p99(), 42.5);
+  EXPECT_DOUBLE_EQ(st.percentile(0.0), 42.5);
+  EXPECT_DOUBLE_EQ(st.percentile(1.0), 42.5);
+}
+
+TEST(RunningStats, PercentilesApproximateUniformSamples) {
+  cu::RunningStats st;
+  for (int i = 1; i <= 1000; ++i) st.add(double(i));
+  // Log-bucket resolution is 2^(1/8): ~±4.5% relative error.
+  EXPECT_NEAR(st.p50(), 500.0, 500.0 * 0.05);
+  EXPECT_NEAR(st.p95(), 950.0, 950.0 * 0.05);
+  EXPECT_NEAR(st.p99(), 990.0, 990.0 * 0.05);
+  EXPECT_LE(st.p50(), st.p95());
+  EXPECT_LE(st.p95(), st.p99());
+  EXPECT_GE(st.p50(), st.min());
+  EXPECT_LE(st.p99(), st.max());
+}
+
+TEST(RunningStats, PercentileHandlesZerosAndUnderflow) {
+  cu::RunningStats st;
+  for (int i = 0; i < 10; ++i) st.add(0.0);
+  st.add(100.0);
+  // The underflow bucket collapses to min().
+  EXPECT_DOUBLE_EQ(st.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(st.percentile(1.0), 100.0);
+}
+
+TEST(RunningStats, MergeCoversPercentiles) {
+  // merge() must behave as if every sample of `other` had been added
+  // here — including the percentile histogram.
+  cu::RunningStats a, b, combined;
+  for (int i = 1; i <= 400; ++i) {
+    a.add(double(i));
+    combined.add(double(i));
+  }
+  for (int i = 401; i <= 1000; ++i) {
+    b.add(double(i));
+    combined.add(double(i));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.p50(), combined.p50());
+  EXPECT_DOUBLE_EQ(a.p95(), combined.p95());
+  EXPECT_DOUBLE_EQ(a.p99(), combined.p99());
+
+  // Merging into an empty accumulator copies the histogram wholesale.
+  cu::RunningStats empty;
+  empty.merge(combined);
+  EXPECT_DOUBLE_EQ(empty.p95(), combined.p95());
+  // Merging an empty accumulator changes nothing.
+  const double before = combined.p95();
+  combined.merge(cu::RunningStats{});
+  EXPECT_DOUBLE_EQ(combined.p95(), before);
 }
 
 TEST(Histogram, BucketsAndPercentile) {
