@@ -7,17 +7,23 @@
 // split (controller queue vs device service), plus per-cell deltas
 // against the unbounded-fcfs baseline — which is bit-identical to the
 // legacy arrival-order replay, so every delta is attributable to the
-// scheduler alone. The full matrix also lands in BENCH_sched.json (the
-// driver's sweep-JSON schema) to seed a perf trajectory.
+// scheduler alone. Each cell is timed individually (serial execution,
+// so wall clocks don't contend) and the matrix lands in
+// BENCH_sched.json (bench/bench_json.hpp schema); CI's perf lane diffs
+// requests_per_s per cell against the committed baseline.
+//
+// Usage: bench_sched [requests-per-cell]   (default: 40,000)
 
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "driver/registry.hpp"
-#include "driver/report.hpp"
 #include "driver/sweep.hpp"
 #include "memsim/trace_gen.hpp"
 #include "sched/controller.hpp"
@@ -25,16 +31,20 @@
 
 namespace {
 
-constexpr std::size_t kRequestsPerTrace = 40000;
 constexpr std::uint32_t kLineBytes = 128;
 
 const std::vector<int> kQueueDepths = {8, 32, 128};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   namespace sc = comet::sched;
   using comet::util::Table;
+
+  std::size_t requests_per_cell = 40000;
+  if (argc > 1) {
+    requests_per_cell = static_cast<std::size_t>(std::atoll(argv[1]));
+  }
 
   const std::vector<std::string> device_tokens = {"comet", "epcm"};
   // fcfs never holds transactions, so queue depth cannot affect it —
@@ -57,7 +67,7 @@ int main() {
             comet::driver::SweepJob job;
             job.device = device;
             job.profile = profile;
-            job.requests = kRequestsPerTrace;
+            job.requests = requests_per_cell;
             job.seed = 42;
             job.line_bytes = kLineBytes;
             job.controller = controller;
@@ -73,7 +83,17 @@ int main() {
     }
   }
 
-  const auto stats = comet::driver::run_sweep(jobs, /*threads=*/0);
+  // Serial per-cell timing: each cell's wall clock is uncontended, so
+  // requests_per_s is a clean gated metric (scripts/check_perf.py).
+  std::vector<comet::memsim::SimStats> stats(jobs.size());
+  std::vector<double> cell_seconds(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    stats[i] = comet::driver::run_job(jobs[i]);
+    cell_seconds[i] = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  }
 
   // Index the unbounded-fcfs baseline per (device, workload).
   std::map<std::string, const comet::memsim::SimStats*> baseline;
@@ -148,8 +168,30 @@ int main() {
 
   std::ofstream json("BENCH_sched.json");
   if (json) {
-    comet::driver::write_json(json, jobs, stats);
-    std::cout << "\nwrote BENCH_sched.json (" << jobs.size() << " cells)\n";
+    namespace cb = comet::bench;
+    std::vector<cb::BenchResult> results;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto& c = *jobs[i].controller;
+      const std::string depth = c.read_queue_depth == 0
+                                    ? "inf"
+                                    : std::to_string(c.read_queue_depth);
+      cb::BenchResult r;
+      r.name = jobs[i].device.name + "/" + jobs[i].profile.name + "/" +
+               sc::policy_name(c.policy) + "/d" + depth;
+      r.requests = requests_per_cell;
+      r.wall_s = cell_seconds[i];
+      r.requests_per_s = double(requests_per_cell) / cell_seconds[i];
+      r.config = {{"device", cb::json_str(jobs[i].device.name)},
+                  {"workload", cb::json_str(jobs[i].profile.name)},
+                  {"policy", cb::json_str(sc::policy_name(c.policy))},
+                  {"queue_depth", std::to_string(c.read_queue_depth)},
+                  {"line_bytes", std::to_string(kLineBytes)},
+                  {"seed", "42"}};
+      results.push_back(std::move(r));
+    }
+    cb::write_bench_json(json, "bench_sched", results);
+    std::cout << "\nwrote BENCH_sched.json (" << results.size()
+              << " cells)\n";
   }
   return 0;
 }

@@ -1,11 +1,21 @@
-// Demonstrates the O(1)-memory streaming replay path: a 10M-request
-// lazy-streamed run (GeneratorSource pulled straight through the engine)
-// against the same replay with the trace materialized as a vector first.
-// Both paths produce bit-identical SimStats; the difference is peak RSS
-// — the materialized path holds the whole trace (~40 B/request) while
-// the streamed one holds only scheduler state. The streamed phase runs
-// first so the process high-water mark cleanly attributes the growth to
-// materialization.
+// Replay-throughput bench and the sharded-replay acceptance gate.
+//
+// One trace (gcc_like, seed 42) is materialized once, outside every
+// timed region, so each phase times pure replay — no generator RNG in
+// the loop. Serial and sharded replays of the same trace then run for
+// the flat COMET device and the hybrid-comet design point:
+//
+//   - bit-identity between serial and sharded stats is ALWAYS enforced
+//     (any mismatch exits 1) — the same invariant tests/test_sharded.cpp
+//     proves on small traces, re-checked here at bench scale;
+//   - the >= 3x sharded-vs-serial speedup gate on the 8-channel COMET
+//     engages only when the machine has >= 4 hardware threads (a 1-2
+//     vCPU runner cannot demonstrate parallel speedup, but it can still
+//     prove correctness).
+//
+// Every phase lands in BENCH_streaming.json (bench/bench_json.hpp
+// schema); CI's perf lane diffs requests_per_s against the committed
+// baseline via scripts/check_perf.py.
 //
 // Usage: bench_streaming [requests]   (default: 10,000,000)
 
@@ -15,53 +25,61 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "driver/registry.hpp"
+#include "memsim/sharded.hpp"
 #include "memsim/trace_gen.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-/// Current and peak resident set size [MiB] from /proc/self/status
-/// (VmRSS / VmHWM); zeros where the pseudo-file is unavailable.
-struct Rss {
-  double current_mib = 0.0;
-  double peak_mib = 0.0;
-};
+namespace ms = comet::memsim;
 
-Rss read_rss() {
-  Rss rss;
-  std::ifstream status("/proc/self/status");
-  std::string key;
-  while (status >> key) {
-    if (key == "VmRSS:" || key == "VmHWM:") {
-      double kib = 0.0;
-      status >> kib;
-      (key == "VmRSS:" ? rss.current_mib : rss.peak_mib) = kib / 1024.0;
-    }
-  }
-  return rss;
-}
-
-struct PhaseResult {
+struct Phase {
   std::string label;
   double seconds = 0.0;
-  Rss rss;
-  comet::memsim::SimStats stats;
+  int threads = 1;
+  ms::SimStats stats;
 };
 
 template <typename Fn>
-PhaseResult timed_phase(const std::string& label, Fn&& fn) {
+Phase timed_phase(const std::string& label, int threads, Fn&& fn) {
+  Phase phase;
+  phase.label = label;
+  phase.threads = threads;
   const auto start = std::chrono::steady_clock::now();
-  PhaseResult result;
-  result.label = label;
-  result.stats = fn();
-  result.seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
-  result.rss = read_rss();
-  return result;
+  phase.stats = fn();
+  phase.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return phase;
+}
+
+/// Exact equality on every field that could drift if the sharded merge
+/// diverged from the serial lane reduction.
+bool identical(const ms::SimStats& a, const ms::SimStats& b) {
+  const auto same_dist = [](const comet::util::RunningStats& x,
+                            const comet::util::RunningStats& y) {
+    return x.count() == y.count() && x.mean() == y.mean() &&
+           x.stddev() == y.stddev() && x.min() == y.min() &&
+           x.max() == y.max() && x.sum() == y.sum();
+  };
+  return a.reads == b.reads && a.writes == b.writes &&
+         a.bytes_transferred == b.bytes_transferred &&
+         a.span_ps == b.span_ps &&
+         a.dynamic_energy_pj == b.dynamic_energy_pj &&
+         a.background_energy_pj == b.background_energy_pj &&
+         a.total_bank_busy_ns == b.total_bank_busy_ns &&
+         a.cache_hits == b.cache_hits && a.cache_misses == b.cache_misses &&
+         a.writebacks == b.writebacks &&
+         a.dram_tier_energy_pj == b.dram_tier_energy_pj &&
+         a.backend_tier_energy_pj == b.backend_tier_energy_pj &&
+         same_dist(a.read_latency_ns, b.read_latency_ns) &&
+         same_dist(a.write_latency_ns, b.write_latency_ns) &&
+         same_dist(a.queue_delay_ns, b.queue_delay_ns);
 }
 
 }  // namespace
@@ -72,55 +90,87 @@ int main(int argc, char** argv) {
   std::size_t requests = 10'000'000;
   if (argc > 1) requests = static_cast<std::size_t>(std::atoll(argv[1]));
   constexpr std::uint32_t kLineBytes = 128;
-  const auto profile = comet::memsim::profile_by_name("gcc_like");
+  const auto profile = ms::profile_by_name("gcc_like");
+  const int hw_threads = ms::resolve_run_threads(0);
 
   const auto flat = comet::driver::make_device_spec("comet");
   const auto hybrid = comet::driver::make_device_spec("hybrid-comet");
 
-  std::cout << "replaying " << requests << " requests of " << profile.name
-            << " through " << flat.name << " / " << hybrid.name << "\n\n";
+  std::cout << "materializing " << requests << " requests of " << profile.name
+            << " (outside every timed region)...\n";
+  const auto trace =
+      ms::TraceGenerator(profile, 42).generate(requests, kLineBytes);
+  std::cout << "replaying through " << flat.name << " / " << hybrid.name
+            << ", serial vs sharded x" << hw_threads << "\n\n";
 
-  std::vector<PhaseResult> phases;
+  std::vector<Phase> phases;
+  const auto run = [&](const comet::driver::DeviceSpec& spec,
+                       const std::string& label, int threads) {
+    phases.push_back(timed_phase(label, threads, [&] {
+      return spec.make_engine(std::nullopt, threads)->run(trace, profile.name);
+    }));
+  };
+  run(flat, "flat_serial", 1);
+  run(flat, "flat_sharded", hw_threads);
+  run(hybrid, "hybrid_serial", 1);
+  run(hybrid, "hybrid_sharded", hw_threads);
 
-  phases.push_back(timed_phase("flat, streamed", [&] {
-    auto source = comet::memsim::TraceGenerator(profile, 42)
-                      .stream(requests, kLineBytes);
-    return flat.make_engine()->run(source, profile.name);
-  }));
-
-  phases.push_back(timed_phase("hybrid, streamed", [&] {
-    auto source = comet::memsim::TraceGenerator(profile, 42)
-                      .stream(requests, kLineBytes);
-    return hybrid.make_engine()->run(source, profile.name);
-  }));
-
-  phases.push_back(timed_phase("flat, materialized", [&] {
-    const auto trace = comet::memsim::TraceGenerator(profile, 42)
-                           .generate(requests, kLineBytes);
-    return flat.make_engine()->run(trace, profile.name);
-  }));
-
-  Table table({"phase", "time (s)", "RSS after (MiB)", "peak RSS (MiB)",
-               "BW (GB/s)", "EPB (pJ/bit)"});
+  Table table({"phase", "threads", "time (s)", "req/s", "BW (GB/s)",
+               "EPB (pJ/bit)"});
   for (const auto& phase : phases) {
-    table.add_row({phase.label, Table::num(phase.seconds, 2),
-                   Table::num(phase.rss.current_mib, 1),
-                   Table::num(phase.rss.peak_mib, 1),
+    table.add_row({phase.label, std::to_string(phase.threads),
+                   Table::num(phase.seconds, 2),
+                   Table::num(double(requests) / phase.seconds, 0),
                    Table::num(phase.stats.bandwidth_gbps(), 2),
                    Table::num(phase.stats.epb_pj_per_bit(), 2)});
   }
-  std::cout << "=== Streamed vs materialized replay ===\n";
+  std::cout << "=== Serial vs sharded replay ===\n";
   table.print(std::cout);
 
-  const bool identical =
-      phases[0].stats.span_ps == phases[2].stats.span_ps &&
-      phases[0].stats.dynamic_energy_pj == phases[2].stats.dynamic_energy_pj &&
-      phases[0].stats.reads == phases[2].stats.reads;
-  std::cout << "\nflat streamed vs materialized stats: "
-            << (identical ? "bit-identical" : "MISMATCH") << "\n"
-            << "peak-RSS growth attributable to materializing the trace: "
-            << phases[2].rss.peak_mib - phases[1].rss.peak_mib << " MiB ("
-            << requests << " x " << sizeof(comet::memsim::Request)
-            << " B/request)\n";
-  return identical ? 0 : 1;
+  bool ok = true;
+  for (std::size_t i = 0; i < phases.size(); i += 2) {
+    const bool match = identical(phases[i].stats, phases[i + 1].stats);
+    std::cout << "\n" << phases[i].label << " vs " << phases[i + 1].label
+              << ": " << (match ? "bit-identical" : "MISMATCH");
+    ok = ok && match;
+  }
+  std::cout << "\n";
+
+  const double speedup = phases[0].seconds / phases[1].seconds;
+  std::cout << "flat sharded speedup: " << Table::num(speedup, 2) << "x on "
+            << hw_threads << " hardware threads\n";
+  if (hw_threads >= 4) {
+    if (speedup < 3.0) {
+      std::cout << "FAIL: expected >= 3x sharded speedup with >= 4 hardware "
+                   "threads\n";
+      ok = false;
+    }
+  } else {
+    std::cout << "(speedup gate skipped: needs >= 4 hardware threads)\n";
+  }
+
+  std::ofstream json("BENCH_streaming.json");
+  if (json) {
+    namespace cb = comet::bench;
+    std::vector<cb::BenchResult> results;
+    for (const auto& phase : phases) {
+      cb::BenchResult r;
+      r.name = phase.label;
+      r.requests = requests;
+      r.wall_s = phase.seconds;
+      r.requests_per_s = double(requests) / phase.seconds;
+      r.config = {{"device", cb::json_str(phase.label.rfind("flat", 0) == 0
+                                              ? flat.name
+                                              : hybrid.name)},
+                  {"workload", cb::json_str(profile.name)},
+                  {"run_threads", std::to_string(phase.threads)},
+                  {"line_bytes", std::to_string(kLineBytes)},
+                  {"seed", "42"}};
+      results.push_back(std::move(r));
+    }
+    cb::write_bench_json(json, "bench_streaming", results);
+    std::cout << "wrote BENCH_streaming.json (" << results.size()
+              << " phases)\n";
+  }
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the bench_json.hpp schema.
+
+Compares a current bench run against a committed baseline, matching
+results by their ``name`` key, and fails (exit 1) when any cell's
+``requests_per_s`` dropped by more than the allowed fraction — or when
+a baseline cell is missing from the current run (a silently dropped
+cell would otherwise read as "no regression"). New cells that only
+exist in the current run are reported but never fail: they get gated
+once they land in the baseline.
+
+Usage:
+    check_perf.py BASELINE.json CURRENT.json [--max-regression 0.15]
+
+Stdlib only, so it runs on any CI image with a bare python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("bench", "schema_version", "results"):
+        if key not in doc:
+            sys.exit(f"{path}: not a bench_json document (missing '{key}')")
+    if doc["schema_version"] != 1:
+        sys.exit(f"{path}: unsupported schema_version {doc['schema_version']}")
+    by_name = {}
+    for result in doc["results"]:
+        name = result["name"]
+        if name in by_name:
+            sys.exit(f"{path}: duplicate result name '{name}'")
+        by_name[name] = result
+    return doc["bench"], by_name
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="max allowed fractional throughput drop per cell "
+        "(default: 0.15 = 15%%)",
+    )
+    args = parser.parse_args()
+
+    bench_base, baseline = load(args.baseline)
+    bench_cur, current = load(args.current)
+    if bench_base != bench_cur:
+        sys.exit(
+            f"bench mismatch: baseline is '{bench_base}', "
+            f"current is '{bench_cur}'"
+        )
+
+    failures = []
+    width = max((len(n) for n in baseline), default=4)
+    print(f"perf gate: {bench_base} "
+          f"(max regression {args.max_regression:.0%})")
+    print(f"{'cell':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    for name in sorted(baseline):
+        base_rps = baseline[name]["requests_per_s"]
+        if name not in current:
+            print(f"{name:<{width}}  {base_rps:>12.0f}  {'MISSING':>12}")
+            failures.append(f"{name}: missing from current run")
+            continue
+        cur_rps = current[name]["requests_per_s"]
+        delta = (cur_rps - base_rps) / base_rps if base_rps > 0 else 0.0
+        flag = ""
+        if delta < -args.max_regression:
+            flag = "  << REGRESSION"
+            failures.append(f"{name}: {delta:+.1%} (allowed -"
+                            f"{args.max_regression:.0%})")
+        print(f"{name:<{width}}  {base_rps:>12.0f}  {cur_rps:>12.0f}  "
+              f"{delta:>+7.1%}{flag}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  {'(new)':>12}  "
+              f"{current[name]['requests_per_s']:>12.0f}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} cell(s) regressed past the gate:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no cell regressed past the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

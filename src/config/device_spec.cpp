@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "memsim/sharded.hpp"
 #include "memsim/system.hpp"
 
 namespace comet::config {
@@ -25,10 +26,24 @@ std::unique_ptr<memsim::Engine> DeviceSpec::make_engine() const {
 
 std::unique_ptr<memsim::Engine> DeviceSpec::make_engine(
     const std::optional<sched::ControllerConfig>& controller) const {
-  if (tiered) return std::make_unique<hybrid::TieredSystem>(*tiered, controller);
+  return make_engine(controller, 1);
+}
+
+std::unique_ptr<memsim::Engine> DeviceSpec::make_engine(
+    const std::optional<sched::ControllerConfig>& controller,
+    int run_threads) const {
+  const int threads = memsim::resolve_run_threads(run_threads);
+  if (tiered) {
+    return std::make_unique<hybrid::TieredSystem>(*tiered, controller,
+                                                  threads);
+  }
   if (flat) {
     if (controller) {
-      return std::make_unique<sched::ScheduledSystem>(*flat, *controller);
+      return std::make_unique<sched::ScheduledSystem>(*flat, *controller,
+                                                      threads);
+    }
+    if (threads > 1) {
+      return std::make_unique<memsim::ShardedEngine>(*flat, threads);
     }
     return std::make_unique<memsim::MemorySystem>(*flat);
   }

@@ -55,6 +55,16 @@ struct DeviceSpec {
   std::unique_ptr<memsim::Engine> make_engine(
       const std::optional<sched::ControllerConfig>& controller) const;
 
+  /// Sharded variant: with run_threads > 1 (0 = one per hardware
+  /// thread, memsim::resolve_run_threads), replay shards into
+  /// per-channel lanes on a worker pool — memsim::ShardedEngine for a
+  /// plain flat spec, the sharded modes of ScheduledSystem /
+  /// TieredSystem otherwise — with results bit-identical to
+  /// run_threads == 1 for every combination.
+  std::unique_ptr<memsim::Engine> make_engine(
+      const std::optional<sched::ControllerConfig>& controller,
+      int run_threads) const;
+
   /// Applies a channel-count override to the main-memory part (the
   /// backend behind the cache tier for hybrid specs) and re-validates
   /// the adjusted model. Throws std::logic_error on an empty spec.

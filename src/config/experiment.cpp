@@ -65,6 +65,16 @@ void ExperimentSpec::validate() const {
     throw std::invalid_argument("experiment '" + name +
                                 "': cpu_ghz must be a positive number");
   }
+  if (run_threads.empty()) {
+    throw std::invalid_argument("experiment '" + name +
+                                "' has an empty run_threads axis");
+  }
+  for (const auto threads : run_threads) {
+    if (threads < 0) {
+      throw std::invalid_argument("experiment '" + name +
+                                  "': run_threads values must be >= 0");
+    }
+  }
   if (!policies.empty()) controller.validate();
 }
 
@@ -122,6 +132,11 @@ ExperimentBuilder& ExperimentBuilder::controller_config(
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::run_threads(std::vector<int> values) {
+  spec_.run_threads = std::move(values);
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::line_bytes(std::uint32_t value) {
   spec_.line_bytes = value;
   return *this;
@@ -170,7 +185,7 @@ ExperimentSpec parse_experiment(const toml::Document& doc,
 
   if (const toml::Table* controller = root.child("controller")) {
     parse_controller_section(*controller, doc.source, spec.policies,
-                             spec.controller);
+                             spec.controller, spec.run_threads);
   }
 
   if (const auto* devices = root.array_of_tables("device")) {
@@ -247,17 +262,24 @@ void write_experiment(std::ostream& os, const ExperimentSpec& spec) {
     os << "trace_file = " << toml::format_string(spec.trace_file) << "\n"
        << "cpu_ghz = " << toml::format_float(spec.cpu_ghz) << "\n";
   }
-  if (!spec.policies.empty()) {
+  const bool sharded = spec.run_threads != std::vector<int>{1};
+  if (!spec.policies.empty() || sharded) {
     os << "\n[controller]\n";
-    write_axis(os, "policy", spec.policies, [](sched::Policy policy) {
-      return toml::format_string(sched::policy_name(policy));
-    });
-    os << "read_queue_depth = " << spec.controller.read_queue_depth << "\n"
-       << "write_queue_depth = " << spec.controller.write_queue_depth << "\n"
-       << "drain_high_watermark = " << spec.controller.drain_high_watermark
-       << "\n"
-       << "drain_low_watermark = " << spec.controller.drain_low_watermark
-       << "\n";
+    if (!spec.policies.empty()) {
+      write_axis(os, "policy", spec.policies, [](sched::Policy policy) {
+        return toml::format_string(sched::policy_name(policy));
+      });
+      os << "read_queue_depth = " << spec.controller.read_queue_depth << "\n"
+         << "write_queue_depth = " << spec.controller.write_queue_depth << "\n"
+         << "drain_high_watermark = " << spec.controller.drain_high_watermark
+         << "\n"
+         << "drain_low_watermark = " << spec.controller.drain_low_watermark
+         << "\n";
+    }
+    if (sharded) {
+      write_axis(os, "run_threads", spec.run_threads,
+                 [](int v) { return std::to_string(v); });
+    }
   }
   for (const auto& device : spec.devices) {
     os << "\n[[device]]\n";

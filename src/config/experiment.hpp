@@ -42,10 +42,16 @@
 ///     write_queue_depth = 32
 ///     drain_high_watermark = 28
 ///     drain_low_watermark = 12
+///     run_threads = [1, 8]                  # scalar or array (axis);
+///                                           # 0 = hardware threads
 ///
-/// The matrix expands devices × channels × policies × workloads ×
-/// requests × seeds in that nesting order, devices ordered tokens-first
-/// then inline definitions (same for workloads).
+/// A `[controller]` holding only `run_threads` shards the direct replay
+/// without engaging scheduling (results are bit-identical for any
+/// thread count either way, so the axis measures wall-clock only).
+///
+/// The matrix expands devices × channels × policies × run_threads ×
+/// workloads × requests × seeds in that nesting order, devices ordered
+/// tokens-first then inline definitions (same for workloads).
 namespace comet::config {
 
 struct ExperimentSpec {
@@ -73,6 +79,12 @@ struct ExperimentSpec {
   /// cell sharing `controller`'s queue depths and drain watermarks.
   std::vector<sched::Policy> policies;
   sched::ControllerConfig controller;
+
+  /// Sharded-replay axis: per-channel replay worker threads per run
+  /// (memsim::resolve_run_threads semantics — 0 = one per hardware
+  /// thread). Orthogonal to the scheduling axis; results are
+  /// bit-identical across values.
+  std::vector<int> run_threads = {1};
 
   std::uint32_t line_bytes = 128;
   std::string trace_file;  ///< Non-empty: replay instead of synthesis.
@@ -115,6 +127,9 @@ class ExperimentBuilder {
   /// Queue depths / drain watermarks shared by every policy cell (the
   /// config's own `policy` field is overwritten per cell).
   ExperimentBuilder& controller_config(sched::ControllerConfig config);
+
+  /// Sharded-replay thread axis (0 = hardware threads).
+  ExperimentBuilder& run_threads(std::vector<int> values);
   ExperimentBuilder& line_bytes(std::uint32_t value);
   ExperimentBuilder& trace(std::string path, double cpu_ghz = 2.0);
 

@@ -705,9 +705,28 @@ memsim::WorkloadProfile parse_workload(const toml::Table& table,
 void parse_controller_section(const toml::Table& table,
                               const std::string& source,
                               std::vector<sched::Policy>& policies,
-                              sched::ControllerConfig& config) {
+                              sched::ControllerConfig& config,
+                              std::vector<int>& run_threads) {
   TableReader reader(table, source, "[controller]");
+  if (auto threads = reader.get_u64_list("run_threads", 0, INT_MAX)) {
+    if (threads->empty()) {
+      reader.fail_at(reader.key_line("run_threads"),
+                     "'run_threads' must list at least one thread count");
+    }
+    run_threads.clear();
+    for (const auto t : *threads) run_threads.push_back(int(t));
+  }
+  // A section that only shards (run_threads alone) does not engage the
+  // scheduler: the replay stays direct. Any scheduling key does.
+  const bool scheduling =
+      reader.has("policy") || reader.has("read_queue_depth") ||
+      reader.has("write_queue_depth") || reader.has("drain_high_watermark") ||
+      reader.has("drain_low_watermark");
   policies.clear();
+  if (!scheduling) {
+    reader.finish();
+    return;
+  }
   if (auto names = reader.get_string_list("policy")) {
     if (names->empty()) {
       reader.fail_at(reader.key_line("policy"),

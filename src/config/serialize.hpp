@@ -148,15 +148,21 @@ DeviceSpec parse_device_file(const std::string& path,
 memsim::WorkloadProfile parse_workload(const toml::Table& table,
                                        const std::string& source);
 
-/// Parses a `[controller]` table into the policy axis (default
-/// `{fcfs}` when the key is absent) and the config template. When only
-/// `write_queue_depth` is given, the drain watermarks are re-derived
-/// from it (7/8 and 3/8 of a bounded depth) instead of keeping the
-/// depth-32 defaults. Schema violations and inconsistent watermarks
-/// raise toml::ParseError anchored to the offending line.
+/// Parses a `[controller]` table into the policy axis, the config
+/// template and the `run_threads` sharding axis (scalar or array;
+/// 0 = one worker per hardware thread). A section holding *only*
+/// `run_threads` does not engage scheduling — `policies` stays empty
+/// and the replay stays direct, just sharded. Any scheduling key
+/// (policy, a queue depth, a watermark) engages it, with `policy`
+/// defaulting to `{fcfs}` when absent. When only `write_queue_depth`
+/// is given, the drain watermarks are re-derived from it (7/8 and 3/8
+/// of a bounded depth) instead of keeping the depth-32 defaults.
+/// Schema violations and inconsistent watermarks raise
+/// toml::ParseError anchored to the offending line.
 void parse_controller_section(const toml::Table& table,
                               const std::string& source,
                               std::vector<sched::Policy>& policies,
-                              sched::ControllerConfig& config);
+                              sched::ControllerConfig& config,
+                              std::vector<int>& run_threads);
 
 }  // namespace comet::config

@@ -128,6 +128,9 @@ Options parse_args(const std::vector<std::string>& args) {
       matrix(flag);
     } else if (flag == "--threads") {
       opt.threads = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+    } else if (flag == "--run-threads") {
+      opt.run_threads = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+      matrix(flag);
     } else if (flag == "--seed") {
       opt.seed = parse_u64(flag, next());
       matrix(flag);
@@ -336,6 +339,10 @@ std::string usage() {
      << "  --channels N           override the device channel count\n"
      << "  --requests N           requests per run (default: 20000)\n"
      << "  --threads N            sweep worker threads (default: hardware)\n"
+     << "  --run-threads N        per-channel replay worker threads inside\n"
+     << "                         each run (default: 1 = serial; 0 =\n"
+     << "                         hardware threads); results are\n"
+     << "                         bit-identical for any value\n"
      << "  --seed N               trace RNG seed (default: 42)\n"
      << "  --line-bytes N         request line size (default: 128)\n"
      << "  --cache-mb N           hybrid devices: DRAM cache capacity [MiB]\n"

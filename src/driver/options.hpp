@@ -17,6 +17,9 @@ struct Options {
   int channels = 0;              ///< 0 keeps each device's paper topology.
   std::size_t requests = 20000;  ///< Requests per (device, workload) run.
   int threads = 0;               ///< Sweep workers; 0 = hardware threads.
+  int run_threads = 1;           ///< Per-channel replay workers inside
+                                 ///< each run; 0 = hardware threads.
+                                 ///< Bit-identical results for any value.
   std::uint64_t seed = 42;       ///< Trace-generator seed.
   std::uint32_t line_bytes = 128;
   std::string json_path;         ///< Non-empty: write machine-readable JSON.

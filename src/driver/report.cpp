@@ -148,6 +148,7 @@ void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
        << ", \"requests\": " << job.requests
        << ", \"seed\": " << job.seed
        << ", \"line_bytes\": " << job.line_bytes
+       << ", \"run_threads\": " << job.run_threads
        << ", \"trace_file\": " << json_str(job.trace_path)
        << ", \"experiment\": " << json_str(job.experiment)
        << ", \"config_file\": " << json_str(job.config_file)

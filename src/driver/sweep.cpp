@@ -62,6 +62,7 @@ config::ExperimentSpec experiment_from_options(const Options& options) {
   builder.requests({options.requests})
       .seeds({options.seed})
       .channels({options.channels})
+      .run_threads({options.run_threads})
       .line_bytes(options.line_bytes);
   return builder.build();
 }
@@ -127,28 +128,32 @@ std::vector<SweepJob> build_matrix(const config::ExperimentSpec& spec) {
 
   std::vector<SweepJob> jobs;
   jobs.reserve(resolved.devices.size() * resolved.channels.size() *
-               controllers.size() * profiles.size() *
-               resolved.requests.size() * resolved.seeds.size());
+               controllers.size() * resolved.run_threads.size() *
+               profiles.size() * resolved.requests.size() *
+               resolved.seeds.size());
   for (const auto& device : resolved.devices) {
     for (const int channels : resolved.channels) {
       DeviceSpec configured = device;
       if (channels > 0) configured.set_channels(channels);
       for (const auto& controller : controllers) {
-        for (const auto& profile : profiles) {
-          for (const auto requests : resolved.requests) {
-            for (const auto seed : resolved.seeds) {
-              SweepJob job;
-              job.device = configured;
-              job.profile = profile;
-              job.requests = static_cast<std::size_t>(requests);
-              job.seed = seed;
-              job.line_bytes = resolved.line_bytes;
-              job.trace_path = resolved.trace_file;
-              job.cpu_ghz = resolved.cpu_ghz;
-              job.controller = controller;
-              job.experiment = resolved.name;
-              job.config_file = resolved.source;
-              jobs.push_back(std::move(job));
+        for (const int run_threads : resolved.run_threads) {
+          for (const auto& profile : profiles) {
+            for (const auto requests : resolved.requests) {
+              for (const auto seed : resolved.seeds) {
+                SweepJob job;
+                job.device = configured;
+                job.profile = profile;
+                job.requests = static_cast<std::size_t>(requests);
+                job.seed = seed;
+                job.line_bytes = resolved.line_bytes;
+                job.trace_path = resolved.trace_file;
+                job.cpu_ghz = resolved.cpu_ghz;
+                job.controller = controller;
+                job.run_threads = run_threads;
+                job.experiment = resolved.name;
+                job.config_file = resolved.source;
+                jobs.push_back(std::move(job));
+              }
             }
           }
         }
@@ -163,7 +168,7 @@ std::vector<SweepJob> build_matrix(const Options& options) {
 }
 
 memsim::SimStats run_job(const SweepJob& job) {
-  const auto engine = job.device.make_engine(job.controller);
+  const auto engine = job.device.make_engine(job.controller, job.run_threads);
   if (!job.trace_path.empty()) {
     memsim::TraceFileSource source(
         job.trace_path, memsim::TraceConfig{.cpu_clock_ghz = job.cpu_ghz,

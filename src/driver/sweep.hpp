@@ -42,6 +42,12 @@ struct SweepJob {
   /// tier of hybrid devices); disengaged: legacy direct replay.
   std::optional<sched::ControllerConfig> controller;
 
+  /// Per-channel replay worker threads inside this one job
+  /// (memsim::resolve_run_threads semantics; orthogonal to the sweep's
+  /// own job-level `--threads` pool). Results are bit-identical across
+  /// values — the axis only moves wall-clock.
+  int run_threads = 1;
+
   // --- Provenance, echoed into the JSON report.
   std::string experiment;   ///< Experiment name ("cli" for flag runs).
   std::string config_file;  ///< The --config path; empty for flag runs.
@@ -60,9 +66,10 @@ config::ExperimentSpec experiment_from_options(const Options& options);
 /// writes. Throws std::invalid_argument on unknown tokens/names.
 config::ExperimentSpec resolve_experiment(config::ExperimentSpec spec);
 
-/// Expands a spec into the job matrix: devices × channels × workloads ×
-/// requests × seeds (resolving registry tokens first). The channel
-/// override re-validates each adjusted model.
+/// Expands a spec into the job matrix: devices × channels × policies ×
+/// run_threads × workloads × requests × seeds (resolving registry
+/// tokens first). The channel override re-validates each adjusted
+/// model.
 std::vector<SweepJob> build_matrix(const config::ExperimentSpec& spec);
 
 /// CLI shorthand: build_matrix(experiment_from_options(options)).

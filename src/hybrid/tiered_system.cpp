@@ -1,8 +1,11 @@
 #include "hybrid/tiered_system.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
+#include "memsim/sharded.hpp"
 #include "memsim/system.hpp"
 #include "util/units.hpp"
 
@@ -74,54 +77,91 @@ TieredSystem::TieredSystem(TieredConfig config)
     : TieredSystem(std::move(config), std::nullopt) {}
 
 TieredSystem::TieredSystem(
-    TieredConfig config, std::optional<sched::ControllerConfig> backend_controller)
+    TieredConfig config, std::optional<sched::ControllerConfig> backend_controller,
+    int run_threads)
     : config_(std::move(config)),
-      backend_controller_(std::move(backend_controller)) {
+      backend_controller_(std::move(backend_controller)),
+      run_threads_(memsim::resolve_run_threads(run_threads)) {
   config_.validate();
   if (backend_controller_) backend_controller_->validate();
 }
 
 namespace {
 
-/// The backend replay stage: a bare ReplaySession, or a
-/// sched::Controller queuing in front of one — both push-mode with the
-/// same feed/finish surface, selected once per run.
-class BackendStage {
+/// Both tier replays behind one LanePool: DRAM-tier channel lanes first
+/// ([0, D)), backend channel lanes after ([D, D+B)); the backend lanes
+/// carry the controller front-end when one is configured. With
+/// run_threads <= 1 the pool feeds inline on the caller's thread — the
+/// serial path and the sharded path are the same code, differing only
+/// in where lanes execute, which is what the bit-identity tests pin.
+class TierStage {
  public:
-  BackendStage(const memsim::MemorySystem& system,
-               const std::optional<sched::ControllerConfig>& controller,
-               const std::string& workload_name) {
-    if (controller) {
-      controller_.emplace(system, *controller, workload_name);
-    } else {
-      session_.emplace(system, workload_name);
+  TierStage(const memsim::MemorySystem& dram,
+            const memsim::MemorySystem& backend,
+            const std::optional<sched::ControllerConfig>& controller,
+            const std::string& workload_name, int threads)
+      : dram_(dram),
+        backend_(backend),
+        dram_lanes_(static_cast<std::size_t>(dram.model().timing.channels)),
+        pool_(make_lanes(dram, backend, controller, workload_name), threads) {}
+
+  void feed_dram(const memsim::Request& request) {
+    pool_.feed(static_cast<std::size_t>(
+                   memsim::place_request(dram_.model().timing, request).channel),
+               request);
+  }
+
+  void feed_backend(const memsim::Request& request) {
+    pool_.feed(dram_lanes_ +
+                   static_cast<std::size_t>(
+                       memsim::place_request(backend_.model().timing, request)
+                           .channel),
+               request);
+  }
+
+  /// Joins the pool and merges each tier's lane slices in channel order
+  /// — the serial sessions' own reduction, so per-tier results are
+  /// bit-identical to unsharded replays of the same sub-streams.
+  void finish(memsim::ReplaySlice& dram_slice,
+              memsim::ReplaySlice& backend_slice) {
+    const std::vector<memsim::ReplaySlice> slices = pool_.finish();
+    for (std::size_t i = 0; i < dram_lanes_; ++i) {
+      memsim::merge_slice(dram_slice, slices[i]);
     }
-  }
-
-  void feed(const memsim::Request& request) {
-    if (controller_) {
-      controller_->feed(request);
-    } else {
-      session_->feed(request);
+    for (std::size_t i = dram_lanes_; i < slices.size(); ++i) {
+      memsim::merge_slice(backend_slice, slices[i]);
     }
-  }
-
-  std::uint64_t fed() const {
-    return controller_ ? controller_->fed() : session_->fed();
-  }
-
-  std::uint64_t first_arrival_ps() const {
-    return controller_ ? controller_->first_arrival_ps()
-                       : session_->first_arrival_ps();
-  }
-
-  memsim::SimStats finish() {
-    return controller_ ? controller_->finish() : session_->finish();
   }
 
  private:
-  std::optional<memsim::ReplaySession> session_;
-  std::optional<sched::Controller> controller_;
+  static std::vector<std::unique_ptr<memsim::ShardLane>> make_lanes(
+      const memsim::MemorySystem& dram, const memsim::MemorySystem& backend,
+      const std::optional<sched::ControllerConfig>& controller,
+      const std::string& workload_name) {
+    std::vector<std::unique_ptr<memsim::ShardLane>> lanes;
+    const int dram_channels = dram.model().timing.channels;
+    const int backend_channels = backend.model().timing.channels;
+    lanes.reserve(static_cast<std::size_t>(dram_channels + backend_channels));
+    for (int c = 0; c < dram_channels; ++c) {
+      lanes.push_back(
+          std::make_unique<memsim::SessionLane>(dram, workload_name));
+    }
+    for (int c = 0; c < backend_channels; ++c) {
+      if (controller) {
+        lanes.push_back(std::make_unique<sched::ControllerLane>(
+            backend, *controller, workload_name));
+      } else {
+        lanes.push_back(
+            std::make_unique<memsim::SessionLane>(backend, workload_name));
+      }
+    }
+    return lanes;
+  }
+
+  const memsim::MemorySystem& dram_;
+  const memsim::MemorySystem& backend_;
+  std::size_t dram_lanes_;
+  memsim::LanePool pool_;
 };
 
 }  // namespace
@@ -137,15 +177,17 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
   stats.combined.hybrid = true;
 
   // Filter the demand stream through the cache tag model, feeding the
-  // derived traffic straight into one incremental replay per tier.
-  // Derived requests reuse the demand arrival time and are fed in demand
-  // order, so both sub-streams inherit the sorted-stream contract.
+  // derived traffic straight into one incremental replay lane per tier
+  // channel (TierStage). Derived requests reuse the demand arrival time
+  // and are fed in demand order, so both sub-streams inherit the
+  // sorted-stream contract. The tag state is global across channels, so
+  // the filter itself stays on this thread whatever run_threads says.
   DramCache cache(config_.cache);
   const std::uint32_t line_bytes = config_.cache.line_bytes;
   const memsim::MemorySystem dram_system(config_.dram);
   const memsim::MemorySystem backend_system(config_.backend);
-  memsim::ReplaySession dram(dram_system, workload_name);
-  BackendStage backend(backend_system, backend_controller_, workload_name);
+  TierStage tiers(dram_system, backend_system, backend_controller_,
+                  workload_name, run_threads_);
   // Derived-request ids live in their own (top-bit) namespace, above any
   // realistic demand id space, for traceability.
   std::uint64_t next_id = 1ull << 63;
@@ -154,8 +196,7 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
   std::uint64_t demand_index = 0;
   std::uint64_t demand_start = 0;
   std::uint64_t prev_arrival = 0;
-  while (const auto demand = source.next()) {
-    const Request& req = *demand;
+  const auto process_demand = [&](const Request& req) {
     if (demand_index == 0) {
       demand_start = req.arrival_ps;
     } else {
@@ -181,14 +222,21 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
       const std::uint64_t line_address = line * line_bytes;
       const auto outcome = cache.access(line_address, is_write);
 
-      const auto emit = [&](auto& tier, Op op,
-                            std::uint64_t address, std::uint32_t size,
-                            std::uint64_t id) {
-        tier.feed(Request{.id = id,
-                          .arrival_ps = req.arrival_ps,
-                          .op = op,
-                          .address = address,
-                          .size_bytes = size});
+      const auto emit_dram = [&](Op op, std::uint64_t address,
+                                 std::uint32_t size, std::uint64_t id) {
+        tiers.feed_dram(Request{.id = id,
+                                .arrival_ps = req.arrival_ps,
+                                .op = op,
+                                .address = address,
+                                .size_bytes = size});
+      };
+      const auto emit_backend = [&](Op op, std::uint64_t address,
+                                    std::uint32_t size, std::uint64_t id) {
+        tiers.feed_backend(Request{.id = id,
+                                   .arrival_ps = req.arrival_ps,
+                                   .op = op,
+                                   .address = address,
+                                   .size_bytes = size});
       };
       // The demand bytes falling inside this cache line; fills, fetches
       // and writebacks always move the whole (coarse) line.
@@ -198,8 +246,8 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
 
       if (outcome.hit) {
         ++c.cache_hits;
-        emit(dram, req.op,
-             std::max(req.address, line_address), portion, req.id);
+        emit_dram(req.op, std::max(req.address, line_address), portion,
+                  req.id);
         continue;
       }
       ++c.cache_misses;
@@ -212,28 +260,40 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
         // covers the whole line needs no fetch — every fetched byte
         // would be overwritten.
         if (!(is_write && portion == line_bytes)) {
-          emit(backend, Op::kRead, line_address, line_bytes, req.id);
+          emit_backend(Op::kRead, line_address, line_bytes, req.id);
         }
-        emit(dram, Op::kWrite, line_address, line_bytes, next_id++);
+        emit_dram(Op::kWrite, line_address, line_bytes, next_id++);
       } else {
         // Write-no-allocate miss: the demand write goes straight down.
-        emit(backend, Op::kWrite,
-             std::max(req.address, line_address), portion, req.id);
+        emit_backend(Op::kWrite, std::max(req.address, line_address), portion,
+                     req.id);
       }
       if (outcome.writeback) {
         ++c.writebacks;
-        emit(backend, Op::kWrite, outcome.writeback_address,
-             line_bytes, next_id++);
+        emit_backend(Op::kWrite, outcome.writeback_address, line_bytes,
+                     next_id++);
       }
     }
+  };
+
+  Request block[memsim::kFeedBlockRequests];
+  for (;;) {
+    const std::size_t pulled =
+        source.next_batch(block, memsim::kFeedBlockRequests);
+    if (pulled == 0) break;
+    for (std::size_t i = 0; i < pulled; ++i) process_demand(block[i]);
   }
 
-  const std::uint64_t dram_first = dram.first_arrival_ps();
-  const std::uint64_t backend_first = backend.first_arrival_ps();
-  const bool dram_served = dram.fed() > 0;
-  const bool backend_served = backend.fed() > 0;
-  stats.dram = dram.finish();
-  stats.backend = backend.finish();
+  memsim::ReplaySlice dram_slice;
+  memsim::ReplaySlice backend_slice;
+  tiers.finish(dram_slice, backend_slice);
+  const std::uint64_t dram_first = dram_slice.first_arrival_ps;
+  const std::uint64_t backend_first = backend_slice.first_arrival_ps;
+  const bool dram_served = dram_slice.fed > 0;
+  const bool backend_served = backend_slice.fed > 0;
+  stats.dram = memsim::finalize_slice(std::move(dram_slice), config_.dram);
+  stats.backend =
+      memsim::finalize_slice(std::move(backend_slice), config_.backend);
 
   // The demand wall-clock: first demand arrival to the last completion
   // of either tier. Each tier's span is anchored at its own sub-stream's

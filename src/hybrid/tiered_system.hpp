@@ -74,13 +74,21 @@ class TieredSystem final : public memsim::Engine {
   /// write latency actually bites. The DRAM tier stays direct. The
   /// combined stats then carry the scheduler breakdown of the backend.
   /// Validates both configs.
+  ///
+  /// `run_threads` (as in memsim::resolve_run_threads) shards the two
+  /// tier replays into per-channel lanes on a worker pool: the cache
+  /// filter stays on the caller's thread (its tag state is global), the
+  /// derived per-tier traffic fans out by serving channel. Results are
+  /// bit-identical for any thread count.
   TieredSystem(TieredConfig config,
-               std::optional<sched::ControllerConfig> backend_controller);
+               std::optional<sched::ControllerConfig> backend_controller,
+               int run_threads = 1);
 
   const TieredConfig& config() const { return config_; }
   const std::optional<sched::ControllerConfig>& backend_controller() const {
     return backend_controller_;
   }
+  int run_threads() const { return run_threads_; }
 
   /// Streams the demand source (which must yield requests sorted by
   /// arrival time; throws std::invalid_argument naming the offending
@@ -104,6 +112,7 @@ class TieredSystem final : public memsim::Engine {
  private:
   TieredConfig config_;
   std::optional<sched::ControllerConfig> backend_controller_;
+  int run_threads_ = 1;
 };
 
 }  // namespace comet::hybrid

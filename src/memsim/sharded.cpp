@@ -1,0 +1,253 @@
+#include "memsim/sharded.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace comet::memsim {
+
+int resolve_run_threads(int requested) {
+  if (requested < 0) {
+    throw std::invalid_argument(
+        "run_threads must be >= 0 (0 = one per hardware thread)");
+  }
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+/// Blocks a worker may hold queued before the producer blocks on it:
+/// enough to ride out scheduling jitter, small enough that a slow lane
+/// backpressures the producer instead of buffering the whole stream.
+constexpr std::size_t kMaxQueuedBlocksPerWorker = 4;
+
+}  // namespace
+
+struct LanePool::Impl {
+  struct Block {
+    std::size_t lane = 0;
+    std::vector<Request> requests;
+  };
+
+  struct Worker {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable can_push;  ///< Producer waits: queue full.
+    std::condition_variable can_pull;  ///< Worker waits: queue empty.
+    std::deque<std::unique_ptr<Block>> queue;
+    bool done = false;
+    bool failed = false;
+    std::exception_ptr error;
+  };
+
+  std::vector<std::unique_ptr<ShardLane>> lanes;
+  /// One block per lane being filled by the producer (worker mode only).
+  std::vector<std::unique_ptr<Block>> pending;
+  std::vector<std::unique_ptr<Worker>> workers;  ///< Empty = inline mode.
+  std::mutex free_mutex;
+  std::vector<std::unique_ptr<Block>> free_blocks;
+
+  Impl(std::vector<std::unique_ptr<ShardLane>> lanes_in, int threads)
+      : lanes(std::move(lanes_in)) {
+    if (lanes.empty()) {
+      throw std::invalid_argument("LanePool: at least one lane required");
+    }
+    if (threads <= 1) return;  // Inline mode: feed on the caller's thread.
+    const std::size_t worker_count =
+        std::min(static_cast<std::size_t>(threads), lanes.size());
+    pending.resize(lanes.size());
+    workers.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) {
+      workers.push_back(std::make_unique<Worker>());
+    }
+    // Spawn only once every Worker is at its final address.
+    for (auto& worker : workers) {
+      Worker& w = *worker;
+      w.thread = std::thread([this, &w] { worker_loop(w); });
+    }
+  }
+
+  ~Impl() { shutdown(); }
+
+  Worker& worker_for(std::size_t lane) {
+    return *workers[lane % workers.size()];
+  }
+
+  std::unique_ptr<Block> acquire_block(std::size_t lane) {
+    std::unique_ptr<Block> block;
+    {
+      std::lock_guard<std::mutex> lock(free_mutex);
+      if (!free_blocks.empty()) {
+        block = std::move(free_blocks.back());
+        free_blocks.pop_back();
+      }
+    }
+    if (!block) {
+      block = std::make_unique<Block>();
+      block->requests.reserve(kFeedBlockRequests);
+    }
+    block->lane = lane;
+    return block;
+  }
+
+  void recycle(std::unique_ptr<Block> block) {
+    block->requests.clear();  // Keeps the capacity.
+    std::lock_guard<std::mutex> lock(free_mutex);
+    free_blocks.push_back(std::move(block));
+  }
+
+  void worker_loop(Worker& w) {
+    for (;;) {
+      std::unique_ptr<Block> block;
+      bool failed = false;
+      {
+        std::unique_lock<std::mutex> lock(w.mutex);
+        w.can_pull.wait(lock, [&] { return w.done || !w.queue.empty(); });
+        if (w.queue.empty()) return;  // done, and fully drained.
+        block = std::move(w.queue.front());
+        w.queue.pop_front();
+        failed = w.failed;
+      }
+      w.can_push.notify_one();
+      // After a failure the worker keeps draining (and discarding) its
+      // queue so the producer never deadlocks on a full one.
+      if (!failed) {
+        try {
+          ShardLane& lane = *lanes[block->lane];
+          for (const Request& req : block->requests) lane.feed(req);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(w.mutex);
+          w.failed = true;
+          w.error = std::current_exception();
+        }
+      }
+      recycle(std::move(block));
+    }
+  }
+
+  void push_block(std::unique_ptr<Block> block) {
+    Worker& w = worker_for(block->lane);
+    {
+      std::unique_lock<std::mutex> lock(w.mutex);
+      w.can_push.wait(
+          lock, [&] { return w.queue.size() < kMaxQueuedBlocksPerWorker; });
+      if (w.failed) {
+        const std::exception_ptr error = w.error;
+        lock.unlock();
+        shutdown();
+        std::rethrow_exception(error);
+      }
+      w.queue.push_back(std::move(block));
+    }
+    w.can_pull.notify_one();
+  }
+
+  void feed(std::size_t lane, const Request& req) {
+    if (workers.empty()) {
+      lanes[lane]->feed(req);
+      return;
+    }
+    auto& slot = pending[lane];
+    if (!slot) slot = acquire_block(lane);
+    slot->requests.push_back(req);
+    if (slot->requests.size() >= kFeedBlockRequests) {
+      push_block(std::move(slot));
+    }
+  }
+
+  /// Signals done and joins. Workers drain their queues first, so after
+  /// a clean flush this is a barrier on all fed work. Idempotent.
+  void shutdown() {
+    for (auto& worker : workers) {
+      {
+        std::lock_guard<std::mutex> lock(worker->mutex);
+        worker->done = true;
+      }
+      worker->can_pull.notify_one();
+    }
+    for (auto& worker : workers) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+  }
+
+  std::vector<ReplaySlice> finish() {
+    if (!workers.empty()) {
+      for (auto& slot : pending) {
+        if (slot && !slot->requests.empty()) push_block(std::move(slot));
+      }
+      shutdown();
+      for (const auto& worker : workers) {
+        if (worker->failed) std::rethrow_exception(worker->error);
+      }
+    }
+    std::vector<ReplaySlice> slices;
+    slices.reserve(lanes.size());
+    for (auto& lane : lanes) slices.push_back(lane->finish_slice());
+    return slices;
+  }
+};
+
+LanePool::LanePool(std::vector<std::unique_ptr<ShardLane>> lanes, int threads)
+    : impl_(std::make_unique<Impl>(std::move(lanes), threads)) {}
+
+LanePool::~LanePool() = default;
+
+void LanePool::feed(std::size_t lane, const Request& request) {
+  impl_->feed(lane, request);
+}
+
+std::vector<ReplaySlice> LanePool::finish() { return impl_->finish(); }
+
+SimStats run_sharded(const MemorySystem& system,
+                     std::vector<std::unique_ptr<ShardLane>> lanes,
+                     int threads, RequestSource& source) {
+  const DeviceTiming& timing = system.model().timing;
+  if (lanes.size() != static_cast<std::size_t>(timing.channels)) {
+    throw std::invalid_argument("run_sharded: one lane per channel required");
+  }
+  LanePool pool(std::move(lanes), threads);
+  Request block[kFeedBlockRequests];
+  std::uint64_t fed = 0;
+  std::uint64_t prev_arrival = 0;
+  for (;;) {
+    const std::size_t pulled = source.next_batch(block, kFeedBlockRequests);
+    if (pulled == 0) break;
+    for (std::size_t i = 0; i < pulled; ++i) {
+      const Request& req = block[i];
+      // The global sorted-stream contract, with serial-identical
+      // diagnostics; lanes re-check their own subsequences a fortiori.
+      if (fed > 0) check_arrival_order(fed, prev_arrival, req.arrival_ps);
+      prev_arrival = req.arrival_ps;
+      ++fed;
+      pool.feed(static_cast<std::size_t>(place_request(timing, req).channel),
+                req);
+    }
+  }
+  std::vector<ReplaySlice> slices = pool.finish();
+  ReplaySlice total;
+  for (const ReplaySlice& slice : slices) merge_slice(total, slice);
+  return finalize_slice(std::move(total), system.model());
+}
+
+ShardedEngine::ShardedEngine(DeviceModel model, int run_threads)
+    : system_(std::move(model)),
+      run_threads_(resolve_run_threads(run_threads)) {}
+
+SimStats ShardedEngine::run(RequestSource& source,
+                            const std::string& workload_name) const {
+  std::vector<std::unique_ptr<ShardLane>> lanes;
+  const int channels = system_.model().timing.channels;
+  lanes.reserve(static_cast<std::size_t>(channels));
+  for (int c = 0; c < channels; ++c) {
+    lanes.push_back(std::make_unique<SessionLane>(system_, workload_name));
+  }
+  return run_sharded(system_, std::move(lanes), run_threads_, source);
+}
+
+}  // namespace comet::memsim

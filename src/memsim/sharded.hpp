@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memsim/engine.hpp"
+#include "memsim/system.hpp"
+
+/// Sharded per-channel parallel replay.
+///
+/// The controller address hash makes every channel an island: placement,
+/// bank timing, the outstanding window and all per-request statistics
+/// are channel-local, and the serial engines already accumulate their
+/// statistics in per-channel lanes merged in channel order (see
+/// ReplaySlice). Sharding exploits that: partition the incoming stream
+/// by serving channel, run one full replay pipeline per channel lane on
+/// a small worker pool, and merge the lanes' finish_slice() results in
+/// channel order — the exact reduction the serial path performs, so the
+/// result is bit-identical to a serial run for any thread count. That
+/// bit-identity is a hard test gate (tests/test_sharded.cpp), not a
+/// best-effort property.
+///
+/// Threading model: the caller's thread is the producer — it pulls the
+/// source in blocks (sources are single-pass and stay single-threaded),
+/// routes each request to its lane, and hands ~kFeedBlockRequests-sized
+/// blocks to the lane's worker over a bounded queue. Lanes map to
+/// workers round-robin (lane % workers); each lane is only ever touched
+/// by one worker, so lanes need no locking of their own. With
+/// threads <= 1 the pool degenerates to inline feeding on the caller's
+/// thread — zero threading overhead, same code path as the tests'
+/// reference runs.
+namespace comet::memsim {
+
+/// Resolves a --run-threads request: 0 means one thread per hardware
+/// thread (at least 1), any positive value is taken as-is. Throws
+/// std::invalid_argument on negative values.
+int resolve_run_threads(int requested);
+
+/// One shard lane: a full replay pipeline (session, or a scheduler
+/// front-end over one) that consumes exactly one channel's subsequence
+/// of the run's stream. feed() is called in stream order by the lane's
+/// single worker; finish_slice() is called once, after every feed, from
+/// the merging thread.
+class ShardLane {
+ public:
+  virtual ~ShardLane() = default;
+  virtual void feed(const Request& request) = 0;
+  virtual ReplaySlice finish_slice() = 0;
+};
+
+/// Plain ReplaySession lane — the shard unit of an unscheduled flat
+/// device.
+class SessionLane final : public ShardLane {
+ public:
+  SessionLane(const MemorySystem& system, std::string workload_name)
+      : session_(system, std::move(workload_name)) {}
+
+  void feed(const Request& request) override { session_.feed(request); }
+  ReplaySlice finish_slice() override { return session_.finish_slice(); }
+
+ private:
+  ReplaySession session_;
+};
+
+/// Runs N lanes on up to `threads` worker threads (bounded block queues,
+/// block recycling through a free list; see the header comment for the
+/// threading model). A lane exception is captured and rethrown on the
+/// caller's thread — from feed() as soon as it is noticed, else from
+/// finish(); the lowest-numbered worker's error wins when several fail.
+class LanePool {
+ public:
+  /// Takes ownership of the lanes. threads <= 1 selects inline mode.
+  LanePool(std::vector<std::unique_ptr<ShardLane>> lanes, int threads);
+  ~LanePool();
+
+  LanePool(const LanePool&) = delete;
+  LanePool& operator=(const LanePool&) = delete;
+
+  /// Routes one request to `lane` (producer thread only).
+  void feed(std::size_t lane, const Request& request);
+
+  /// Flushes, joins the workers and returns every lane's slice in lane
+  /// order. May be called once.
+  std::vector<ReplaySlice> finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Shared driver loop for sharded engines: streams `source` through one
+/// lane per device channel (routing by the same place_request hash the
+/// replay uses), enforcing the global sorted-by-arrival contract with
+/// serial-identical diagnostics, then merges the slices in channel
+/// order and finalizes against `system`'s model.
+SimStats run_sharded(const MemorySystem& system,
+                     std::vector<std::unique_ptr<ShardLane>> lanes,
+                     int threads, RequestSource& source);
+
+/// Engine adapter: a flat MemorySystem replayed across per-channel
+/// worker threads — the parallel twin of MemorySystem itself, returning
+/// bit-identical statistics. Const and stateless across runs like every
+/// Engine; each run() builds its lanes and pool on the stack.
+class ShardedEngine final : public Engine {
+ public:
+  /// Validates the model; `run_threads` as in resolve_run_threads.
+  ShardedEngine(DeviceModel model, int run_threads);
+
+  const MemorySystem& system() const { return system_; }
+  int run_threads() const { return run_threads_; }
+
+  using Engine::run;
+
+  SimStats run(RequestSource& source,
+               const std::string& workload_name = "") const override;
+
+ private:
+  MemorySystem system_;
+  int run_threads_;
+};
+
+}  // namespace comet::memsim

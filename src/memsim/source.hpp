@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <optional>
 #include <vector>
 
@@ -19,12 +21,34 @@
 /// pull and throw std::invalid_argument naming the offending index.
 namespace comet::memsim {
 
+/// Block size the replay engines use when pulling through next_batch().
+inline constexpr std::size_t kFeedBlockRequests = 1024;
+
 class RequestSource {
  public:
   virtual ~RequestSource() = default;
 
   /// The next request, or std::nullopt once the stream is exhausted.
   virtual std::optional<Request> next() = 0;
+
+  /// Fills `out[0 .. max)` with the next requests of the stream and
+  /// returns how many were written; 0 means the stream is exhausted
+  /// (never before). The replay engines pull through this entry point
+  /// in ~1024-request blocks, so the per-request virtual dispatch (and
+  /// the optional<Request> round trip) of next() amortizes away on the
+  /// hot path. The default loops next(); concrete sources override it
+  /// with a direct block fill. Equivalence with repeated next() calls
+  /// is part of the contract (enforced per implementation in
+  /// tests/test_source.cpp), so callers may mix both freely.
+  virtual std::size_t next_batch(Request* out, std::size_t max) {
+    std::size_t filled = 0;
+    while (filled < max) {
+      const auto request = next();
+      if (!request) break;
+      out[filled++] = *request;
+    }
+    return filled;
+  }
 };
 
 /// Adapts a materialized vector (borrowed or owned) to the streaming
@@ -45,6 +69,14 @@ class VectorSource final : public RequestSource {
   std::optional<Request> next() override {
     if (pos_ >= requests_->size()) return std::nullopt;
     return (*requests_)[pos_++];
+  }
+
+  std::size_t next_batch(Request* out, std::size_t max) override {
+    const std::size_t available = requests_->size() - pos_;
+    const std::size_t take = max < available ? max : available;
+    std::copy_n(requests_->data() + pos_, take, out);
+    pos_ += take;
+    return take;
   }
 
  private:

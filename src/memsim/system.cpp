@@ -1,9 +1,10 @@
 #include "memsim/system.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/ring.hpp"
 
 namespace comet::memsim {
 namespace {
@@ -14,9 +15,31 @@ struct BankState {
   std::uint64_t current_region = ~0ull;
 };
 
+/// Per-channel statistics lane. Every per-request accumulation is
+/// channel-local; finish_slice() merges the lanes in channel order.
+/// This is what the sharded engine's bit-identity rests on: a session
+/// fed only channel k's requests populates exactly this lane (its other
+/// lanes stay empty, and empty-side RunningStats merges are exact), so
+/// merging shard slices in channel order performs the same reduction,
+/// operand for operand, as the serial session's own lane merge.
+struct LaneTotals {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t first_arrival = 0;
+  std::uint64_t last_completion = 0;
+  util::RunningStats read_latency_ns;
+  util::RunningStats write_latency_ns;
+  util::RunningStats queue_delay_ns;
+  double dynamic_energy_pj = 0.0;
+  double total_bank_busy_ns = 0.0;
+};
+
 struct ChannelState {
   std::vector<BankState> banks;
-  std::deque<std::uint64_t> inflight_completions;
+  util::RingQueue<std::uint64_t> inflight_completions;
+  std::uint64_t prev_issue = 0;
+  LaneTotals totals;
 };
 
 /// Controller address hash (NVMain-style bank/channel interleaving):
@@ -75,15 +98,76 @@ RequestPlacement place_request(const DeviceTiming& timing,
   return placement;
 }
 
+void merge_slice(ReplaySlice& into, const ReplaySlice& from) {
+  SimStats& a = into.stats;
+  const SimStats& b = from.stats;
+  if (a.device_name.empty()) a.device_name = b.device_name;
+  if (a.workload_name.empty()) a.workload_name = b.workload_name;
+
+  if (from.fed > 0) {
+    into.first_arrival_ps =
+        into.fed > 0 ? std::min(into.first_arrival_ps, from.first_arrival_ps)
+                     : from.first_arrival_ps;
+    into.last_completion_ps =
+        std::max(into.last_completion_ps, from.last_completion_ps);
+  }
+  into.fed += from.fed;
+
+  a.reads += b.reads;
+  a.writes += b.writes;
+  a.bytes_transferred += b.bytes_transferred;
+  a.read_latency_ns.merge(b.read_latency_ns);
+  a.write_latency_ns.merge(b.write_latency_ns);
+  a.queue_delay_ns.merge(b.queue_delay_ns);
+  a.dynamic_energy_pj += b.dynamic_energy_pj;
+  a.total_bank_busy_ns += b.total_bank_busy_ns;
+  // span_ps / background_energy_pj stay untouched: they are derived
+  // from the merged window by finalize_slice, never merged.
+
+  a.hybrid = a.hybrid || b.hybrid;
+  a.cache_hits += b.cache_hits;
+  a.cache_misses += b.cache_misses;
+  a.cache_fills += b.cache_fills;
+  a.writebacks += b.writebacks;
+  a.dram_tier_energy_pj += b.dram_tier_energy_pj;
+  a.backend_tier_energy_pj += b.backend_tier_energy_pj;
+
+  a.scheduled = a.scheduled || b.scheduled;
+  if (a.sched_policy.empty()) a.sched_policy = b.sched_policy;
+  a.sched_queue_delay_ns.merge(b.sched_queue_delay_ns);
+  a.service_latency_ns.merge(b.service_latency_ns);
+  a.read_queue_occupancy.merge(b.read_queue_occupancy);
+  a.write_queue_occupancy.merge(b.write_queue_occupancy);
+  a.write_drains += b.write_drains;
+  a.drained_writes += b.drained_writes;
+  a.drain_stalls += b.drain_stalls;
+  a.admit_stalls += b.admit_stalls;
+}
+
+SimStats finalize_slice(ReplaySlice slice, const DeviceModel& model) {
+  SimStats stats = std::move(slice.stats);
+  if (slice.fed == 0) return stats;
+  stats.span_ps = slice.last_completion_ps - slice.first_arrival_ps;
+  // W * ps = 1e-12 J = 1 pJ per (W * ps): power[W] x time[ps] -> pJ.
+  stats.background_energy_pj =
+      model.energy.background_power_w * static_cast<double>(stats.span_ps);
+  // Activity-gated power (dynamic laser management, [43]): charged only
+  // for the fraction of time banks are actually busy.
+  const int total_banks =
+      model.timing.channels * model.timing.banks_per_channel;
+  stats.background_energy_pj += model.energy.gateable_background_power_w *
+                                static_cast<double>(stats.span_ps) *
+                                stats.bank_utilization(total_banks);
+  return stats;
+}
+
 struct ReplaySession::Impl {
   const MemorySystem& system;
-  SimStats stats;
+  SimStats stats;  ///< Carries only the names until finish_slice().
   std::vector<ChannelState> channels;
   std::uint64_t fed = 0;
   std::uint64_t first_arrival = 0;
   std::uint64_t prev_arrival = 0;
-  std::uint64_t prev_issue = 0;
-  std::uint64_t last_completion = 0;
   bool finished = false;
 
   explicit Impl(const MemorySystem& sys, std::string workload_name)
@@ -94,10 +178,13 @@ struct ReplaySession::Impl {
     channels.resize(static_cast<std::size_t>(t.channels));
     for (auto& ch : channels) {
       ch.banks.resize(static_cast<std::size_t>(t.banks_per_channel));
+      ch.inflight_completions.reserve(
+          static_cast<std::size_t>(t.queue_depth));
     }
   }
 
-  FeedResult feed(const Request& req, std::uint64_t issue_ps) {
+  FeedResult feed(const Request& req, std::uint64_t issue_ps,
+                  bool check_issue_order) {
     const DeviceModel& model = system.model_;
     const DeviceTiming& t = model.timing;
 
@@ -110,11 +197,20 @@ struct ReplaySession::Impl {
       first_arrival = std::min(first_arrival, req.arrival_ps);
     }
     prev_arrival = req.arrival_ps;
-    prev_issue = issue_ps;
     ++fed;
 
     const RequestPlacement placement = place_request(t, req);
     auto& ch = channels[static_cast<std::size_t>(placement.channel)];
+
+    // Issue order is a per-channel contract (see feed_issued): replay
+    // state is channel-local, and a controller with independent
+    // per-channel issue clocks may interleave channels arbitrarily.
+    if (check_issue_order && (ch.totals.reads | ch.totals.writes) != 0 &&
+        issue_ps < ch.prev_issue) {
+      throw std::logic_error(
+          "ReplaySession: scheduler issued requests out of order");
+    }
+    ch.prev_issue = issue_ps;
 
     // One request may need several device accesses: large requests span
     // lines, and narrow-subarray architectures (corrected COSMOS) need
@@ -191,46 +287,56 @@ struct ReplaySession::Impl {
     }
     ch.inflight_completions.push_back(completion);
 
-    // Statistics.
+    // Statistics (all channel-local: see LaneTotals).
+    LaneTotals& lane = ch.totals;
     const double latency_ns =
         static_cast<double>(completion - req.arrival_ps) * 1e-3;
     const double queue_ns =
         static_cast<double>(start - req.arrival_ps) * 1e-3;
     const double bits = static_cast<double>(req.size_bytes) * 8.0;
-    stats.queue_delay_ns.add(queue_ns);
-    stats.total_bank_busy_ns +=
+    if ((lane.reads | lane.writes) == 0) {
+      lane.first_arrival = req.arrival_ps;
+    } else {
+      lane.first_arrival = std::min(lane.first_arrival, req.arrival_ps);
+    }
+    lane.queue_delay_ns.add(queue_ns);
+    lane.total_bank_busy_ns +=
         static_cast<double>(bank_busy_until - start) * 1e-3 *
         (t.line_striped_across_banks ? t.banks_per_channel : 1);
     if (req.op == Op::kRead) {
-      ++stats.reads;
-      stats.read_latency_ns.add(latency_ns);
-      stats.dynamic_energy_pj += bits * model.energy.read_pj_per_bit;
+      ++lane.reads;
+      lane.read_latency_ns.add(latency_ns);
+      lane.dynamic_energy_pj += bits * model.energy.read_pj_per_bit;
     } else {
-      ++stats.writes;
-      stats.write_latency_ns.add(latency_ns);
-      stats.dynamic_energy_pj += bits * model.energy.write_pj_per_bit;
+      ++lane.writes;
+      lane.write_latency_ns.add(latency_ns);
+      lane.dynamic_energy_pj += bits * model.energy.write_pj_per_bit;
     }
-    stats.bytes_transferred += req.size_bytes;
-    last_completion = std::max(last_completion, completion);
+    lane.bytes += req.size_bytes;
+    lane.last_completion = std::max(lane.last_completion, completion);
     return FeedResult{start, completion, bank_busy_until};
   }
 
-  SimStats finish() {
-    const DeviceModel& model = system.model_;
+  ReplaySlice finish_slice() {
     finished = true;
-    if (fed == 0) return std::move(stats);
-    stats.span_ps = last_completion - first_arrival;
-    // W * ps = 1e-12 J = 1 pJ per (W * ps): power[W] x time[ps] -> pJ.
-    stats.background_energy_pj = model.energy.background_power_w *
-                                 static_cast<double>(stats.span_ps);
-    // Activity-gated power (dynamic laser management, [43]): charged only
-    // for the fraction of time banks are actually busy.
-    const int total_banks =
-        model.timing.channels * model.timing.banks_per_channel;
-    stats.background_energy_pj += model.energy.gateable_background_power_w *
-                                  static_cast<double>(stats.span_ps) *
-                                  stats.bank_utilization(total_banks);
-    return std::move(stats);
+    ReplaySlice merged;
+    merged.stats = std::move(stats);
+    for (const auto& ch : channels) {
+      ReplaySlice lane;
+      lane.fed = ch.totals.reads + ch.totals.writes;
+      lane.first_arrival_ps = ch.totals.first_arrival;
+      lane.last_completion_ps = ch.totals.last_completion;
+      lane.stats.reads = ch.totals.reads;
+      lane.stats.writes = ch.totals.writes;
+      lane.stats.bytes_transferred = ch.totals.bytes;
+      lane.stats.read_latency_ns = ch.totals.read_latency_ns;
+      lane.stats.write_latency_ns = ch.totals.write_latency_ns;
+      lane.stats.queue_delay_ns = ch.totals.queue_delay_ns;
+      lane.stats.dynamic_energy_pj = ch.totals.dynamic_energy_pj;
+      lane.stats.total_bank_busy_ns = ch.totals.total_bank_busy_ns;
+      merge_slice(merged, lane);
+    }
+    return merged;
   }
 };
 
@@ -249,7 +355,8 @@ FeedResult ReplaySession::feed(const Request& request) {
   if (impl_->fed > 0) {
     check_arrival_order(impl_->fed, impl_->prev_arrival, request.arrival_ps);
   }
-  return impl_->feed(request, request.arrival_ps);
+  // A sorted stream is per-channel sorted a fortiori; skip the check.
+  return impl_->feed(request, request.arrival_ps, false);
 }
 
 FeedResult ReplaySession::feed_issued(const Request& request,
@@ -262,11 +369,7 @@ FeedResult ReplaySession::feed_issued(const Request& request,
     throw std::logic_error(
         "ReplaySession: request issued before its arrival");
   }
-  if (impl_->fed > 0 && issue_ps < impl_->prev_issue) {
-    throw std::logic_error(
-        "ReplaySession: scheduler issued requests out of order");
-  }
-  return impl_->feed(request, issue_ps);
+  return impl_->feed(request, issue_ps, true);
 }
 
 std::uint64_t ReplaySession::fed() const { return impl_->fed; }
@@ -279,7 +382,14 @@ SimStats ReplaySession::finish() {
   if (impl_->finished) {
     throw std::logic_error("ReplaySession: finish() called twice");
   }
-  return impl_->finish();
+  return finalize_slice(impl_->finish_slice(), impl_->system.model_);
+}
+
+ReplaySlice ReplaySession::finish_slice() {
+  if (impl_->finished) {
+    throw std::logic_error("ReplaySession: finish() called twice");
+  }
+  return impl_->finish_slice();
 }
 
 MemorySystem::MemorySystem(DeviceModel model) : model_(std::move(model)) {
@@ -289,7 +399,12 @@ MemorySystem::MemorySystem(DeviceModel model) : model_(std::move(model)) {
 SimStats MemorySystem::run(RequestSource& source,
                            const std::string& workload_name) const {
   ReplaySession session(*this, workload_name);
-  while (const auto req = source.next()) session.feed(*req);
+  Request block[kFeedBlockRequests];
+  for (;;) {
+    const std::size_t pulled = source.next_batch(block, kFeedBlockRequests);
+    if (pulled == 0) break;
+    for (std::size_t i = 0; i < pulled; ++i) session.feed(block[i]);
+  }
   return session.finish();
 }
 

@@ -71,6 +71,36 @@ struct FeedResult {
   std::uint64_t bank_busy_until_ps = 0;
 };
 
+/// A partial replay result: the statistics of some subset of a run's
+/// requests, before span-dependent finalization. Sessions accumulate
+/// every per-request statistic in per-channel lanes and merge the lanes
+/// in channel order (see finish_slice), so a slice covering only one
+/// channel's traffic is bit-identical to that channel's lane inside a
+/// full serial replay — the property the sharded engine's merge relies
+/// on. span_ps and background_energy_pj stay zero until finalize_slice
+/// derives them from the merged arrival/completion window.
+struct ReplaySlice {
+  SimStats stats;
+  std::uint64_t fed = 0;               ///< Requests covered by the slice.
+  std::uint64_t first_arrival_ps = 0;  ///< Meaningful only when fed > 0.
+  std::uint64_t last_completion_ps = 0;
+};
+
+/// Merges `from` into `into`: integer counters add, energy/busy-time
+/// sums add, latency/queue/sched RunningStats merge (exact when either
+/// side is empty — the case the bit-identity guarantee rests on), the
+/// arrival/completion window widens, and names/flags fill in when
+/// `into` lacks them. Merging slices in channel order reproduces the
+/// serial reduction bit for bit.
+void merge_slice(ReplaySlice& into, const ReplaySlice& from);
+
+/// Closes a merged slice into final statistics: derives span_ps from
+/// the arrival/completion window and charges span-proportional
+/// background energy (always-on plus activity-gated) for `model`.
+/// Identical, expression for expression, to what a serial
+/// ReplaySession::finish computes.
+SimStats finalize_slice(ReplaySlice slice, const DeviceModel& model);
+
 class MemorySystem;
 
 /// Push-mode incremental replay against one MemorySystem: feed()
@@ -78,8 +108,10 @@ class MemorySystem;
 /// contract), finish() closes the run and returns the aggregate
 /// statistics. This is the primitive composite engines build on —
 /// hybrid::TieredSystem streams its derived per-tier traffic into two
-/// concurrent sessions without materializing either sub-stream. The
-/// MemorySystem must outlive the session.
+/// concurrent sessions without materializing either sub-stream, and
+/// memsim::ShardedEngine runs one session per channel lane and merges
+/// their finish_slice() results. The MemorySystem must outlive the
+/// session.
 class ReplaySession {
  public:
   ReplaySession(const MemorySystem& system, std::string workload_name);
@@ -95,11 +127,14 @@ class ReplaySession {
   /// were handed to the device at `issue_ps` (>= its arrival time),
   /// while all latency/queue-delay statistics stay anchored at the
   /// original arrival. A sched::Controller reorders its transaction
-  /// queues and feeds in issue order; the stream must therefore be
-  /// sorted by issue_ps, not arrival_ps. Violations (issue before
-  /// arrival, non-monotonic issue times) are controller bugs and throw
-  /// std::logic_error. With issue_ps == arrival_ps on a sorted stream
-  /// this is exactly feed(), bit for bit.
+  /// queues and feeds in issue order; the stream must be sorted by
+  /// issue_ps *within each channel* (replay state is channel-local, so
+  /// only per-channel order matters; a controller with independent
+  /// per-channel issue clocks may interleave channels arbitrarily).
+  /// Violations (issue before arrival, non-monotonic issue times on a
+  /// channel) are controller bugs and throw std::logic_error. With
+  /// issue_ps == arrival_ps on a sorted stream this is exactly feed(),
+  /// bit for bit.
   FeedResult feed_issued(const Request& request, std::uint64_t issue_ps);
 
   /// Number of requests fed so far.
@@ -110,8 +145,14 @@ class ReplaySession {
 
   /// Closes the run: charges span-proportional background energy and
   /// returns the statistics. May be called once; throws std::logic_error
-  /// on a second call.
+  /// on a second call. Equivalent to finalize_slice(finish_slice()).
   SimStats finish();
+
+  /// Closes the run without finalizing: returns the per-channel lanes
+  /// merged in channel order, ready for merge_slice with other shards'
+  /// slices (then finalize_slice once). Same once-only contract as
+  /// finish().
+  ReplaySlice finish_slice();
 
  private:
   struct Impl;

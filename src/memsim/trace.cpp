@@ -129,6 +129,16 @@ std::optional<Request> TraceFileSource::next() {
   return std::nullopt;
 }
 
+std::size_t TraceFileSource::next_batch(Request* out, std::size_t max) {
+  std::size_t filled = 0;
+  while (filled < max) {
+    const auto request = next();  // Devirtualized: the class is final.
+    if (!request) break;
+    out[filled++] = *request;
+  }
+  return filled;
+}
+
 std::vector<Request> read_trace(std::istream& in, const TraceConfig& config) {
   TraceFileSource source(in, config, "read_trace");
   std::vector<Request> requests;

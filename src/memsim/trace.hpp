@@ -60,6 +60,10 @@ class TraceFileSource final : public RequestSource {
 
   std::optional<Request> next() override;
 
+  /// Block form of next(): parses up to `max` records (the class is
+  /// final, so the loop devirtualizes), same sequence and diagnostics.
+  std::size_t next_batch(Request* out, std::size_t max) override;
+
   /// 1-based number of the last line consumed (0 before the first).
   std::uint64_t line_number() const { return line_no_; }
 

@@ -193,6 +193,16 @@ std::optional<Request> GeneratorSource::next() {
   return req;
 }
 
+std::size_t GeneratorSource::next_batch(Request* out, std::size_t max) {
+  std::size_t filled = 0;
+  while (filled < max) {
+    const auto request = next();  // Devirtualized: the class is final.
+    if (!request) break;
+    out[filled++] = *request;
+  }
+  return filled;
+}
+
 TraceGenerator::TraceGenerator(WorkloadProfile profile, std::uint64_t seed)
     : profile_(std::move(profile)), seed_(seed) {
   validate_profile(profile_);

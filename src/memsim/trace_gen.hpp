@@ -60,6 +60,11 @@ class GeneratorSource final : public RequestSource {
 
   std::optional<Request> next() override;
 
+  /// Block synthesis: emits the same sequence as repeated next() calls
+  /// (the class is final, so the loop devirtualizes) without the
+  /// per-request virtual dispatch.
+  std::size_t next_batch(Request* out, std::size_t max) override;
+
   /// Requests not yet emitted.
   std::size_t remaining() const { return count_ - emitted_; }
 

@@ -1,11 +1,12 @@
 #include "sched/controller.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "util/ring.hpp"
 
 namespace comet::sched {
 
@@ -107,12 +108,12 @@ struct Controller::Impl {
   };
 
   struct Channel {
-    std::deque<QueuedTx> reads;
-    std::deque<QueuedTx> writes;
+    util::RingQueue<QueuedTx> reads;
+    util::RingQueue<QueuedTx> writes;
     // Admission overflow: arrivals that found their (bounded) queue
     // full wait here, entering FIFO when an issue frees a slot.
-    std::deque<QueuedTx> stalled_reads;
-    std::deque<QueuedTx> stalled_writes;
+    util::RingQueue<QueuedTx> stalled_reads;
+    util::RingQueue<QueuedTx> stalled_writes;
     // Bank-state mirror rebuilt from feed feedback, so arbitration and
     // the device timing always agree on busy windows and open
     // rows/regions.
@@ -125,6 +126,26 @@ struct Controller::Impl {
     // advance_until then rescans only the touched channel.
     Pick cached_pick;
     bool pick_dirty = true;
+    /// The channel's issue clock: only ever moves forward. A deferred
+    /// transaction (a write held behind reads, say) whose bank has long
+    /// been idle still issues when the scheduler turns to it, not
+    /// retroactively. Per channel — not global — because a channel's
+    /// scheduling depends on nothing outside the channel; this is what
+    /// lets a sharded run drive each channel on its own worker and
+    /// still match the serial controller decision for decision. The
+    /// session's issue-sorted contract is per-channel to match.
+    std::uint64_t last_issue = 0;
+    // Per-channel scheduler statistics, merged in channel order at
+    // finish — the same lane discipline as the replay session itself
+    // (see memsim::ReplaySlice), and for the same reason.
+    util::RunningStats queue_delay_ns;
+    util::RunningStats service_ns;
+    util::RunningStats read_occupancy;
+    util::RunningStats write_occupancy;
+    std::uint64_t write_drains = 0;
+    std::uint64_t drained_writes = 0;
+    std::uint64_t drain_stalls = 0;
+    std::uint64_t admit_stalls = 0;
   };
   std::vector<Channel> channels;
 
@@ -132,22 +153,7 @@ struct Controller::Impl {
   std::uint64_t admitted = 0;
   std::uint64_t first_arrival = 0;
   std::uint64_t prev_arrival = 0;
-  /// The controller's issue clock: only ever moves forward. A deferred
-  /// transaction (a write held behind reads, say) whose bank has long
-  /// been idle still issues when the scheduler turns to it, not
-  /// retroactively — which is also what keeps the session's
-  /// issue-sorted contract intact.
-  std::uint64_t last_issue = 0;
   bool finished = false;
-
-  util::RunningStats queue_delay_ns;
-  util::RunningStats service_ns;
-  util::RunningStats read_occupancy;
-  util::RunningStats write_occupancy;
-  std::uint64_t write_drains = 0;
-  std::uint64_t drained_writes = 0;
-  std::uint64_t drain_stalls = 0;
-  std::uint64_t admit_stalls = 0;
 
   Impl(const memsim::MemorySystem& sys, const ControllerConfig& cfg,
        std::string workload_name)
@@ -159,6 +165,12 @@ struct Controller::Impl {
       ch.bank_free.assign(banks, 0);
       ch.open_row.assign(banks, ~0ull);
       ch.open_region.assign(banks, ~0ull);
+      if (config.read_queue_depth > 0) {
+        ch.reads.reserve(static_cast<std::size_t>(config.read_queue_depth));
+      }
+      if (config.write_queue_depth > 0) {
+        ch.writes.reserve(static_cast<std::size_t>(config.write_queue_depth));
+      }
     }
   }
 
@@ -197,8 +209,8 @@ struct Controller::Impl {
   /// transactions, so its channels never have picks.
   Pick next_issue(const Channel& ch) const {
     Pick best;
-    const auto consider = [&](const std::deque<QueuedTx>& q, bool from_writes,
-                              bool prefer_hits) {
+    const auto consider = [&](const util::RingQueue<QueuedTx>& q,
+                              bool from_writes, bool prefer_hits) {
       const std::size_t window = std::min(q.size(), kScanWindow);
       for (std::size_t i = 0; i < window; ++i) {
         Pick p;
@@ -240,7 +252,7 @@ struct Controller::Impl {
     if (!ch.draining) {
       if (static_cast<int>(ch.writes.size()) >= config.drain_high_watermark) {
         ch.draining = true;
-        ++write_drains;
+        ++ch.write_drains;
       }
     } else if (static_cast<int>(ch.writes.size()) <=
                config.drain_low_watermark) {
@@ -268,14 +280,14 @@ struct Controller::Impl {
              std::uint64_t ready_ps) {
     auto& q = from_writes ? ch.writes : ch.reads;
     const QueuedTx tx = std::move(q[index]);
-    q.erase(q.begin() + static_cast<std::ptrdiff_t>(index));
+    q.erase_at(index);
 
-    const std::uint64_t issue_ps = std::max(ready_ps, last_issue);
-    last_issue = issue_ps;
+    const std::uint64_t issue_ps = std::max(ready_ps, ch.last_issue);
+    ch.last_issue = issue_ps;
     const memsim::FeedResult result = session.feed_issued(tx.request, issue_ps);
-    queue_delay_ns.add(
+    ch.queue_delay_ns.add(
         static_cast<double>(issue_ps - tx.request.arrival_ps) * 1e-3);
-    service_ns.add(
+    ch.service_ns.add(
         static_cast<double>(result.completion_ps - issue_ps) * 1e-3);
 
     // Mirror commit — the same rule the replay engine applies.
@@ -294,8 +306,8 @@ struct Controller::Impl {
     }
 
     if (from_writes && ch.draining) {
-      ++drained_writes;
-      if (!ch.reads.empty()) ++drain_stalls;
+      ++ch.drained_writes;
+      if (!ch.reads.empty()) ++ch.drain_stalls;
     }
     admit_overflow(ch, from_writes, issue_ps);
     update_drain(ch);
@@ -311,9 +323,13 @@ struct Controller::Impl {
   }
 
   /// Issues, globally in (time, age) order, every transaction whose
-  /// issue instant is <= limit. Issue instants only move forward (bank
-  /// mirrors monotonically advance, overflow admits at the freeing
-  /// issue), so the session's issue-sorted contract holds.
+  /// issue instant is <= limit. Channel state is channel-local, so the
+  /// per-channel issue subsequence (and every statistic) is the same
+  /// however arrivals on *other* channels interleave the calls — the
+  /// invariant the sharded engine's bit-identity rests on. Per-channel
+  /// issue instants only move forward (bank mirrors monotonically
+  /// advance, overflow admits at the freeing issue), so the session's
+  /// per-channel issue-sorted contract holds.
   void advance_until(std::uint64_t limit) {
     for (;;) {
       Pick best;
@@ -353,8 +369,8 @@ struct Controller::Impl {
     auto& ch = channels[static_cast<std::size_t>(tx.placement.channel)];
     const bool is_write = req.op == memsim::Op::kWrite;
     // The queue state each arrival observes (before joining it).
-    read_occupancy.add(static_cast<double>(ch.reads.size()));
-    write_occupancy.add(static_cast<double>(ch.writes.size()));
+    ch.read_occupancy.add(static_cast<double>(ch.reads.size()));
+    ch.write_occupancy.add(static_cast<double>(ch.writes.size()));
 
     auto& q = is_write ? ch.writes : ch.reads;
     if (config.policy == Policy::kFcfs) {
@@ -371,7 +387,7 @@ struct Controller::Impl {
         is_write ? config.write_queue_depth : config.read_queue_depth;
     if (depth > 0 &&
         (static_cast<int>(q.size()) >= depth || !stalled.empty())) {
-      ++admit_stalls;
+      ++ch.admit_stalls;
       stalled.push_back(std::move(tx));
     } else {
       q.push_back(std::move(tx));
@@ -380,21 +396,29 @@ struct Controller::Impl {
     }
   }
 
-  memsim::SimStats finish() {
+  memsim::ReplaySlice finish_slice() {
     finished = true;
     advance_until(kNever);  // Drain every queue, stalled arrivals included.
-    memsim::SimStats stats = session.finish();
-    stats.scheduled = true;
-    stats.sched_policy = policy_name(config.policy);
-    stats.sched_queue_delay_ns = queue_delay_ns;
-    stats.service_latency_ns = service_ns;
-    stats.read_queue_occupancy = read_occupancy;
-    stats.write_queue_occupancy = write_occupancy;
-    stats.write_drains = write_drains;
-    stats.drained_writes = drained_writes;
-    stats.drain_stalls = drain_stalls;
-    stats.admit_stalls = admit_stalls;
-    return stats;
+    memsim::ReplaySlice slice = session.finish_slice();
+    slice.stats.scheduled = true;
+    slice.stats.sched_policy = policy_name(config.policy);
+    // Channel-ordered lane merge, mirroring the session's own: a shard
+    // that saw only channel k's traffic produces exactly channel k's
+    // accumulators, so merging shard slices in channel order is the
+    // same reduction.
+    for (const auto& ch : channels) {
+      memsim::ReplaySlice lane;
+      lane.stats.sched_queue_delay_ns = ch.queue_delay_ns;
+      lane.stats.service_latency_ns = ch.service_ns;
+      lane.stats.read_queue_occupancy = ch.read_occupancy;
+      lane.stats.write_queue_occupancy = ch.write_occupancy;
+      lane.stats.write_drains = ch.write_drains;
+      lane.stats.drained_writes = ch.drained_writes;
+      lane.stats.drain_stalls = ch.drain_stalls;
+      lane.stats.admit_stalls = ch.admit_stalls;
+      memsim::merge_slice(slice, lane);
+    }
+    return slice;
   }
 };
 
@@ -425,19 +449,46 @@ memsim::SimStats Controller::finish() {
   if (impl_->finished) {
     throw std::logic_error("sched::Controller: finish() called twice");
   }
-  return impl_->finish();
+  return memsim::finalize_slice(impl_->finish_slice(),
+                                impl_->system.model());
+}
+
+memsim::ReplaySlice Controller::finish_slice() {
+  if (impl_->finished) {
+    throw std::logic_error("sched::Controller: finish() called twice");
+  }
+  return impl_->finish_slice();
 }
 
 ScheduledSystem::ScheduledSystem(memsim::DeviceModel model,
-                                 ControllerConfig config)
-    : system_(std::move(model)), config_(config) {
+                                 ControllerConfig config, int run_threads)
+    : system_(std::move(model)),
+      config_(config),
+      run_threads_(memsim::resolve_run_threads(run_threads)) {
   config_.validate();
 }
 
 memsim::SimStats ScheduledSystem::run(memsim::RequestSource& source,
                                       const std::string& workload_name) const {
+  if (run_threads_ > 1) {
+    std::vector<std::unique_ptr<memsim::ShardLane>> lanes;
+    const int channels = system_.model().timing.channels;
+    lanes.reserve(static_cast<std::size_t>(channels));
+    for (int c = 0; c < channels; ++c) {
+      lanes.push_back(
+          std::make_unique<ControllerLane>(system_, config_, workload_name));
+    }
+    return memsim::run_sharded(system_, std::move(lanes), run_threads_,
+                               source);
+  }
   Controller controller(system_, config_, workload_name);
-  while (const auto req = source.next()) controller.feed(*req);
+  memsim::Request block[memsim::kFeedBlockRequests];
+  for (;;) {
+    const std::size_t pulled =
+        source.next_batch(block, memsim::kFeedBlockRequests);
+    if (pulled == 0) break;
+    for (std::size_t i = 0; i < pulled; ++i) controller.feed(block[i]);
+  }
   return controller.finish();
 }
 

@@ -8,6 +8,7 @@
 #include "memsim/device.hpp"
 #include "memsim/engine.hpp"
 #include "memsim/request.hpp"
+#include "memsim/sharded.hpp"
 #include "memsim/stats.hpp"
 #include "memsim/system.hpp"
 
@@ -114,23 +115,58 @@ class Controller {
 
   /// Drains every queue, closes the run and returns the statistics.
   /// May be called once; throws std::logic_error on a second call.
+  /// Equivalent to memsim::finalize_slice(finish_slice()).
   memsim::SimStats finish();
+
+  /// Closes the run without finalizing: the session's slice with the
+  /// scheduler breakdown merged in (per-channel accumulators, channel
+  /// order — the same reduction a sharded merge performs). Same
+  /// once-only contract as finish().
+  memsim::ReplaySlice finish_slice();
 
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
 
+/// Shard-lane adapter over a Controller, for sharded scheduled replay:
+/// one full controller per channel lane, fed only that channel's
+/// subsequence. Scheduling decisions, issue clocks and every scheduler
+/// statistic are channel-local, so the lane reproduces the serial
+/// controller's per-channel behaviour decision for decision.
+class ControllerLane final : public memsim::ShardLane {
+ public:
+  ControllerLane(const memsim::MemorySystem& system, ControllerConfig config,
+                 std::string workload_name)
+      : controller_(system, config, std::move(workload_name)) {}
+
+  void feed(const memsim::Request& request) override {
+    controller_.feed(request);
+  }
+  memsim::ReplaySlice finish_slice() override {
+    return controller_.finish_slice();
+  }
+
+ private:
+  Controller controller_;
+};
+
 /// Engine adapter: a flat MemorySystem behind a Controller front-end.
 /// Const and stateless across runs like every Engine — the controller
-/// lives on the stack of each run() call.
+/// lives on the stack of each run() call. With run_threads > 1 the run
+/// shards into per-channel ControllerLanes on a worker pool instead of
+/// one serial controller, with bit-identical results (the test gate in
+/// tests/test_sharded.cpp covers every policy).
 class ScheduledSystem final : public memsim::Engine {
  public:
-  /// Validates both the model and the controller config.
-  ScheduledSystem(memsim::DeviceModel model, ControllerConfig config);
+  /// Validates both the model and the controller config; `run_threads`
+  /// as in memsim::resolve_run_threads.
+  ScheduledSystem(memsim::DeviceModel model, ControllerConfig config,
+                  int run_threads = 1);
 
   const memsim::MemorySystem& system() const { return system_; }
   const ControllerConfig& config() const { return config_; }
+  int run_threads() const { return run_threads_; }
 
   using Engine::run;
 
@@ -140,6 +176,7 @@ class ScheduledSystem final : public memsim::Engine {
  private:
   memsim::MemorySystem system_;
   ControllerConfig config_;
+  int run_threads_ = 1;
 };
 
 }  // namespace comet::sched

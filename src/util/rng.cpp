@@ -85,11 +85,25 @@ std::uint64_t Rng::next_zipf(std::uint64_t n, double s) {
   // small ranks trace generators use; inverse-CDF over a harmonic prefix is
   // exact and fast enough since n here is the hot-set size (<= a few 1000).
   if (s <= 0.0) return next_below(n);
-  double h = 0.0;
-  for (std::uint64_t k = 1; k <= n; ++k) h += std::pow(double(k), -s);
-  double u = next_double() * h;
+  // The k^-s weights (and their left-to-right harmonic sum) depend only
+  // on (n, s), which trace generators hold fixed across millions of
+  // draws — memoize them. The subtraction scan below performs exactly
+  // the same floating-point operations in the same order as computing
+  // the powers inline, so cached and uncached sampling are bit-identical;
+  // only the ~2n std::pow calls per draw disappear.
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_weights_.resize(n);
+    zipf_h_ = 0.0;
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      zipf_weights_[k - 1] = std::pow(double(k), -s);
+      zipf_h_ += zipf_weights_[k - 1];
+    }
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  double u = next_double() * zipf_h_;
   for (std::uint64_t k = 1; k <= n; ++k) {
-    u -= std::pow(double(k), -s);
+    u -= zipf_weights_[k - 1];
     if (u <= 0.0) return k - 1;
   }
   return n - 1;

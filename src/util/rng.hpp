@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 /// Deterministic random number generation. Every stochastic component in
 /// the repository (trace generators, corruption models, property tests)
@@ -43,6 +44,14 @@ class Rng {
 
  private:
   std::uint64_t state_[4];
+
+  // next_zipf memoizes the k^-s weight table for the last (n, s) pair;
+  // sampling itself is unchanged (and bit-identical), the cache only
+  // avoids recomputing ~2n std::pow calls per draw.
+  std::uint64_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  double zipf_h_ = 0.0;
+  std::vector<double> zipf_weights_;
 };
 
 }  // namespace comet::util

@@ -552,6 +552,61 @@ TEST(ExperimentApi, ControllerSectionDiagnostics) {
                "drain_high_watermark 50 exceeds write_queue_depth 8");
 }
 
+TEST(ExperimentApi, RunThreadsAloneShardsWithoutEngagingScheduling) {
+  // A [controller] holding only run_threads keeps the direct replay
+  // (no policy axis) and multiplies the matrix by the thread axis.
+  const std::string text =
+      "[experiment]\n"
+      "devices = [\"comet\"]\n"
+      "workloads = [\"gcc_like\"]\n"
+      "\n"
+      "[controller]\n"
+      "run_threads = [1, 8]\n";
+  const auto spec = comet::config::parse_experiment(
+      toml::parse_string(text, "sharded.toml"), nullptr);
+  EXPECT_TRUE(spec.policies.empty());
+  EXPECT_EQ(spec.run_threads, (std::vector<int>{1, 8}));
+
+  const auto jobs = comet::driver::build_matrix(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_FALSE(jobs[0].controller.has_value());
+  EXPECT_EQ(jobs[0].run_threads, 1);
+  EXPECT_EQ(jobs[1].run_threads, 8);
+
+  // The axis only moves wall-clock: both cells report identical stats.
+  const auto results = comet::driver::run_sweep(jobs, 1);
+  expect_same_stats(results[0], results[1], "run-threads-axis");
+
+  // And it survives the --dump-config round trip.
+  const std::string dumped = comet::config::experiment_to_toml(
+      comet::driver::resolve_experiment(spec));
+  EXPECT_NE(dumped.find("run_threads = [1, 8]"), std::string::npos) << dumped;
+  const auto reparsed = comet::config::parse_experiment(
+      toml::parse_string(dumped, "dump.toml"), nullptr);
+  EXPECT_TRUE(reparsed.policies.empty());
+  EXPECT_EQ(reparsed.run_threads, spec.run_threads);
+}
+
+TEST(ExperimentApi, RunThreadsCombinesWithThePolicyAxis) {
+  const std::string text =
+      "[experiment]\n"
+      "devices = [\"comet\"]\n"
+      "workloads = [\"gcc_like\"]\n"
+      "\n"
+      "[controller]\n"
+      "policy = [\"fcfs\", \"frfcfs\"]\n"
+      "run_threads = [1, 2]\n";
+  const auto spec = comet::config::parse_experiment(
+      toml::parse_string(text, "sharded.toml"), nullptr);
+  ASSERT_EQ(spec.policies.size(), 2u);
+  const auto jobs = comet::driver::build_matrix(spec);
+  ASSERT_EQ(jobs.size(), 4u);  // policies × run_threads
+  EXPECT_EQ(jobs[0].controller->policy, comet::sched::Policy::kFcfs);
+  EXPECT_EQ(jobs[0].run_threads, 1);
+  EXPECT_EQ(jobs[1].run_threads, 2);
+  EXPECT_EQ(jobs[2].controller->policy, comet::sched::Policy::kFrFcfs);
+}
+
 TEST(ExperimentApi, ScheduledExperimentRoundTripsThroughToml) {
   // The scheduled --dump-config loop: the [controller] section (policy
   // axis, depths, watermarks) must survive serialize → reparse with

@@ -37,13 +37,14 @@ TEST(OptionsTest, ParsesEveryFlag) {
   const Options opt =
       parse_args({"--device", "comet", "--workload", "lbm_like",
                   "--channels", "4", "--requests", "1000", "--threads", "3",
-                  "--seed", "7", "--line-bytes", "64", "--json", "out.json",
-                  "--csv"});
+                  "--run-threads", "2", "--seed", "7", "--line-bytes", "64",
+                  "--json", "out.json", "--csv"});
   EXPECT_EQ(opt.device, "comet");
   EXPECT_EQ(opt.workload, "lbm_like");
   EXPECT_EQ(opt.channels, 4);
   EXPECT_EQ(opt.requests, 1000u);
   EXPECT_EQ(opt.threads, 3);
+  EXPECT_EQ(opt.run_threads, 2);
   EXPECT_EQ(opt.seed, 7u);
   EXPECT_EQ(opt.line_bytes, 64u);
   EXPECT_EQ(opt.json_path, "out.json");
@@ -193,6 +194,7 @@ TEST(OptionsTest, ConfigOwnsTheMatrix) {
         {"--requests", "10"},
         {"--seed", "1"},
         {"--channels", "4"},
+        {"--run-threads", "2"},
         {"--cache-mb", "32"}}) {
     std::vector<std::string> args{"--config", file.path()};
     args.insert(args.end(), extra.begin(), extra.end());

@@ -310,3 +310,84 @@ TEST(WriteTrace, StreamingOverloadMatchesVectorOverload) {
   ms::write_trace(from_stream, source, config);
   EXPECT_EQ(from_vector.str(), from_stream.str());
 }
+
+// ------------------------------------------------- next_batch contract
+
+namespace {
+
+/// Drains `batched` through next_batch with an awkward non-divisor
+/// batch size (and one interleaved next() to prove mixing is safe) and
+/// checks it yields exactly the `reference` stream of next() calls.
+void expect_batches_match_next(ms::RequestSource& reference,
+                               ms::RequestSource& batched,
+                               const std::string& context) {
+  std::vector<ms::Request> expected;
+  while (const auto req = reference.next()) expected.push_back(*req);
+
+  std::vector<ms::Request> got;
+  ms::Request block[7];  // deliberately not a divisor of typical sizes
+  bool interleaved = false;
+  for (;;) {
+    if (!interleaved && got.size() >= 3) {
+      interleaved = true;  // one scalar pull mid-stream
+      if (const auto req = batched.next()) got.push_back(*req);
+      continue;
+    }
+    const std::size_t pulled = batched.next_batch(block, 7);
+    if (pulled == 0) break;
+    ASSERT_LE(pulled, 7u) << context;
+    got.insert(got.end(), block, block + pulled);
+  }
+  EXPECT_EQ(batched.next_batch(block, 7), 0u) << context;  // stays drained
+
+  ASSERT_EQ(got.size(), expected.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, expected[i].id) << context << " #" << i;
+    EXPECT_EQ(got[i].arrival_ps, expected[i].arrival_ps) << context << " #" << i;
+    EXPECT_EQ(got[i].op, expected[i].op) << context << " #" << i;
+    EXPECT_EQ(got[i].address, expected[i].address) << context << " #" << i;
+    EXPECT_EQ(got[i].size_bytes, expected[i].size_bytes) << context << " #" << i;
+  }
+}
+
+}  // namespace
+
+TEST(NextBatch, VectorSourceMatchesScalarPulls) {
+  const auto trace =
+      ms::TraceGenerator(ms::profile_by_name("gcc_like"), 13).generate(100, 64);
+  ms::VectorSource reference(trace);
+  ms::VectorSource batched(trace);
+  expect_batches_match_next(reference, batched, "VectorSource");
+}
+
+TEST(NextBatch, GeneratorSourceMatchesScalarPulls) {
+  for (const auto& profile : ms::spec_like_profiles()) {
+    const ms::TraceGenerator gen(profile, 17);
+    auto reference = gen.stream(100, 64);
+    auto batched = gen.stream(100, 64);
+    expect_batches_match_next(reference, batched, profile.name);
+  }
+}
+
+TEST(NextBatch, TraceFileSourceMatchesScalarPulls) {
+  const ms::TraceConfig config{.cpu_clock_ghz = 2.0, .line_bytes = 64};
+  std::ostringstream text;
+  ms::write_trace(
+      text,
+      ms::TraceGenerator(ms::profile_by_name("lbm_like"), 19).generate(100, 64),
+      config);
+  const TempTrace file(text.str());
+  ms::TraceFileSource reference(file.path(), config);
+  ms::TraceFileSource batched(file.path(), config);
+  expect_batches_match_next(reference, batched, "TraceFileSource");
+}
+
+TEST(NextBatch, ZeroCapacityReturnsZeroWithoutConsuming) {
+  const auto trace =
+      ms::TraceGenerator(ms::profile_by_name("gcc_like"), 23).generate(5, 64);
+  ms::VectorSource source(trace);
+  EXPECT_EQ(source.next_batch(nullptr, 0), 0u);
+  std::size_t drained = 0;
+  while (source.next()) ++drained;
+  EXPECT_EQ(drained, trace.size());  // nothing was lost
+}

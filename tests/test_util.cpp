@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/interp.hpp"
+#include "util/ring.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -310,4 +311,66 @@ TEST(Table, RowWidthMismatchThrows) {
 TEST(Table, NumberFormatting) {
   EXPECT_EQ(cu::Table::num(3.14159, 2), "3.14");
   EXPECT_EQ(cu::Table::sci(12345.0, 2), "1.23e+04");
+}
+
+// ------------------------------------------------------ RingQueue
+
+TEST(RingQueue, FifoAcrossWraparound) {
+  comet::util::RingQueue<int> q(4);  // power-of-two rounding from ctor
+  int next_in = 0;
+  int next_out = 0;
+  // Push/pop in a pattern that forces head_ to wrap many times without
+  // ever growing the allocation.
+  for (int round = 0; round < 100; ++round) {
+    while (q.size() < 3) q.push_back(next_in++);
+    while (q.size() > 1) {
+      EXPECT_EQ(q.front(), next_out);
+      q.pop_front();
+      ++next_out;
+    }
+  }
+  EXPECT_LE(q.capacity(), 8u);  // never grew past the initial reserve
+}
+
+TEST(RingQueue, GrowsPreservingOrder) {
+  comet::util::RingQueue<int> q;
+  // Offset the head first so the grow copy has to unwrap a wrapped run.
+  for (int i = 0; i < 6; ++i) q.push_back(i);
+  for (int i = 0; i < 5; ++i) q.pop_front();
+  for (int i = 6; i < 40; ++i) q.push_back(i);  // forces several grows
+  ASSERT_EQ(q.size(), 35u);
+  for (int i = 0; i < 35; ++i) EXPECT_EQ(q[i], i + 5);
+}
+
+TEST(RingQueue, IndexingCountsFromFront) {
+  comet::util::RingQueue<int> q;
+  for (int i = 0; i < 4; ++i) q.push_back(i * 10);
+  q.pop_front();
+  EXPECT_EQ(q[0], 10);
+  EXPECT_EQ(q[2], 30);
+  q[1] = 99;
+  q.pop_front();
+  EXPECT_EQ(q.front(), 99);
+}
+
+TEST(RingQueue, EraseAtShiftsOnlyElementsAheadOfVictim) {
+  comet::util::RingQueue<int> q;
+  for (int i = 0; i < 6; ++i) q.push_back(i);
+  q.erase_at(3);  // remove value 3
+  ASSERT_EQ(q.size(), 5u);
+  const int expected[] = {0, 1, 2, 4, 5};
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(q[i], expected[i]);
+  q.erase_at(0);  // victim at the front degenerates to pop_front
+  EXPECT_EQ(q.front(), 1);
+}
+
+TEST(RingQueue, ClearResetsToEmpty) {
+  comet::util::RingQueue<int> q(2);
+  q.push_back(1);
+  q.push_back(2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  q.push_back(7);
+  EXPECT_EQ(q.front(), 7);
 }
