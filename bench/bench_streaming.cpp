@@ -32,6 +32,7 @@
 #include "driver/registry.hpp"
 #include "memsim/sharded.hpp"
 #include "memsim/trace_gen.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -115,6 +116,21 @@ int main(int argc, char** argv) {
   run(hybrid, "hybrid_serial", 1);
   run(hybrid, "hybrid_sharded", hw_threads);
 
+  // Telemetry-on replay: the same serial flat run with full request
+  // tracing (capped at 1M events) and a 1 µs epoch sampler attached.
+  // A new, ungated cell — its req/s against flat_serial is the
+  // recording overhead, and its stats must still be bit-identical.
+  comet::telemetry::TelemetrySpec tspec;
+  tspec.trace_path = "unused.json";
+  tspec.trace_limit = 1'000'000;
+  tspec.metrics_interval_ps = 1'000'000'000;
+  comet::telemetry::Collector collector(tspec);
+  phases.push_back(timed_phase("flat_serial_telemetry", 1, [&] {
+    const auto engine = flat.make_engine(std::nullopt, 1);
+    engine->attach_telemetry(&collector);
+    return engine->run(trace, profile.name);
+  }));
+
   Table table({"phase", "threads", "time (s)", "req/s", "BW (GB/s)",
                "EPB (pJ/bit)"});
   for (const auto& phase : phases) {
@@ -128,13 +144,24 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   bool ok = true;
-  for (std::size_t i = 0; i < phases.size(); i += 2) {
+  for (std::size_t i = 0; i + 1 < phases.size(); i += 2) {
     const bool match = identical(phases[i].stats, phases[i + 1].stats);
     std::cout << "\n" << phases[i].label << " vs " << phases[i + 1].label
               << ": " << (match ? "bit-identical" : "MISMATCH");
     ok = ok && match;
   }
+  // Observation must not perturb: the instrumented replay reproduces
+  // the uninstrumented stats exactly.
+  const bool traced_match = identical(phases[0].stats, phases[4].stats);
+  std::cout << "\nflat_serial vs flat_serial_telemetry: "
+            << (traced_match ? "bit-identical" : "MISMATCH");
+  ok = ok && traced_match;
   std::cout << "\n";
+  std::cout << "telemetry-on overhead: "
+            << Table::num(
+                   (phases[4].seconds / phases[0].seconds - 1.0) * 100.0, 1)
+            << "% serial (" << collector.recorded_events() << " events, "
+            << collector.timeline().size() << " epochs recorded)\n";
 
   const double speedup = phases[0].seconds / phases[1].seconds;
   std::cout << "flat sharded speedup: " << Table::num(speedup, 2) << "x on "

@@ -7,7 +7,9 @@ results by their ``name`` key, and fails (exit 1) when any cell's
 a baseline cell is missing from the current run (a silently dropped
 cell would otherwise read as "no regression"). New cells that only
 exist in the current run are reported but never fail: they get gated
-once they land in the baseline.
+once they land in the baseline. Cells that *improved* past the same
+threshold are flagged informationally (never failing) — a stale
+baseline under-gates every later change, so a refresh is suggested.
 
 Usage:
     check_perf.py BASELINE.json CURRENT.json [--max-regression 0.15]
@@ -59,6 +61,7 @@ def main():
         )
 
     failures = []
+    improvements = []
     width = max((len(n) for n in baseline), default=4)
     print(f"perf gate: {bench_base} "
           f"(max regression {args.max_regression:.0%})")
@@ -76,11 +79,23 @@ def main():
             flag = "  << REGRESSION"
             failures.append(f"{name}: {delta:+.1%} (allowed -"
                             f"{args.max_regression:.0%})")
+        elif delta > args.max_regression:
+            flag = "  << improved"
+            improvements.append(f"{name}: {delta:+.1%}")
         print(f"{name:<{width}}  {base_rps:>12.0f}  {cur_rps:>12.0f}  "
               f"{delta:>+7.1%}{flag}")
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:<{width}}  {'(new)':>12}  "
               f"{current[name]['requests_per_s']:>12.0f}")
+
+    if improvements:
+        # Informational only: a much-faster cell means the committed
+        # baseline is stale, and a stale baseline masks future
+        # regressions of the same size.
+        print(f"\nnote: {len(improvements)} cell(s) improved past "
+              f"{args.max_regression:.0%} — consider refreshing the baseline:")
+        for improvement in improvements:
+            print(f"  + {improvement}")
 
     if failures:
         print(f"\nFAIL: {len(failures)} cell(s) regressed past the gate:")

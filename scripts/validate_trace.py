@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validate a comet_sim --trace-out Chrome trace-event JSON file.
+
+Stdlib-only, used by the cli_telemetry ctest and the CI smoke step.
+Checks the structural contract Perfetto / chrome://tracing rely on:
+
+  * the file is well-formed JSON with "displayTimeUnit" and a
+    non-empty "traceEvents" list;
+  * every event carries a phase, and the phases are ones we emit
+    (M metadata, X complete, b/e async queued spans, i instants);
+  * "X" timestamps are monotonically non-decreasing per (pid, tid)
+    track and every duration is non-negative;
+  * every async "b" has a matching "e" with the same (pid, id) and a
+    timestamp >= its begin;
+  * the explicit truncation record is present exactly when expected
+    (--expect-truncated), and absent otherwise.
+
+Exit 0 on success; exit 1 with a diagnostic on the first violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the Chrome trace JSON")
+    parser.add_argument(
+        "--expect-truncated",
+        action="store_true",
+        help="require the explicit trace-truncated record (a capped run)",
+    )
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="minimum number of non-metadata events (default 1)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot load {args.trace}: {err}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    if doc.get("displayTimeUnit") not in ("ns", "ms"):
+        fail(f"bad displayTimeUnit: {doc.get('displayTimeUnit')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing, not a list, or empty")
+
+    allowed_phases = {"M", "X", "b", "e", "i"}
+    last_ts = {}  # (pid, tid) -> last X ts
+    open_spans = collections.Counter()  # (pid, id) -> balance
+    span_begin_ts = {}  # (pid, id) -> ts of the open begin
+    payload_events = 0
+    truncated_records = []
+
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        phase = event.get("ph")
+        if phase not in allowed_phases:
+            fail(f"{where}: unexpected phase {phase!r}")
+        if "pid" not in event:
+            fail(f"{where}: missing pid")
+        if phase == "M":
+            continue
+        payload_events += 1
+        timestamp = event.get("ts")
+        if not isinstance(timestamp, (int, float)) or timestamp < 0:
+            fail(f"{where}: bad ts {timestamp!r}")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                fail(f"{where}: bad dur {duration!r}")
+            track = (event["pid"], event.get("tid"))
+            if timestamp < last_ts.get(track, 0):
+                fail(
+                    f"{where}: ts {timestamp} goes backwards on track "
+                    f"pid={track[0]} tid={track[1]} (last {last_ts[track]})"
+                )
+            last_ts[track] = timestamp
+        elif phase in ("b", "e"):
+            key = (event["pid"], event.get("id"))
+            if key[1] is None:
+                fail(f"{where}: async event without id")
+            if phase == "b":
+                if open_spans[key] > 0:
+                    fail(f"{where}: nested begin for pid={key[0]} id={key[1]}")
+                open_spans[key] += 1
+                span_begin_ts[key] = timestamp
+            else:
+                if open_spans[key] != 1:
+                    fail(f"{where}: end without begin for pid={key[0]} id={key[1]}")
+                open_spans[key] -= 1
+                if timestamp < span_begin_ts[key]:
+                    fail(
+                        f"{where}: span pid={key[0]} id={key[1]} ends at "
+                        f"{timestamp} before its begin {span_begin_ts[key]}"
+                    )
+        elif phase == "i":
+            if event.get("name") == "trace-truncated":
+                truncated_records.append(event)
+
+    unbalanced = [key for key, balance in open_spans.items() if balance != 0]
+    if unbalanced:
+        fail(f"{len(unbalanced)} queued span(s) never ended: {unbalanced[:5]}")
+    if payload_events < args.min_events:
+        fail(f"only {payload_events} events, expected >= {args.min_events}")
+
+    if args.expect_truncated:
+        if not truncated_records:
+            fail("expected a trace-truncated record, found none")
+        record = truncated_records[0]
+        dropped = record.get("args", {}).get("dropped_events")
+        if not isinstance(dropped, int) or dropped <= 0:
+            fail(f"trace-truncated record has bad dropped_events: {dropped!r}")
+        if record.get("s") != "g":
+            fail("trace-truncated record is not global scope")
+    elif truncated_records:
+        fail("unexpected trace-truncated record in an uncapped trace")
+
+    print(
+        f"validate_trace: OK: {payload_events} events, "
+        f"{len(last_ts)} tracks, truncated={bool(truncated_records)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -76,6 +76,7 @@ void ExperimentSpec::validate() const {
     }
   }
   if (!policies.empty()) controller.validate();
+  telemetry.validate();
 }
 
 ExperimentBuilder& ExperimentBuilder::name(std::string value) {
@@ -137,6 +138,12 @@ ExperimentBuilder& ExperimentBuilder::run_threads(std::vector<int> values) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::telemetry(
+    comet::telemetry::TelemetrySpec spec) {
+  spec_.telemetry = std::move(spec);
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::line_bytes(std::uint32_t value) {
   spec_.line_bytes = value;
   return *this;
@@ -186,6 +193,10 @@ ExperimentSpec parse_experiment(const toml::Document& doc,
   if (const toml::Table* controller = root.child("controller")) {
     parse_controller_section(*controller, doc.source, spec.policies,
                              spec.controller, spec.run_threads);
+  }
+
+  if (const toml::Table* telemetry = root.child("telemetry")) {
+    parse_telemetry_section(*telemetry, doc.source, spec.telemetry);
   }
 
   if (const auto* devices = root.array_of_tables("device")) {
@@ -279,6 +290,22 @@ void write_experiment(std::ostream& os, const ExperimentSpec& spec) {
     if (sharded) {
       write_axis(os, "run_threads", spec.run_threads,
                  [](int v) { return std::to_string(v); });
+    }
+  }
+  if (spec.telemetry.enabled()) {
+    os << "\n[telemetry]\n";
+    if (spec.telemetry.tracing()) {
+      os << "trace_out = " << toml::format_string(spec.telemetry.trace_path)
+         << "\n"
+         << "trace_limit = " << spec.telemetry.trace_limit << "\n";
+    }
+    if (spec.telemetry.sampling()) {
+      os << "metrics_interval_ns = "
+         << spec.telemetry.metrics_interval_ps / 1000 << "\n";
+      if (!spec.telemetry.metrics_csv.empty()) {
+        os << "metrics_csv = "
+           << toml::format_string(spec.telemetry.metrics_csv) << "\n";
+      }
     }
   }
   for (const auto& device : spec.devices) {

@@ -45,6 +45,12 @@
 ///     run_threads = [1, 8]                  # scalar or array (axis);
 ///                                           # 0 = hardware threads
 ///
+///     [telemetry]                           # observability (optional)
+///     trace_out = "run.trace.json"          # Chrome trace-event JSON
+///     trace_limit = 1000000                 # event cap (0 = unlimited)
+///     metrics_interval_ns = 1000000         # epoch metrics time-series
+///     metrics_csv = "timeline.csv"          # also dump the timeline
+///
 /// A `[controller]` holding only `run_threads` shards the direct replay
 /// without engaging scheduling (results are bit-identical for any
 /// thread count either way, so the axis measures wall-clock only).
@@ -85,6 +91,11 @@ struct ExperimentSpec {
   /// thread). Orthogonal to the scheduling axis; results are
   /// bit-identical across values.
   std::vector<int> run_threads = {1};
+
+  /// Observability: request tracing and/or epoch metrics, applied to
+  /// every matrix cell (each cell records into its own Collector).
+  /// Default-constructed = disabled; never affects the replay results.
+  comet::telemetry::TelemetrySpec telemetry;
 
   std::uint32_t line_bytes = 128;
   std::string trace_file;  ///< Non-empty: replay instead of synthesis.
@@ -130,6 +141,9 @@ class ExperimentBuilder {
 
   /// Sharded-replay thread axis (0 = hardware threads).
   ExperimentBuilder& run_threads(std::vector<int> values);
+
+  /// Observability spec applied to every cell (see ExperimentSpec).
+  ExperimentBuilder& telemetry(comet::telemetry::TelemetrySpec spec);
   ExperimentBuilder& line_bytes(std::uint32_t value);
   ExperimentBuilder& trace(std::string path, double cpu_ghz = 2.0);
 

@@ -771,4 +771,27 @@ void parse_controller_section(const toml::Table& table,
   validated(reader, table.line, [&] { config.validate(); });
 }
 
+void parse_telemetry_section(const toml::Table& table,
+                             const std::string& source,
+                             telemetry::TelemetrySpec& spec) {
+  TableReader reader(table, source, "[telemetry]");
+  if (auto v = reader.get_string("trace_out")) spec.trace_path = *v;
+  if (auto v = reader.get_u64("trace_limit")) {
+    if (spec.trace_path.empty()) {
+      reader.fail_at(reader.key_line("trace_limit"),
+                     "'trace_limit' requires 'trace_out'; there is no event "
+                     "budget to cap without a trace");
+    }
+    spec.trace_limit = *v;
+  }
+  // Documents speak nanoseconds (like every other latency knob); the
+  // spec stores picoseconds like the replay clock.
+  if (auto v = reader.get_u64("metrics_interval_ns", 1, UINT64_MAX / 1000)) {
+    spec.metrics_interval_ps = *v * 1000;
+  }
+  if (auto v = reader.get_string("metrics_csv")) spec.metrics_csv = *v;
+  reader.finish();
+  validated(reader, table.line, [&] { spec.validate(); });
+}
+
 }  // namespace comet::config

@@ -11,6 +11,7 @@
 #include "config/device_spec.hpp"
 #include "config/toml.hpp"
 #include "memsim/trace_gen.hpp"
+#include "telemetry/telemetry.hpp"
 
 /// Two-way serialization between the simulator's configuration structs
 /// (memsim::DeviceModel, hybrid::TieredConfig, memsim::WorkloadProfile,
@@ -164,5 +165,15 @@ void parse_controller_section(const toml::Table& table,
                               std::vector<sched::Policy>& policies,
                               sched::ControllerConfig& config,
                               std::vector<int>& run_threads);
+
+/// Parses a `[telemetry]` table: `trace_out` (path), `trace_limit`
+/// (recorded-event cap, requires trace_out), `metrics_interval_ns`
+/// (epoch length of the metrics time-series) and `metrics_csv` (path,
+/// requires an interval). Keys override the spec's defaults in place.
+/// Schema violations and inconsistent combinations raise
+/// toml::ParseError anchored to the offending line.
+void parse_telemetry_section(const toml::Table& table,
+                             const std::string& source,
+                             telemetry::TelemetrySpec& spec);
 
 }  // namespace comet::config

@@ -1,4 +1,6 @@
 #include <chrono>
+#include <cstdint>
+#include <memory>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -13,6 +15,9 @@
 #include "driver/sweep.hpp"
 #include "memsim/trace.hpp"
 #include "memsim/trace_gen.hpp"
+#include "sched/controller.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace comet::driver;
@@ -36,6 +41,13 @@ int main(int argc, char** argv) {
   if (options.list_workloads) {
     for (const auto& profile : comet::memsim::spec_like_profiles()) {
       std::cout << profile.name << "\n";
+    }
+    return 0;
+  }
+  if (options.list_policies) {
+    for (const auto& info : comet::sched::known_policies()) {
+      std::cout << info.name << "\n  " << info.summary << "\n  knobs: "
+                << info.knobs << "\n";
     }
     return 0;
   }
@@ -119,7 +131,8 @@ int main(int argc, char** argv) {
 
     const auto jobs = build_matrix(options);
     const auto start = std::chrono::steady_clock::now();
-    const auto results = run_sweep(jobs, options.threads);
+    std::vector<std::unique_ptr<comet::telemetry::Collector>> collectors;
+    const auto results = run_sweep(jobs, options.threads, &collectors);
     const auto elapsed = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start);
 
@@ -127,8 +140,60 @@ int main(int argc, char** argv) {
     std::cout << "\n" << jobs.size() << " run(s) in " << elapsed.count()
               << " s\n";
 
+    // Telemetry exports: every traced cell lands in one Chrome trace
+    // (one process group per run × stage × channel) and one timeline
+    // CSV, labelled run-by-run. All cells share one spec, so the paths
+    // come from any job.
+    std::vector<comet::telemetry::TraceRun> trace_runs;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!collectors[i]) continue;
+      std::string label = jobs[i].device.name + "/" + jobs[i].profile.name;
+      if (jobs.size() > 1) label = "job" + std::to_string(i) + " " + label;
+      trace_runs.push_back({std::move(label), collectors[i].get()});
+    }
+    if (!trace_runs.empty() && jobs.front().telemetry.tracing()) {
+      const std::string& path = jobs.front().telemetry.trace_path;
+      std::ofstream trace_out(path);
+      if (!trace_out) {
+        std::cerr << "comet_sim: cannot open '" << path << "' for writing\n";
+        return 1;
+      }
+      comet::telemetry::write_chrome_trace(trace_out, trace_runs);
+      trace_out.close();
+      if (trace_out.fail()) {
+        std::cerr << "comet_sim: error writing '" << path
+                  << "' (disk full?)\n";
+        return 1;
+      }
+      std::uint64_t events = 0;
+      std::uint64_t dropped = 0;
+      for (const auto& run : trace_runs) {
+        events += run.collector->recorded_events();
+        dropped += run.collector->dropped_events();
+      }
+      std::cout << "wrote " << path << " (" << events << " trace events";
+      if (dropped > 0) std::cout << ", " << dropped << " dropped";
+      std::cout << ")\n";
+    }
+    if (!trace_runs.empty() && !jobs.front().telemetry.metrics_csv.empty()) {
+      const std::string& path = jobs.front().telemetry.metrics_csv;
+      std::ofstream csv_out(path);
+      if (!csv_out) {
+        std::cerr << "comet_sim: cannot open '" << path << "' for writing\n";
+        return 1;
+      }
+      comet::telemetry::write_timeline_csv(csv_out, trace_runs);
+      csv_out.close();
+      if (csv_out.fail()) {
+        std::cerr << "comet_sim: error writing '" << path
+                  << "' (disk full?)\n";
+        return 1;
+      }
+      std::cout << "wrote " << path << "\n";
+    }
+
     if (!json_tmp.empty()) {
-      write_json(out, jobs, results);
+      write_json(out, jobs, results, &collectors);
       out.close();
       if (out.fail() ||
           std::rename(json_tmp.c_str(), options.json_path.c_str()) != 0) {

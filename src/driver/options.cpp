@@ -100,6 +100,10 @@ Options parse_args(const std::vector<std::string>& args) {
       opt.list_workloads = true;
       continue;
     }
+    if (flag == "--list-policies") {
+      opt.list_policies = true;
+      continue;
+    }
     const auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) {
         throw std::invalid_argument(flag + " requires a value");
@@ -206,6 +210,28 @@ Options parse_args(const std::vector<std::string>& args) {
         throw std::invalid_argument("--dump-trace requires a non-empty path");
       }
       matrix(flag);
+    } else if (flag == "--trace-out") {
+      opt.trace_out = next();
+      if (opt.trace_out.empty()) {
+        throw std::invalid_argument("--trace-out requires a non-empty path");
+      }
+      matrix(flag);
+    } else if (flag == "--trace-limit") {
+      opt.trace_limit = parse_u64(flag, next());
+      matrix(flag);
+    } else if (flag == "--metrics-interval") {
+      opt.metrics_interval_ns = parse_u64(flag, next(), UINT64_MAX / 1000);
+      if (*opt.metrics_interval_ns == 0) {
+        throw std::invalid_argument(
+            "--metrics-interval must be >= 1 (nanoseconds per epoch)");
+      }
+      matrix(flag);
+    } else if (flag == "--metrics-csv") {
+      opt.metrics_csv = next();
+      if (opt.metrics_csv.empty()) {
+        throw std::invalid_argument("--metrics-csv requires a non-empty path");
+      }
+      matrix(flag);
     } else if (flag == "--json") {
       opt.json_path = next();
       if (opt.json_path.empty()) {
@@ -282,6 +308,9 @@ Options parse_args(const std::vector<std::string>& args) {
   // Inconsistent scheduler flags (depths/watermarks without --schedule,
   // watermarks the bounded queue can never reach) also exit 2 here.
   (void)scheduler_from_options(opt);
+  // Same for the telemetry flags (--trace-limit without --trace-out,
+  // --metrics-csv without --metrics-interval).
+  (void)telemetry_from_options(opt);
   return opt;
 }
 
@@ -310,6 +339,32 @@ std::optional<sched::ControllerConfig> scheduler_from_options(
   if (options.drain_low) config.drain_low_watermark = *options.drain_low;
   config.validate();
   return config;
+}
+
+telemetry::TelemetrySpec telemetry_from_options(const Options& options) {
+  telemetry::TelemetrySpec spec;
+  spec.trace_path = options.trace_out;
+  if (options.trace_limit) {
+    if (options.trace_out.empty()) {
+      throw std::invalid_argument(
+          "--trace-limit requires --trace-out (there is no event budget to "
+          "cap without a trace)");
+    }
+    spec.trace_limit = *options.trace_limit;
+  }
+  if (options.metrics_interval_ns) {
+    spec.metrics_interval_ps = *options.metrics_interval_ns * 1000;
+  }
+  if (!options.metrics_csv.empty()) {
+    if (!options.metrics_interval_ns) {
+      throw std::invalid_argument(
+          "--metrics-csv requires --metrics-interval (there is no timeline "
+          "to write without an epoch length)");
+    }
+    spec.metrics_csv = options.metrics_csv;
+  }
+  spec.validate();
+  return spec;
 }
 
 std::string usage() {
@@ -369,10 +424,23 @@ std::string usage() {
      << "                         conversion (default: 2.0)\n"
      << "  --dump-trace <path>    write the synthesized trace for a single\n"
      << "                         --workload to <path> and exit\n"
+     << "  --trace-out <path>     write a Chrome trace-event JSON of every\n"
+     << "                         request's lifecycle (open in Perfetto:\n"
+     << "                         one track per channel and bank)\n"
+     << "  --trace-limit N        cap on recorded trace events per run\n"
+     << "                         (default: 1000000; 0 = unlimited); the\n"
+     << "                         trace records what was dropped\n"
+     << "  --metrics-interval N   sample an epoch metrics time-series every\n"
+     << "                         N ns (bandwidth, queue occupancy, drain\n"
+     << "                         activity, latency percentiles) into the\n"
+     << "                         --json report's timeline array\n"
+     << "  --metrics-csv <path>   also write the timeline as CSV\n"
      << "  --json <path>          also write machine-readable JSON\n"
      << "  --csv                  print CSV instead of aligned tables\n"
      << "  --list-devices         print every device token and exit\n"
      << "  --list-workloads       print every workload name and exit\n"
+     << "  --list-policies        print every scheduling policy (token,\n"
+     << "                         behaviour, knobs) and exit\n"
      << "  --help                 this text\n";
   return os.str();
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sched/controller.hpp"
+#include "telemetry/telemetry.hpp"
 
 /// comet_sim command-line parsing, separated from main() so the parser is
 /// unit-testable (tests/test_driver.cpp) and reusable from scripts.
@@ -27,6 +28,7 @@ struct Options {
   bool help = false;             ///< --help was requested.
   bool list_devices = false;     ///< Print device tokens and exit 0.
   bool list_workloads = false;   ///< Print workload names and exit 0.
+  bool list_policies = false;    ///< Print scheduler policies and exit 0.
 
   // --- Declarative experiment API (--config / --device-file /
   // --- --dump-config). A config file defines the whole sweep matrix,
@@ -69,6 +71,15 @@ struct Options {
   std::optional<int> write_q;    ///< Write-queue depth (0 = unbounded).
   std::optional<int> drain_high; ///< Write-drain high watermark.
   std::optional<int> drain_low;  ///< Write-drain low watermark.
+
+  // --- Telemetry (--trace-out engages request tracing,
+  // --- --metrics-interval the epoch metrics time-series; both apply to
+  // --- every matrix cell and never change the replay results). The
+  // --- refining flags are rejected without their enabling flag.
+  std::string trace_out;         ///< Non-empty: write Chrome trace JSON.
+  std::optional<std::uint64_t> trace_limit;  ///< Event cap (0 = unlimited).
+  std::optional<std::uint64_t> metrics_interval_ns;  ///< Epoch length.
+  std::string metrics_csv;       ///< Non-empty: also dump timeline CSV.
 };
 
 /// The controller config the --schedule/--read-q/--write-q/--drain-*
@@ -78,6 +89,13 @@ struct Options {
 /// combinations exit 2 before any simulation).
 std::optional<sched::ControllerConfig> scheduler_from_options(
     const Options& options);
+
+/// The telemetry spec the --trace-out/--trace-limit/--metrics-interval/
+/// --metrics-csv flags describe (disabled when none is given). Throws
+/// std::invalid_argument on --trace-limit without --trace-out or
+/// --metrics-csv without --metrics-interval (parse_args calls this, so
+/// bad combinations exit 2 before any simulation).
+telemetry::TelemetrySpec telemetry_from_options(const Options& options);
 
 /// Parses argv-style arguments (excluding argv[0]). Throws
 /// std::invalid_argument on unknown flags, missing values, malformed

@@ -132,10 +132,83 @@ void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
   }
 }
 
-void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
-                const std::vector<memsim::SimStats>& results) {
+namespace {
+
+void write_timeline_json(std::ostream& os,
+                         const telemetry::Collector& collector) {
+  os << "[";
+  bool first = true;
+  for (const auto& point : collector.timeline()) {
+    os << (first ? "" : ", ") << "{"
+       << "\"epoch\": " << point.epoch
+       << ", \"start_ps\": " << point.start_ps
+       << ", \"end_ps\": " << point.end_ps
+       << ", \"reads\": " << point.reads
+       << ", \"writes\": " << point.writes
+       << ", \"bytes\": " << point.bytes
+       << ", \"bandwidth_gbps\": " << json_num(point.bandwidth_gbps)
+       << ", \"avg_latency_ns\": " << json_num(point.avg_latency_ns)
+       << ", \"p50_latency_ns\": " << json_num(point.p50_latency_ns)
+       << ", \"p95_latency_ns\": " << json_num(point.p95_latency_ns)
+       << ", \"p99_latency_ns\": " << json_num(point.p99_latency_ns)
+       << ", \"avg_read_queue_occupancy\": "
+       << json_num(point.avg_read_queue_occupancy)
+       << ", \"avg_write_queue_occupancy\": "
+       << json_num(point.avg_write_queue_occupancy)
+       << ", \"write_drains\": " << point.write_drains
+       << ", \"drained_writes\": " << point.drained_writes
+       << ", \"admit_stalls\": " << point.admit_stalls
+       << ", \"bank_busy_ns\": " << json_num(point.bank_busy_ns)
+       << ", \"channel_requests\": [";
+    for (std::size_t c = 0; c < point.channel_requests.size(); ++c) {
+      os << (c ? ", " : "") << point.channel_requests[c];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "]";
+}
+
+/// The per-stage recording summary and channel×bank request heatmap.
+void write_telemetry_json(std::ostream& os,
+                          const telemetry::Collector& collector) {
+  os << "{\"recorded_events\": " << collector.recorded_events()
+     << ", \"dropped_events\": " << collector.dropped_events()
+     << ", \"truncated\": " << (collector.truncated() ? "true" : "false")
+     << ", \"stages\": [";
+  bool first_stage = true;
+  for (const auto& stage : collector.stages()) {
+    os << (first_stage ? "" : ", ") << "{\"stage\": " << json_str(stage->stage())
+       << ", \"channels\": " << stage->channels()
+       << ", \"banks\": " << stage->banks()
+       << ", \"recorded_events\": " << stage->recorded_events()
+       << ", \"dropped_events\": " << stage->dropped_events()
+       << ", \"bank_requests\": [";
+    for (int c = 0; c < stage->channels(); ++c) {
+      const auto& lane = stage->lane(c);
+      os << (c ? ", " : "") << "[";
+      for (std::size_t b = 0; b < lane.bank_requests.size(); ++b) {
+        os << (b ? ", " : "") << lane.bank_requests[b];
+      }
+      os << "]";
+    }
+    os << "]}";
+    first_stage = false;
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void write_json(
+    std::ostream& os, const std::vector<SweepJob>& jobs,
+    const std::vector<memsim::SimStats>& results,
+    const std::vector<std::unique_ptr<telemetry::Collector>>* collectors) {
   if (jobs.size() != results.size()) {
     throw std::invalid_argument("jobs/results size mismatch");
+  }
+  if (collectors && collectors->size() != jobs.size()) {
+    throw std::invalid_argument("jobs/collectors size mismatch");
   }
   os << "{\n  \"bench\": \"comet_sim_sweep\",\n  \"results\": [";
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -210,6 +283,39 @@ void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
          << "}";
     } else {
       os << ", \"sched\": null";
+    }
+    // Telemetry provenance: null when the feature is disabled, so
+    // jq del(...) diffs traced against untraced reports cleanly.
+    if (job.telemetry.tracing()) {
+      os << ", \"trace_out\": " << json_str(job.telemetry.trace_path)
+         << ", \"trace_limit\": " << job.telemetry.trace_limit;
+    } else {
+      os << ", \"trace_out\": null, \"trace_limit\": null";
+    }
+    if (job.telemetry.sampling()) {
+      os << ", \"metrics_interval_ns\": "
+         << job.telemetry.metrics_interval_ps / 1000;
+    } else {
+      os << ", \"metrics_interval_ns\": null";
+    }
+    if (!job.telemetry.metrics_csv.empty()) {
+      os << ", \"metrics_csv\": " << json_str(job.telemetry.metrics_csv);
+    } else {
+      os << ", \"metrics_csv\": null";
+    }
+    const telemetry::Collector* collector =
+        collectors ? (*collectors)[i].get() : nullptr;
+    if (collector) {
+      os << ", \"telemetry\": ";
+      write_telemetry_json(os, *collector);
+    } else {
+      os << ", \"telemetry\": null";
+    }
+    if (collector && job.telemetry.sampling()) {
+      os << ", \"timeline\": ";
+      write_timeline_json(os, *collector);
+    } else {
+      os << ", \"timeline\": null";
     }
     os << "}";
   }

@@ -21,7 +21,21 @@ void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
 /// energy_pj_per_bit}, ...]}`. The experiment/config_file pair is the
 /// run's config provenance (`"cli"` / `""` for flag-driven runs).
 /// Numbers are emitted with round-trip precision.
-void write_json(std::ostream& os, const std::vector<SweepJob>& jobs,
-                const std::vector<memsim::SimStats>& results);
+///
+/// Telemetry provenance rides along in every record: trace_out /
+/// trace_limit / metrics_interval_ns / metrics_csv (null when the
+/// corresponding feature is disabled), plus — when `collectors`
+/// supplies a Collector for the record — a "telemetry" object (per-
+/// stage recorded/dropped counts and the per-bank request heatmap) and
+/// the "timeline" array of epoch metrics (null without sampling). A
+/// `jq 'del(.results[].telemetry, .results[].timeline, ...)'` therefore
+/// diffs a traced run against an untraced one field for field.
+/// `collectors`, when given, must be indexed like `jobs` (null entries
+/// = telemetry disabled for that job).
+void write_json(
+    std::ostream& os, const std::vector<SweepJob>& jobs,
+    const std::vector<memsim::SimStats>& results,
+    const std::vector<std::unique_ptr<telemetry::Collector>>* collectors =
+        nullptr);
 
 }  // namespace comet::driver

@@ -58,6 +58,7 @@ config::ExperimentSpec experiment_from_options(const Options& options) {
     builder.schedule({controller->policy});
     builder.controller_config(*controller);
   }
+  builder.telemetry(telemetry_from_options(options));
 
   builder.requests({options.requests})
       .seeds({options.seed})
@@ -150,6 +151,7 @@ std::vector<SweepJob> build_matrix(const config::ExperimentSpec& spec) {
                 job.cpu_ghz = resolved.cpu_ghz;
                 job.controller = controller;
                 job.run_threads = run_threads;
+                job.telemetry = resolved.telemetry;
                 job.experiment = resolved.name;
                 job.config_file = resolved.source;
                 jobs.push_back(std::move(job));
@@ -167,8 +169,10 @@ std::vector<SweepJob> build_matrix(const Options& options) {
   return build_matrix(experiment_from_options(options));
 }
 
-memsim::SimStats run_job(const SweepJob& job) {
+memsim::SimStats run_job(const SweepJob& job,
+                         telemetry::Collector* collector) {
   const auto engine = job.device.make_engine(job.controller, job.run_threads);
+  if (collector) engine->attach_telemetry(collector);
   if (!job.trace_path.empty()) {
     memsim::TraceFileSource source(
         job.trace_path, memsim::TraceConfig{.cpu_clock_ghz = job.cpu_ghz,
@@ -180,9 +184,25 @@ memsim::SimStats run_job(const SweepJob& job) {
   return engine->run(source, job.profile.name);
 }
 
-std::vector<memsim::SimStats> run_sweep(const std::vector<SweepJob>& jobs,
-                                        int threads) {
+std::vector<memsim::SimStats> run_sweep(
+    const std::vector<SweepJob>& jobs, int threads,
+    std::vector<std::unique_ptr<telemetry::Collector>>* collectors) {
   std::vector<memsim::SimStats> results(jobs.size());
+  if (collectors) {
+    // One collector per telemetry-enabled job, created before any
+    // worker starts so the pool only ever reads the vector.
+    collectors->clear();
+    collectors->resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].telemetry.enabled()) {
+        (*collectors)[i] =
+            std::make_unique<telemetry::Collector>(jobs[i].telemetry);
+      }
+    }
+  }
+  const auto job_collector = [&](std::size_t i) -> telemetry::Collector* {
+    return collectors ? (*collectors)[i].get() : nullptr;
+  };
   if (jobs.empty()) return results;
 
   if (threads <= 0) {
@@ -194,7 +214,9 @@ std::vector<memsim::SimStats> run_sweep(const std::vector<SweepJob>& jobs,
   }
 
   if (threads == 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = run_job(jobs[i]);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = run_job(jobs[i], job_collector(i));
+    }
     return results;
   }
 
@@ -207,7 +229,7 @@ std::vector<memsim::SimStats> run_sweep(const std::vector<SweepJob>& jobs,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
       try {
-        results[i] = run_job(jobs[i]);
+        results[i] = run_job(jobs[i], job_collector(i));
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

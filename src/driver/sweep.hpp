@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,10 @@ struct SweepJob {
   /// values — the axis only moves wall-clock.
   int run_threads = 1;
 
+  /// Observability for this cell (disabled by default — the replay
+  /// results are identical either way; only the recording happens).
+  comet::telemetry::TelemetrySpec telemetry;
+
   // --- Provenance, echoed into the JSON report.
   std::string experiment;   ///< Experiment name ("cli" for flag runs).
   std::string config_file;  ///< The --config path; empty for flag runs.
@@ -77,13 +82,23 @@ std::vector<SweepJob> build_matrix(const Options& options);
 
 /// Runs one job serially (the reference path the tests compare against):
 /// streams the job's source through the device's engine in O(1) memory.
-memsim::SimStats run_job(const SweepJob& job);
+/// A non-null `collector` is attached to the engine for the run (the
+/// caller builds it from job.telemetry and reads it back afterwards).
+memsim::SimStats run_job(const SweepJob& job,
+                         telemetry::Collector* collector = nullptr);
 
 /// Runs every job across `threads` workers (0 → hardware concurrency,
 /// clamped to the job count; 1 → fully serial in the calling thread).
 /// Results are indexed like `jobs` regardless of execution order. A
 /// throwing job aborts the sweep and rethrows on the calling thread.
-std::vector<memsim::SimStats> run_sweep(const std::vector<SweepJob>& jobs,
-                                        int threads);
+///
+/// A non-null `collectors` receives one Collector per job (indexed like
+/// `jobs`; null entries for jobs whose telemetry is disabled), built on
+/// the calling thread before any worker starts and attached to each
+/// job's engine — each job records into its own collector, so the sweep
+/// pool needs no telemetry synchronization.
+std::vector<memsim::SimStats> run_sweep(
+    const std::vector<SweepJob>& jobs, int threads,
+    std::vector<std::unique_ptr<telemetry::Collector>>* collectors = nullptr);
 
 }  // namespace comet::driver

@@ -7,6 +7,7 @@
 
 #include "memsim/sharded.hpp"
 #include "memsim/system.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/units.hpp"
 
 namespace comet::hybrid {
@@ -99,11 +100,15 @@ class TierStage {
   TierStage(const memsim::MemorySystem& dram,
             const memsim::MemorySystem& backend,
             const std::optional<sched::ControllerConfig>& controller,
-            const std::string& workload_name, int threads)
+            const std::string& workload_name, int threads,
+            telemetry::Recorder* dram_telemetry,
+            telemetry::Recorder* backend_telemetry)
       : dram_(dram),
         backend_(backend),
         dram_lanes_(static_cast<std::size_t>(dram.model().timing.channels)),
-        pool_(make_lanes(dram, backend, controller, workload_name), threads) {}
+        pool_(make_lanes(dram, backend, controller, workload_name,
+                         dram_telemetry, backend_telemetry),
+              threads) {}
 
   void feed_dram(const memsim::Request& request) {
     pool_.feed(static_cast<std::size_t>(
@@ -137,22 +142,23 @@ class TierStage {
   static std::vector<std::unique_ptr<memsim::ShardLane>> make_lanes(
       const memsim::MemorySystem& dram, const memsim::MemorySystem& backend,
       const std::optional<sched::ControllerConfig>& controller,
-      const std::string& workload_name) {
+      const std::string& workload_name, telemetry::Recorder* dram_telemetry,
+      telemetry::Recorder* backend_telemetry) {
     std::vector<std::unique_ptr<memsim::ShardLane>> lanes;
     const int dram_channels = dram.model().timing.channels;
     const int backend_channels = backend.model().timing.channels;
     lanes.reserve(static_cast<std::size_t>(dram_channels + backend_channels));
     for (int c = 0; c < dram_channels; ++c) {
-      lanes.push_back(
-          std::make_unique<memsim::SessionLane>(dram, workload_name));
+      lanes.push_back(std::make_unique<memsim::SessionLane>(
+          dram, workload_name, dram_telemetry));
     }
     for (int c = 0; c < backend_channels; ++c) {
       if (controller) {
         lanes.push_back(std::make_unique<sched::ControllerLane>(
-            backend, *controller, workload_name));
+            backend, *controller, workload_name, backend_telemetry));
       } else {
-        lanes.push_back(
-            std::make_unique<memsim::SessionLane>(backend, workload_name));
+        lanes.push_back(std::make_unique<memsim::SessionLane>(
+            backend, workload_name, backend_telemetry));
       }
     }
     return lanes;
@@ -186,8 +192,22 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
   const std::uint32_t line_bytes = config_.cache.line_bytes;
   const memsim::MemorySystem dram_system(config_.dram);
   const memsim::MemorySystem backend_system(config_.backend);
+  // Per-tier telemetry stages: the event budget splits evenly between
+  // the tiers (0 = unlimited splits to unlimited on both).
+  telemetry::Recorder* dram_recorder = nullptr;
+  telemetry::Recorder* backend_recorder = nullptr;
+  if (telemetry::Collector* collector = telemetry()) {
+    const std::uint64_t limit = collector->spec().trace_limit;
+    dram_recorder = collector->add_stage(
+        "dram", config_.dram.timing.channels,
+        config_.dram.timing.banks_per_channel, limit / 2);
+    backend_recorder = collector->add_stage(
+        "backend", config_.backend.timing.channels,
+        config_.backend.timing.banks_per_channel, limit - limit / 2);
+  }
   TierStage tiers(dram_system, backend_system, backend_controller_,
-                  workload_name, run_threads_);
+                  workload_name, run_threads_, dram_recorder,
+                  backend_recorder);
   // Derived-request ids live in their own (top-bit) namespace, above any
   // realistic demand id space, for traceability.
   std::uint64_t next_id = 1ull << 63;

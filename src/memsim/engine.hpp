@@ -6,6 +6,10 @@
 #include "memsim/source.hpp"
 #include "memsim/stats.hpp"
 
+namespace comet::telemetry {
+class Collector;
+}
+
 /// The polymorphic replay-engine seam.
 ///
 /// Every architecture in the study — a flat MemorySystem, a hybrid
@@ -21,6 +25,20 @@ class Engine {
  public:
   virtual ~Engine() = default;
 
+  /// Attaches a telemetry collector the next run() records into: each
+  /// run registers its stage(s) and streams request events / scheduler
+  /// marks through the collector's recorders. Null (the default)
+  /// disables telemetry at the cost of one pointer test per request.
+  /// The collector must outlive every run() and is written by one run
+  /// at a time — attach a separate Collector per concurrent job.
+  void attach_telemetry(telemetry::Collector* collector) {
+    telemetry_ = collector;
+  }
+
+  /// The attached collector, or nullptr (run() implementations and
+  /// tests read this; sweeps attach per-job collectors).
+  telemetry::Collector* telemetry() const { return telemetry_; }
+
   /// Replays the stream (which must yield requests sorted by arrival
   /// time; throws std::invalid_argument naming the offending index
   /// otherwise) and returns aggregate statistics. The source is drained
@@ -32,6 +50,9 @@ class Engine {
   /// replays it, bit-identical to the streaming path.
   SimStats run(const std::vector<Request>& requests,
                const std::string& workload_name = "") const;
+
+ private:
+  telemetry::Collector* telemetry_ = nullptr;
 };
 
 }  // namespace comet::memsim

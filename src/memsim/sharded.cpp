@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace comet::memsim {
 
 int resolve_run_threads(int requested) {
@@ -241,11 +243,18 @@ ShardedEngine::ShardedEngine(DeviceModel model, int run_threads)
 
 SimStats ShardedEngine::run(RequestSource& source,
                             const std::string& workload_name) const {
+  telemetry::Recorder* recorder = nullptr;
+  if (telemetry::Collector* collector = telemetry()) {
+    recorder = collector->add_stage("", system_.model().timing.channels,
+                                    system_.model().timing.banks_per_channel,
+                                    collector->spec().trace_limit);
+  }
   std::vector<std::unique_ptr<ShardLane>> lanes;
   const int channels = system_.model().timing.channels;
   lanes.reserve(static_cast<std::size_t>(channels));
   for (int c = 0; c < channels; ++c) {
-    lanes.push_back(std::make_unique<SessionLane>(system_, workload_name));
+    lanes.push_back(
+        std::make_unique<SessionLane>(system_, workload_name, recorder));
   }
   return run_sharded(system_, std::move(lanes), run_threads_, source);
 }

@@ -51,11 +51,15 @@ class ShardLane {
 };
 
 /// Plain ReplaySession lane — the shard unit of an unscheduled flat
-/// device.
+/// device. The optional telemetry recorder is shared by every lane of
+/// a stage: each lane only writes the recorder lane of the channel it
+/// serves, so the sharing is race-free and the recorded telemetry is
+/// byte-identical to a serial session's (see telemetry.hpp).
 class SessionLane final : public ShardLane {
  public:
-  SessionLane(const MemorySystem& system, std::string workload_name)
-      : session_(system, std::move(workload_name)) {}
+  SessionLane(const MemorySystem& system, std::string workload_name,
+              telemetry::Recorder* telemetry = nullptr)
+      : session_(system, std::move(workload_name), telemetry) {}
 
   void feed(const Request& request) override { session_.feed(request); }
   ReplaySlice finish_slice() override { return session_.finish_slice(); }

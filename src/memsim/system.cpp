@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/ring.hpp"
 
 namespace comet::memsim {
@@ -163,6 +164,7 @@ SimStats finalize_slice(ReplaySlice slice, const DeviceModel& model) {
 
 struct ReplaySession::Impl {
   const MemorySystem& system;
+  telemetry::Recorder* const telemetry;  ///< Null on untraced runs.
   SimStats stats;  ///< Carries only the names until finish_slice().
   std::vector<ChannelState> channels;
   std::uint64_t fed = 0;
@@ -170,8 +172,9 @@ struct ReplaySession::Impl {
   std::uint64_t prev_arrival = 0;
   bool finished = false;
 
-  explicit Impl(const MemorySystem& sys, std::string workload_name)
-      : system(sys) {
+  Impl(const MemorySystem& sys, std::string workload_name,
+       telemetry::Recorder* recorder)
+      : system(sys), telemetry(recorder) {
     const DeviceTiming& t = sys.model_.timing;
     stats.device_name = sys.model_.name;
     stats.workload_name = std::move(workload_name);
@@ -314,6 +317,20 @@ struct ReplaySession::Impl {
     }
     lane.bytes += req.size_bytes;
     lane.last_completion = std::max(lane.last_completion, completion);
+    if (telemetry) {
+      telemetry->record_request(
+          placement.channel,
+          telemetry::RequestEvent{.id = req.id,
+                                  .arrival_ps = req.arrival_ps,
+                                  .issue_ps = issue_ps,
+                                  .start_ps = start,
+                                  .completion_ps = completion,
+                                  .bank_busy_until_ps = bank_busy_until,
+                                  .size_bytes = req.size_bytes,
+                                  .bank = static_cast<std::uint16_t>(
+                                      placement.bank),
+                                  .op = req.op});
+    }
     return FeedResult{start, completion, bank_busy_until};
   }
 
@@ -341,8 +358,10 @@ struct ReplaySession::Impl {
 };
 
 ReplaySession::ReplaySession(const MemorySystem& system,
-                             std::string workload_name)
-    : impl_(std::make_unique<Impl>(system, std::move(workload_name))) {}
+                             std::string workload_name,
+                             telemetry::Recorder* telemetry)
+    : impl_(std::make_unique<Impl>(system, std::move(workload_name),
+                                   telemetry)) {}
 
 ReplaySession::ReplaySession(ReplaySession&&) noexcept = default;
 ReplaySession& ReplaySession::operator=(ReplaySession&&) noexcept = default;
@@ -398,7 +417,13 @@ MemorySystem::MemorySystem(DeviceModel model) : model_(std::move(model)) {
 
 SimStats MemorySystem::run(RequestSource& source,
                            const std::string& workload_name) const {
-  ReplaySession session(*this, workload_name);
+  telemetry::Recorder* recorder = nullptr;
+  if (telemetry::Collector* collector = telemetry()) {
+    recorder = collector->add_stage("", model_.timing.channels,
+                                    model_.timing.banks_per_channel,
+                                    collector->spec().trace_limit);
+  }
+  ReplaySession session(*this, workload_name, recorder);
   Request block[kFeedBlockRequests];
   for (;;) {
     const std::size_t pulled = source.next_batch(block, kFeedBlockRequests);

@@ -10,6 +10,10 @@
 #include "memsim/request.hpp"
 #include "memsim/stats.hpp"
 
+namespace comet::telemetry {
+class Recorder;
+}
+
 /// Trace-replay engine (the NVMain-2.0 substitute).
 ///
 /// One generic controller serves every architecture in the study, driven
@@ -114,7 +118,13 @@ class MemorySystem;
 /// session.
 class ReplaySession {
  public:
-  ReplaySession(const MemorySystem& system, std::string workload_name);
+  /// `telemetry`, when non-null, receives one RequestEvent per fed
+  /// request in the recorder lane of the serving channel (the
+  /// near-zero-cost observability hook: untraced sessions pay one null
+  /// test per request). The recorder must outlive the session and span
+  /// at least this system's channels/banks.
+  ReplaySession(const MemorySystem& system, std::string workload_name,
+                telemetry::Recorder* telemetry = nullptr);
   ReplaySession(ReplaySession&&) noexcept;
   ReplaySession& operator=(ReplaySession&&) noexcept;
   ~ReplaySession();

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
 #include "util/ring.hpp"
 
 namespace comet::sched {
@@ -25,6 +26,24 @@ Policy policy_from_name(const std::string& name) {
   if (name == "read-first") return Policy::kReadFirst;
   throw std::invalid_argument("unknown scheduling policy '" + name +
                               "'; expected fcfs, frfcfs or read-first");
+}
+
+const std::vector<PolicyInfo>& known_policies() {
+  static const std::vector<PolicyInfo> policies = {
+      {Policy::kFcfs, "fcfs",
+       "in-order immediate handoff (the legacy arrival-order replay)",
+       "read-queue-depth, write-queue-depth (never fill: fcfs holds "
+       "nothing)"},
+      {Policy::kFrFcfs, "frfcfs",
+       "first-ready FCFS: oldest ready transaction first, preferring "
+       "open-row / open-region hits",
+       "read-queue-depth, write-queue-depth"},
+      {Policy::kReadFirst, "read-first",
+       "reads issue ahead of writes, with write-drain hysteresis",
+       "read-queue-depth, write-queue-depth, drain-high-watermark, "
+       "drain-low-watermark"},
+  };
+  return policies;
 }
 
 void ControllerConfig::validate() const {
@@ -89,6 +108,7 @@ struct QueuedTx {
 struct Controller::Impl {
   const memsim::MemorySystem& system;
   const ControllerConfig config;
+  telemetry::Recorder* const telemetry;  ///< Null = no observability cost.
   memsim::ReplaySession session;
 
   struct Pick {
@@ -108,6 +128,7 @@ struct Controller::Impl {
   };
 
   struct Channel {
+    int index = 0;  ///< The channel's own number (telemetry lane).
     util::RingQueue<QueuedTx> reads;
     util::RingQueue<QueuedTx> writes;
     // Admission overflow: arrivals that found their (bounded) queue
@@ -156,11 +177,16 @@ struct Controller::Impl {
   bool finished = false;
 
   Impl(const memsim::MemorySystem& sys, const ControllerConfig& cfg,
-       std::string workload_name)
-      : system(sys), config(cfg), session(sys, std::move(workload_name)) {
+       std::string workload_name, telemetry::Recorder* recorder)
+      : system(sys),
+        config(cfg),
+        telemetry(recorder),
+        session(sys, std::move(workload_name), recorder) {
     const auto& t = sys.model().timing;
     channels.resize(static_cast<std::size_t>(t.channels));
-    for (auto& ch : channels) {
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      auto& ch = channels[c];
+      ch.index = static_cast<int>(c);
       const auto banks = static_cast<std::size_t>(t.banks_per_channel);
       ch.bank_free.assign(banks, 0);
       ch.open_row.assign(banks, ~0ull);
@@ -247,16 +273,24 @@ struct Controller::Impl {
     return best;
   }
 
-  void update_drain(Channel& ch) {
+  void update_drain(Channel& ch, std::uint64_t at_ps) {
     if (config.policy != Policy::kReadFirst) return;
     if (!ch.draining) {
       if (static_cast<int>(ch.writes.size()) >= config.drain_high_watermark) {
         ch.draining = true;
         ++ch.write_drains;
+        if (telemetry) {
+          telemetry->record_mark(ch.index, telemetry::MarkKind::kDrainBegin,
+                                 at_ps);
+        }
       }
     } else if (static_cast<int>(ch.writes.size()) <=
                config.drain_low_watermark) {
       ch.draining = false;
+      if (telemetry) {
+        telemetry->record_mark(ch.index, telemetry::MarkKind::kDrainEnd,
+                               at_ps);
+      }
     }
   }
 
@@ -307,10 +341,11 @@ struct Controller::Impl {
 
     if (from_writes && ch.draining) {
       ++ch.drained_writes;
+      if (telemetry) telemetry->record_drained_write(ch.index, issue_ps);
       if (!ch.reads.empty()) ++ch.drain_stalls;
     }
     admit_overflow(ch, from_writes, issue_ps);
-    update_drain(ch);
+    update_drain(ch, issue_ps);
     ch.pick_dirty = true;
   }
 
@@ -371,6 +406,10 @@ struct Controller::Impl {
     // The queue state each arrival observes (before joining it).
     ch.read_occupancy.add(static_cast<double>(ch.reads.size()));
     ch.write_occupancy.add(static_cast<double>(ch.writes.size()));
+    if (telemetry) {
+      telemetry->record_queue_sample(ch.index, req.arrival_ps,
+                                     ch.reads.size(), ch.writes.size());
+    }
 
     auto& q = is_write ? ch.writes : ch.reads;
     if (config.policy == Policy::kFcfs) {
@@ -388,10 +427,14 @@ struct Controller::Impl {
     if (depth > 0 &&
         (static_cast<int>(q.size()) >= depth || !stalled.empty())) {
       ++ch.admit_stalls;
+      if (telemetry) {
+        telemetry->record_mark(ch.index, telemetry::MarkKind::kAdmitStall,
+                               req.arrival_ps);
+      }
       stalled.push_back(std::move(tx));
     } else {
       q.push_back(std::move(tx));
-      update_drain(ch);
+      update_drain(ch, req.arrival_ps);
       ch.pick_dirty = true;
     }
   }
@@ -423,9 +466,11 @@ struct Controller::Impl {
 };
 
 Controller::Controller(const memsim::MemorySystem& system,
-                       ControllerConfig config, std::string workload_name) {
+                       ControllerConfig config, std::string workload_name,
+                       telemetry::Recorder* telemetry) {
   config.validate();
-  impl_ = std::make_unique<Impl>(system, config, std::move(workload_name));
+  impl_ = std::make_unique<Impl>(system, config, std::move(workload_name),
+                                 telemetry);
 }
 
 Controller::Controller(Controller&&) noexcept = default;
@@ -470,18 +515,24 @@ ScheduledSystem::ScheduledSystem(memsim::DeviceModel model,
 
 memsim::SimStats ScheduledSystem::run(memsim::RequestSource& source,
                                       const std::string& workload_name) const {
+  telemetry::Recorder* recorder = nullptr;
+  if (telemetry::Collector* collector = telemetry()) {
+    recorder = collector->add_stage("", system_.model().timing.channels,
+                                    system_.model().timing.banks_per_channel,
+                                    collector->spec().trace_limit);
+  }
   if (run_threads_ > 1) {
     std::vector<std::unique_ptr<memsim::ShardLane>> lanes;
     const int channels = system_.model().timing.channels;
     lanes.reserve(static_cast<std::size_t>(channels));
     for (int c = 0; c < channels; ++c) {
-      lanes.push_back(
-          std::make_unique<ControllerLane>(system_, config_, workload_name));
+      lanes.push_back(std::make_unique<ControllerLane>(
+          system_, config_, workload_name, recorder));
     }
     return memsim::run_sharded(system_, std::move(lanes), run_threads_,
                                source);
   }
-  Controller controller(system_, config_, workload_name);
+  Controller controller(system_, config_, workload_name, recorder);
   memsim::Request block[memsim::kFeedBlockRequests];
   for (;;) {
     const std::size_t pulled =

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "memsim/device.hpp"
 #include "memsim/engine.hpp"
@@ -59,6 +60,21 @@ const char* policy_name(Policy policy);
 /// Throws std::invalid_argument naming the valid set on unknown names.
 Policy policy_from_name(const std::string& name);
 
+/// One documentable scheduling policy: its CLI/TOML token, a one-line
+/// behavioural summary, and the ControllerConfig knobs that bind for
+/// it. What `comet_sim --list-policies` prints.
+struct PolicyInfo {
+  Policy policy;
+  const char* name;
+  const char* summary;
+  const char* knobs;
+};
+
+/// Every policy the build knows, in token order. The single source of
+/// truth for CLI discovery; adding a Policy enumerator without a row
+/// here fails the driver tests.
+const std::vector<PolicyInfo>& known_policies();
+
 struct ControllerConfig {
   Policy policy = Policy::kFcfs;
 
@@ -96,9 +112,16 @@ struct ControllerConfig {
 /// controller.
 class Controller {
  public:
-  /// Validates the config.
+  /// Validates the config. `telemetry`, when non-null, receives one
+  /// RequestEvent per issued request plus the scheduler-side signal:
+  /// queue-occupancy samples at every admit, admit-stall and
+  /// drain-begin/-end marks, and drained-write ticks — all in the
+  /// recorder lane of the serving channel, so a shared recorder stays
+  /// race-free across per-channel lanes (see telemetry.hpp). The
+  /// recorder must outlive the controller.
   Controller(const memsim::MemorySystem& system, ControllerConfig config,
-             std::string workload_name);
+             std::string workload_name,
+             telemetry::Recorder* telemetry = nullptr);
   Controller(Controller&&) noexcept;
   Controller& operator=(Controller&&) noexcept;
   ~Controller();
@@ -137,8 +160,9 @@ class Controller {
 class ControllerLane final : public memsim::ShardLane {
  public:
   ControllerLane(const memsim::MemorySystem& system, ControllerConfig config,
-                 std::string workload_name)
-      : controller_(system, config, std::move(workload_name)) {}
+                 std::string workload_name,
+                 telemetry::Recorder* telemetry = nullptr)
+      : controller_(system, config, std::move(workload_name), telemetry) {}
 
   void feed(const memsim::Request& request) override {
     controller_.feed(request);

@@ -1,0 +1,170 @@
+# End-to-end CLI checks for the telemetry subsystem, run under ctest.
+# Invoked as:
+#
+#   cmake -DCOMET_SIM=<path to comet_sim> -DWORK_DIR=<scratch dir>
+#         -DPYTHON=<python3> -DVALIDATOR=<repo>/scripts/validate_trace.py
+#         -P telemetry_cli_test.cmake
+#
+# Covers the ISSUE acceptance loop: a scheduled run with --trace-out +
+# --metrics-interval writes a Perfetto-loadable Chrome trace (validated
+# by scripts/validate_trace.py) and a non-empty timeline whose per-epoch
+# request counts sum to the run's reads+writes, while the same run
+# without telemetry flags produces bit-identical results. Plus the
+# truncation record under --trace-limit, the timeline CSV, the
+# [telemetry] --dump-config round-trip, --list-policies, and the
+# flag-dependency diagnostics.
+
+if(NOT DEFINED COMET_SIM OR NOT DEFINED WORK_DIR OR NOT DEFINED PYTHON
+   OR NOT DEFINED VALIDATOR)
+  message(FATAL_ERROR
+          "pass -DCOMET_SIM=..., -DWORK_DIR=..., -DPYTHON=... and -DVALIDATOR=...")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(expect_rc label rc expected)
+  if(NOT rc EQUAL expected)
+    message(FATAL_ERROR "${label}: expected exit ${expected}, got ${rc}")
+  endif()
+endfunction()
+
+function(expect_contains label haystack needle)
+  string(FIND "${haystack}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${label}: expected to find '${needle}' in:\n${haystack}")
+  endif()
+endfunction()
+
+# --- 1. The acceptance run: scheduled, traced, epoch-sampled.
+set(flags --device comet --workload gcc_like --requests 20000 --seed 11
+    --schedule frfcfs)
+execute_process(
+  COMMAND ${COMET_SIM} ${flags}
+          --trace-out ${WORK_DIR}/run.json --metrics-interval 1000000
+          --metrics-csv ${WORK_DIR}/run.csv --json ${WORK_DIR}/traced.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc("traced run" "${rc}" 0)
+expect_contains("traced run" "${out}" "wrote ${WORK_DIR}/run.json")
+expect_contains("traced run" "${out}" "wrote ${WORK_DIR}/run.csv")
+
+# --- 2. The trace is structurally valid (JSON shape, monotonic tracks,
+# ---    balanced queued spans, no spurious truncation record).
+execute_process(
+  COMMAND ${PYTHON} ${VALIDATOR} ${WORK_DIR}/run.json --min-events 20000
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc("validate_trace" "${rc}" 0)
+
+# --- 3. Timeline reconciliation: the JSON report's timeline epochs sum
+# ---    to the run's reads+writes, and the CSV has one row per epoch.
+execute_process(
+  COMMAND ${PYTHON} -c "
+import json, sys
+report = json.load(open(sys.argv[1]))
+record = report['results'][0]
+timeline = record['timeline']
+assert timeline, 'timeline is empty'
+total = sum(p['reads'] + p['writes'] for p in timeline)
+expected = record['reads'] + record['writes']
+assert total == expected, f'timeline sums to {total}, run has {expected}'
+for point in timeline:
+    assert sum(point['channel_requests']) == point['reads'] + point['writes']
+telemetry = record['telemetry']
+assert telemetry['recorded_events'] == expected
+assert telemetry['truncated'] is False
+with open(sys.argv[2]) as handle:
+    rows = handle.read().strip().splitlines()
+assert rows[0].startswith('run,epoch,start_ns,end_ns,reads,writes')
+assert len(rows) - 1 == len(timeline), (len(rows) - 1, len(timeline))
+print('timeline OK:', len(timeline), 'epochs,', total, 'requests')
+" ${WORK_DIR}/traced.json ${WORK_DIR}/run.csv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "timeline reconciliation failed:\n${out}\n${err}")
+endif()
+
+# --- 4. Observation does not perturb: the same run without telemetry
+# ---    flags is bit-identical once the telemetry report fields (null
+# ---    in the untraced run) are deleted — the jq del() contract.
+execute_process(
+  COMMAND ${COMET_SIM} ${flags} --json ${WORK_DIR}/untraced.json
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+expect_rc("untraced run" "${rc}" 0)
+execute_process(
+  COMMAND ${PYTHON} -c "
+import json, sys
+telemetry_keys = ('trace_out', 'trace_limit', 'metrics_interval_ns',
+                  'metrics_csv', 'telemetry', 'timeline')
+def strip(path):
+    report = json.load(open(path))
+    for record in report['results']:
+        for key in telemetry_keys:
+            assert key in record, f'{path}: missing {key}'
+            del record[key]
+    return report
+plain = json.load(open(sys.argv[1]))['results'][0]
+assert plain['trace_out'] is None and plain['timeline'] is None
+assert strip(sys.argv[1]) == strip(sys.argv[2]), 'results diverged'
+print('bit-identity OK')
+" ${WORK_DIR}/untraced.json ${WORK_DIR}/traced.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "traced-vs-untraced bit-identity failed:\n${out}\n${err}")
+endif()
+
+# --- 5. Truncation: a capped trace stays within the cap and carries
+# ---    the explicit truncation record.
+execute_process(
+  COMMAND ${COMET_SIM} ${flags}
+          --trace-out ${WORK_DIR}/capped.json --trace-limit 100
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc("capped run" "${rc}" 0)
+expect_contains("capped run" "${out}" "dropped")
+execute_process(
+  COMMAND ${PYTHON} ${VALIDATOR} ${WORK_DIR}/capped.json --expect-truncated
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc("validate capped trace" "${rc}" 0)
+
+# --- 6. The [telemetry] section round-trips through --dump-config and
+# ---    replays from --config with telemetry still armed.
+execute_process(
+  COMMAND ${COMET_SIM} ${flags}
+          --trace-out ${WORK_DIR}/cfg_run.json --metrics-interval 1000000
+          --dump-config ${WORK_DIR}/telemetry.toml
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+expect_rc("dump-config" "${rc}" 0)
+file(READ ${WORK_DIR}/telemetry.toml toml_text)
+expect_contains("dumped toml" "${toml_text}" "[telemetry]")
+expect_contains("dumped toml" "${toml_text}" "metrics_interval_ns = 1000000")
+execute_process(
+  COMMAND ${COMET_SIM} --config ${WORK_DIR}/telemetry.toml
+          --json ${WORK_DIR}/from_config.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc("config replay" "${rc}" 0)
+expect_contains("config replay" "${out}" "wrote ${WORK_DIR}/cfg_run.json")
+execute_process(
+  COMMAND ${PYTHON} ${VALIDATOR} ${WORK_DIR}/cfg_run.json --min-events 20000
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc("validate config-run trace" "${rc}" 0)
+
+# --- 7. --list-policies prints every scheduler token and exits 0.
+execute_process(
+  COMMAND ${COMET_SIM} --list-policies
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc("--list-policies" "${rc}" 0)
+foreach(policy fcfs frfcfs read-first)
+  expect_contains("--list-policies" "${out}" "${policy}")
+endforeach()
+expect_contains("--list-policies" "${out}" "knobs:")
+
+# --- 8. Flag-dependency diagnostics exit 2 before any simulation.
+execute_process(
+  COMMAND ${COMET_SIM} --trace-limit 100
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+expect_rc("--trace-limit without --trace-out" "${rc}" 2)
+expect_contains("--trace-limit diagnostic" "${err}" "--trace-out")
+execute_process(
+  COMMAND ${COMET_SIM} --metrics-csv nope.csv
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+expect_rc("--metrics-csv without --metrics-interval" "${rc}" 2)
+expect_contains("--metrics-csv diagnostic" "${err}" "--metrics-interval")
+
+message(STATUS "telemetry CLI checks passed")

@@ -678,4 +678,98 @@ TEST(ExperimentApi, TraceExperimentValidates) {
                toml::ParseError);
 }
 
+// --- [telemetry] section -------------------------------------------------
+
+TEST(ExperimentApi, TelemetrySectionParses) {
+  const std::string text =
+      "[experiment]\n"
+      "devices = [\"comet\"]\n"
+      "workloads = [\"gcc_like\"]\n"
+      "[telemetry]\n"
+      "trace_out = \"run.json\"\n"
+      "trace_limit = 5000\n"
+      "metrics_interval_ns = 250000\n"
+      "metrics_csv = \"run.csv\"\n";
+  const auto spec = comet::config::parse_experiment(
+      toml::parse_string(text, "t.toml"), nullptr);
+  EXPECT_EQ(spec.telemetry.trace_path, "run.json");
+  EXPECT_EQ(spec.telemetry.trace_limit, 5000u);
+  EXPECT_EQ(spec.telemetry.metrics_interval_ps, 250'000'000u);  // ns -> ps.
+  EXPECT_EQ(spec.telemetry.metrics_csv, "run.csv");
+  EXPECT_TRUE(spec.telemetry.enabled());
+}
+
+TEST(ExperimentApi, TelemetrySectionDiagnostics) {
+  // trace_limit without trace_out: no event budget to cap.
+  EXPECT_THROW(comet::config::parse_experiment(
+                   toml::parse_string("[experiment]\n"
+                                      "devices = [\"comet\"]\n"
+                                      "workloads = [\"gcc_like\"]\n"
+                                      "[telemetry]\n"
+                                      "trace_limit = 100\n",
+                                      "t.toml"),
+                   nullptr),
+               toml::ParseError);
+  // metrics_csv without an interval: no timeline to write.
+  EXPECT_THROW(comet::config::parse_experiment(
+                   toml::parse_string("[experiment]\n"
+                                      "devices = [\"comet\"]\n"
+                                      "workloads = [\"gcc_like\"]\n"
+                                      "[telemetry]\n"
+                                      "metrics_csv = \"t.csv\"\n",
+                                      "t.toml"),
+                   nullptr),
+               toml::ParseError);
+  // A zero interval is degenerate (0 already means "disabled").
+  EXPECT_THROW(comet::config::parse_experiment(
+                   toml::parse_string("[experiment]\n"
+                                      "devices = [\"comet\"]\n"
+                                      "workloads = [\"gcc_like\"]\n"
+                                      "[telemetry]\n"
+                                      "metrics_interval_ns = 0\n",
+                                      "t.toml"),
+                   nullptr),
+               toml::ParseError);
+  // Unknown keys are rejected like every other section.
+  EXPECT_THROW(comet::config::parse_experiment(
+                   toml::parse_string("[experiment]\n"
+                                      "devices = [\"comet\"]\n"
+                                      "workloads = [\"gcc_like\"]\n"
+                                      "[telemetry]\n"
+                                      "tracing = true\n",
+                                      "t.toml"),
+                   nullptr),
+               toml::ParseError);
+}
+
+TEST(ExperimentApi, TelemetryExperimentRoundTripsThroughToml) {
+  // The --dump-config loop for instrumented runs: the [telemetry]
+  // section must survive serialize -> reparse exactly.
+  const auto options = comet::driver::parse_args(
+      {"--device", "comet", "--workload", "gcc_like", "--requests", "400",
+       "--trace-out", "run.json", "--trace-limit", "9000",
+       "--metrics-interval", "500000", "--metrics-csv", "run.csv"});
+  const auto resolved = comet::driver::resolve_experiment(
+      comet::driver::experiment_from_options(options));
+
+  const std::string text = comet::config::experiment_to_toml(resolved);
+  EXPECT_NE(text.find("[telemetry]"), std::string::npos);
+  EXPECT_NE(text.find("trace_out = \"run.json\""), std::string::npos);
+  EXPECT_NE(text.find("metrics_interval_ns = 500000"), std::string::npos);
+  const auto reparsed = comet::config::parse_experiment(
+      toml::parse_string(text, "dump.toml"), nullptr);
+  EXPECT_EQ(reparsed.telemetry.trace_path, resolved.telemetry.trace_path);
+  EXPECT_EQ(reparsed.telemetry.trace_limit, resolved.telemetry.trace_limit);
+  EXPECT_EQ(reparsed.telemetry.metrics_interval_ps,
+            resolved.telemetry.metrics_interval_ps);
+  EXPECT_EQ(reparsed.telemetry.metrics_csv, resolved.telemetry.metrics_csv);
+
+  // A telemetry-free spec writes no [telemetry] section at all.
+  const auto plain = comet::driver::resolve_experiment(
+      comet::driver::experiment_from_options(comet::driver::parse_args(
+          {"--device", "comet", "--workload", "gcc_like"})));
+  EXPECT_EQ(comet::config::experiment_to_toml(plain).find("[telemetry]"),
+            std::string::npos);
+}
+
 }  // namespace

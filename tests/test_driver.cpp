@@ -6,16 +6,22 @@
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "driver/options.hpp"
 #include "driver/registry.hpp"
 #include "driver/report.hpp"
 #include "driver/sweep.hpp"
 #include "memsim/trace.hpp"
+#include "sched/controller.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -488,6 +494,142 @@ TEST(ReportTest, TableReportCoversEveryDevice) {
   for (const auto& job : jobs) {
     EXPECT_NE(os.str().find(job.device.name), std::string::npos)
         << job.device.name;
+  }
+}
+
+// ----------------------------------------------------------- telemetry
+
+TEST(OptionsTest, TelemetryFlagsParseAndConvert) {
+  const Options opt = parse_args(
+      {"--trace-out", "t.json", "--trace-limit", "500", "--metrics-interval",
+       "1000000", "--metrics-csv", "t.csv"});
+  EXPECT_EQ(opt.trace_out, "t.json");
+  ASSERT_TRUE(opt.trace_limit.has_value());
+  EXPECT_EQ(*opt.trace_limit, 500u);
+  ASSERT_TRUE(opt.metrics_interval_ns.has_value());
+  EXPECT_EQ(*opt.metrics_interval_ns, 1'000'000u);
+  EXPECT_EQ(opt.metrics_csv, "t.csv");
+
+  const auto spec = comet::driver::telemetry_from_options(opt);
+  EXPECT_EQ(spec.trace_path, "t.json");
+  EXPECT_EQ(spec.trace_limit, 500u);
+  EXPECT_EQ(spec.metrics_interval_ps, 1'000'000'000u);  // ns -> ps.
+  EXPECT_EQ(spec.metrics_csv, "t.csv");
+
+  // Untraced default: a disabled spec, so jobs carry no collector.
+  const auto off = comet::driver::telemetry_from_options(parse_args({}));
+  EXPECT_FALSE(off.enabled());
+}
+
+TEST(OptionsTest, TelemetryFlagDependenciesRejectedAtParseTime) {
+  // --trace-limit without --trace-out: no event budget to cap.
+  EXPECT_THROW(parse_args({"--trace-limit", "100"}), std::invalid_argument);
+  // --metrics-csv without --metrics-interval: no timeline to write.
+  EXPECT_THROW(parse_args({"--metrics-csv", "t.csv"}), std::invalid_argument);
+  // Degenerate values.
+  EXPECT_THROW(parse_args({"--trace-out", ""}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--metrics-interval", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--metrics-interval", "abc"}),
+               std::invalid_argument);
+}
+
+TEST(OptionsTest, TelemetryFlagsConflictWithConfig) {
+  const TempTomlFile file(
+      "[experiment]\ndevices = [\"comet\"]\nworkloads = [\"gcc_like\"]\n");
+  for (const std::vector<std::string>& extra :
+       {std::vector<std::string>{"--trace-out", "t.json"},
+        {"--trace-out", "t.json", "--trace-limit", "5"},
+        {"--metrics-interval", "1000"},
+        {"--metrics-interval", "1000", "--metrics-csv", "t.csv"}}) {
+    std::vector<std::string> args{"--config", file.path()};
+    args.insert(args.end(), extra.begin(), extra.end());
+    EXPECT_THROW(parse_args(args), std::invalid_argument) << extra[0];
+  }
+}
+
+TEST(OptionsTest, ListPoliciesParsesAndRegistryIsComplete) {
+  EXPECT_TRUE(parse_args({"--list-policies"}).list_policies);
+  EXPECT_FALSE(parse_args({}).list_policies);
+  const auto& policies = comet::sched::known_policies();
+  ASSERT_EQ(policies.size(), 3u);
+  for (const auto& info : policies) {
+    // The printed token must round-trip through the scheduler's own
+    // name mapping — the same token --schedule accepts.
+    EXPECT_EQ(comet::sched::policy_name(info.policy), info.name);
+    EXPECT_NE(std::string(info.summary), "");
+    EXPECT_NE(std::string(info.knobs), "");
+  }
+}
+
+TEST(SweepTest, TelemetrySpecRidesIntoEveryJob) {
+  const Options opt = parse_args(
+      {"--device", "comet", "--workload", "all", "--requests", "200",
+       "--trace-out", "t.json", "--metrics-interval", "1000000"});
+  const auto jobs = build_matrix(opt);
+  ASSERT_FALSE(jobs.empty());
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.telemetry.trace_path, "t.json");
+    EXPECT_EQ(job.telemetry.metrics_interval_ps, 1'000'000'000u);
+    EXPECT_TRUE(job.telemetry.enabled());
+  }
+}
+
+TEST(SweepTest, RunSweepBuildsOneCollectorPerEnabledJob) {
+  Options opt = parse_args({"--device", "comet", "--workload", "gcc_like",
+                            "--requests", "300", "--metrics-interval",
+                            "1000000"});
+  const auto jobs = build_matrix(opt);
+  std::vector<std::unique_ptr<comet::telemetry::Collector>> collectors;
+  const auto results = run_sweep(jobs, 1, &collectors);
+  ASSERT_EQ(collectors.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_NE(collectors[i], nullptr);
+    const auto timeline = collectors[i]->timeline();
+    ASSERT_FALSE(timeline.empty());
+    std::uint64_t total = 0;
+    for (const auto& point : timeline) total += point.reads + point.writes;
+    EXPECT_EQ(total, results[i].reads + results[i].writes);
+  }
+
+  // Disabled telemetry: the slots stay null and nothing is recorded.
+  Options plain = parse_args({"--device", "comet", "--workload", "gcc_like",
+                              "--requests", "300"});
+  const auto plain_jobs = build_matrix(plain);
+  run_sweep(plain_jobs, 1, &collectors);
+  ASSERT_EQ(collectors.size(), plain_jobs.size());
+  for (const auto& collector : collectors) EXPECT_EQ(collector, nullptr);
+}
+
+TEST(ReportTest, JsonCarriesTelemetryProvenanceAndTimeline) {
+  Options opt = parse_args({"--device", "comet", "--workload", "gcc_like",
+                            "--requests", "300", "--trace-out", "t.json",
+                            "--metrics-interval", "1000000"});
+  const auto jobs = build_matrix(opt);
+  std::vector<std::unique_ptr<comet::telemetry::Collector>> collectors;
+  const auto results = run_sweep(jobs, 1, &collectors);
+  std::ostringstream os;
+  comet::driver::write_json(os, jobs, results, &collectors);
+  const std::string json = os.str();
+  for (const char* field :
+       {"\"trace_out\": \"t.json\"", "\"metrics_interval_ns\": 1000000",
+        "\"metrics_csv\": null", "\"telemetry\": {", "\"timeline\": [",
+        "\"bank_requests\"", "\"channel_requests\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+
+  // Untraced: every telemetry field is the literal null, so a jq del()
+  // of the telemetry keys diffs traced vs untraced reports cleanly.
+  Options off = parse_args({"--device", "comet", "--workload", "gcc_like",
+                            "--requests", "300"});
+  const auto plain_jobs = build_matrix(off);
+  std::ostringstream plain;
+  comet::driver::write_json(plain, plain_jobs, results);
+  for (const char* field :
+       {"\"trace_out\": null", "\"trace_limit\": null",
+        "\"metrics_interval_ns\": null", "\"telemetry\": null",
+        "\"timeline\": null"}) {
+    EXPECT_NE(plain.str().find(field), std::string::npos) << field;
   }
 }
 
