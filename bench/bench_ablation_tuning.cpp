@@ -19,7 +19,8 @@ int main() {
 
   const comet::photonics::Microring eo(
       comet::photonics::Microring::comet_access_design(1550.0), losses);
-  auto thermal_design = comet::photonics::Microring::comet_access_design(1550.0);
+  auto thermal_design =
+      comet::photonics::Microring::comet_access_design(1550.0);
   thermal_design.mechanism = comet::photonics::TuningMechanism::kThermal;
   const comet::photonics::Microring thermal(thermal_design, losses);
 
@@ -54,10 +55,10 @@ int main() {
     const comet::memsim::MemorySystem system(device);
     const auto stats = system.run(trace, profile.name);
     arch.add_row({use_thermal ? "thermo-optic tuning" : "electro-optic tuning",
-                  Table::num(comet::util::ps_to_ns(
-                                 device.timing.read_occupancy_ps) +
-                                 comet::util::ps_to_ns(device.timing.interface_ps),
-                             1),
+                  Table::num(
+                      comet::util::ps_to_ns(device.timing.read_occupancy_ps) +
+                          comet::util::ps_to_ns(device.timing.interface_ps),
+                      1),
                   Table::num(stats.bandwidth_gbps(), 2)});
   }
   arch.print(std::cout);

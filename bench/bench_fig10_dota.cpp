@@ -76,10 +76,14 @@ int main() {
 
   std::cout << "\n=== Paper ratios ===\n"
             << "COMET vs 3D_DDR4+DOTA: "
-            << Table::num(ddr4_epb[0] / comet_epb[0], 2) << "x (DeiT-T, paper 1.3x), "
-            << Table::num(ddr4_epb[1] / comet_epb[1], 2) << "x (DeiT-B, paper 2.06x)\n"
+            << Table::num(ddr4_epb[0] / comet_epb[0], 2)
+            << "x (DeiT-T, paper 1.3x), "
+            << Table::num(ddr4_epb[1] / comet_epb[1], 2)
+            << "x (DeiT-B, paper 2.06x)\n"
             << "COMET vs COSMOS+DOTA:  "
-            << Table::num(cosmos_epb[0] / comet_epb[0], 2) << "x (DeiT-T, paper 2.7x), "
-            << Table::num(cosmos_epb[1] / comet_epb[1], 2) << "x (DeiT-B, paper 1.45x)\n";
+            << Table::num(cosmos_epb[0] / comet_epb[0], 2)
+            << "x (DeiT-T, paper 2.7x), "
+            << Table::num(cosmos_epb[1] / comet_epb[1], 2)
+            << "x (DeiT-B, paper 1.45x)\n";
   return 0;
 }

@@ -47,7 +47,8 @@ int main() {
     for (int c = 0; c < kCols; ++c) {
       // Smooth gradient + texture: plausible image statistics. Deposited
       // as the ideal initial state (Fig. 2 left, "original image").
-      const int value = ((r + c) / 8 + static_cast<int>(rng.next_below(3))) % 16;
+      const int value =
+          ((r + c) / 8 + static_cast<int>(rng.next_below(3))) % 16;
       crossbar.set_state(r, c, value);
     }
   }

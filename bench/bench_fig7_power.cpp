@@ -15,17 +15,32 @@ int main() {
 
   Table table_i({"Table I parameter", "value"});
   table_i.add_row({"coupling loss", "1 dB"});
-  table_i.add_row({"MR drop loss", Table::num(losses.mr_drop_loss_db, 2) + " dB"});
-  table_i.add_row({"MR through loss", Table::num(losses.mr_through_loss_db, 2) + " dB"});
-  table_i.add_row({"EO MR drop loss", Table::num(losses.eo_mr_drop_loss_db, 2) + " dB"});
-  table_i.add_row({"EO MR through loss", Table::num(losses.eo_mr_through_loss_db, 2) + " dB"});
-  table_i.add_row({"propagation loss", Table::num(losses.propagation_loss_db_per_cm, 2) + " dB/cm"});
-  table_i.add_row({"bending loss", Table::num(losses.bending_loss_db_per_90deg, 2) + " dB/90deg"});
+  table_i.add_row(
+      {"MR drop loss", Table::num(losses.mr_drop_loss_db, 2) + " dB"});
+  table_i.add_row(
+      {"MR through loss", Table::num(losses.mr_through_loss_db, 2) + " dB"});
+  table_i.add_row(
+      {"EO MR drop loss", Table::num(losses.eo_mr_drop_loss_db, 2) + " dB"});
+  table_i.add_row({"EO MR through loss",
+                   Table::num(losses.eo_mr_through_loss_db, 2) + " dB"});
+  table_i.add_row(
+      {"propagation loss",
+       Table::num(losses.propagation_loss_db_per_cm, 2) + " dB/cm"});
+  table_i.add_row(
+      {"bending loss",
+       Table::num(losses.bending_loss_db_per_90deg, 2) + " dB/90deg"});
   table_i.add_row({"SOA gain", Table::num(losses.soa_gain_db, 1) + " dB"});
-  table_i.add_row({"laser wall-plug efficiency", Table::num(losses.laser_wall_plug_efficiency * 100, 0) + " %"});
-  table_i.add_row({"EO tuning power", Table::num(losses.eo_tuning_power_uw_per_nm, 1) + " uW/nm"});
-  table_i.add_row({"max power at GST cell", Table::num(losses.max_power_at_cell_mw, 1) + " mW"});
-  table_i.add_row({"intra-subarray SOA power", Table::num(losses.intra_subarray_soa_power_mw, 1) + " mW"});
+  table_i.add_row(
+      {"laser wall-plug efficiency",
+       Table::num(losses.laser_wall_plug_efficiency * 100, 0) + " %"});
+  table_i.add_row(
+      {"EO tuning power",
+       Table::num(losses.eo_tuning_power_uw_per_nm, 1) + " uW/nm"});
+  table_i.add_row({"max power at GST cell",
+                   Table::num(losses.max_power_at_cell_mw, 1) + " mW"});
+  table_i.add_row(
+      {"intra-subarray SOA power",
+       Table::num(losses.intra_subarray_soa_power_mw, 1) + " mW"});
   std::cout << "=== Table I: loss & power parameters ===\n";
   table_i.print(std::cout);
 

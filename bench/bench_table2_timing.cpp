@@ -30,22 +30,28 @@ void print_table2() {
   t.add_row({"banks", "4", "4", "16", "8 (Table II) / 16 (Sec IV.B)"});
   t.add_row({"bus width (bits)", "256", "256", "128", "128"});
   t.add_row({"burst length", "4", "4", "8", "8"});
-  t.add_row({"read occupancy (ns)",
-             Table::num(comet::util::ps_to_ns(comet_d.timing.read_occupancy_ps), 0),
-             "10 (+2 MR tuning)",
-             Table::num(comet::util::ps_to_ns(cosmos_d.timing.read_occupancy_ps), 0),
-             "25 (+ subtractive passes)"});
-  t.add_row({"write occupancy (ns)",
-             Table::num(comet::util::ps_to_ns(comet_d.timing.write_occupancy_ps), 0),
-             "170 (+2 MR tuning)",
-             Table::num(comet::util::ps_to_ns(cosmos_d.timing.write_occupancy_ps), 0),
-             "1600"});
+  t.add_row(
+      {"read occupancy (ns)",
+       Table::num(comet::util::ps_to_ns(comet_d.timing.read_occupancy_ps), 0),
+       "10 (+2 MR tuning)",
+       Table::num(comet::util::ps_to_ns(cosmos_d.timing.read_occupancy_ps), 0),
+       "25 (+ subtractive passes)"});
+  t.add_row(
+      {"write occupancy (ns)",
+       Table::num(comet::util::ps_to_ns(comet_d.timing.write_occupancy_ps), 0),
+       "170 (+2 MR tuning)",
+       Table::num(comet::util::ps_to_ns(cosmos_d.timing.write_occupancy_ps), 0),
+       "1600"});
   t.add_row({"interface delay (ns)",
-             Table::num(comet::util::ps_to_ns(comet_d.timing.interface_ps), 0), "105",
-             Table::num(comet::util::ps_to_ns(cosmos_d.timing.interface_ps), 0), "105"});
+             Table::num(comet::util::ps_to_ns(comet_d.timing.interface_ps), 0),
+             "105",
+             Table::num(comet::util::ps_to_ns(cosmos_d.timing.interface_ps), 0),
+             "105"});
   t.add_row({"data burst (ns)",
-             Table::num(comet::util::ps_to_ns(comet_d.timing.burst_ps), 0), "4 x 1",
-             Table::num(comet::util::ps_to_ns(cosmos_d.timing.burst_ps), 0), "8 x 1"});
+             Table::num(comet::util::ps_to_ns(comet_d.timing.burst_ps), 0),
+             "4 x 1",
+             Table::num(comet::util::ps_to_ns(cosmos_d.timing.burst_ps), 0),
+             "8 x 1"});
   std::cout << "=== Table II: architectural timing ===\n";
   t.print(std::cout);
   std::cout << '\n';

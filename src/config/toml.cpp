@@ -118,10 +118,14 @@ class ValueParser {
     for (;;) {
       value.array.push_back(parse_one());
       skip_spaces();
-      if (pos_ >= text_.size()) fail("unterminated array (arrays are single-line)");
+      if (pos_ >= text_.size()) {
+        fail("unterminated array (arrays are single-line)");
+      }
       const char c = text_[pos_++];
       if (c == ']') return value;
-      if (c != ',') fail(std::string("expected ',' or ']' in array, got '") + c + "'");
+      if (c != ',') {
+        fail(std::string("expected ',' or ']' in array, got '") + c + "'");
+      }
       skip_spaces();
       if (pos_ < text_.size() && text_[pos_] == ']') {  // Trailing comma.
         ++pos_;
@@ -206,7 +210,8 @@ std::vector<std::string> split_header_path(const std::string& path,
   if (!path.empty() && path.back() == '.') parts.push_back("");
   for (const auto& p : parts) {
     if (p.empty()) {
-      throw ParseError(source, line, "empty component in section name [" + path + "]");
+      throw ParseError(source, line,
+                       "empty component in section name [" + path + "]");
     }
     for (const char c : p) {
       if (!is_bare_key_char(c)) {

@@ -101,9 +101,17 @@ memsim::DeviceModel make_dram(const DramConfig& config,
   return from_config(config, name);
 }
 
-memsim::DeviceModel ddr3_2d() { return from_config(ddr3_2d_config(), "2D_DDR3"); }
-memsim::DeviceModel ddr3_3d() { return from_config(ddr3_3d_config(), "3D_DDR3"); }
-memsim::DeviceModel ddr4_2d() { return from_config(ddr4_2d_config(), "2D_DDR4"); }
-memsim::DeviceModel ddr4_3d() { return from_config(ddr4_3d_config(), "3D_DDR4"); }
+memsim::DeviceModel ddr3_2d() {
+  return from_config(ddr3_2d_config(), "2D_DDR3");
+}
+memsim::DeviceModel ddr3_3d() {
+  return from_config(ddr3_3d_config(), "3D_DDR3");
+}
+memsim::DeviceModel ddr4_2d() {
+  return from_config(ddr4_2d_config(), "2D_DDR4");
+}
+memsim::DeviceModel ddr4_3d() {
+  return from_config(ddr4_3d_config(), "3D_DDR4");
+}
 
 }  // namespace comet::dram

@@ -30,8 +30,8 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& value,
     }
     parsed = std::stoull(value);
   } catch (const std::exception&) {
-    throw std::invalid_argument(flag + " expects a non-negative integer, got '" +
-                                value + "'");
+    throw std::invalid_argument(
+        flag + " expects a non-negative integer, got '" + value + "'");
   }
   if (parsed > max) {
     throw std::invalid_argument(flag + " value " + value +
@@ -299,10 +299,10 @@ Options parse_args(const std::vector<std::string>& args) {
         "request stream, not a matrix)");
   }
   if (opt.device != "all") {
-    (void)resolve_device_specs(opt.device,
-                               HybridOverrides{.cache_mb = opt.cache_mb,
-                                               .cache_ways = opt.cache_ways,
-                                               .cache_policy = opt.cache_policy});
+    (void)resolve_device_specs(
+        opt.device, HybridOverrides{.cache_mb = opt.cache_mb,
+                                    .cache_ways = opt.cache_ways,
+                                    .cache_policy = opt.cache_policy});
   }
   if (opt.workload != "all") (void)memsim::profile_by_name(opt.workload);
   // Inconsistent scheduler flags (depths/watermarks without --schedule,

@@ -178,7 +178,8 @@ void write_telemetry_json(std::ostream& os,
      << ", \"stages\": [";
   bool first_stage = true;
   for (const auto& stage : collector.stages()) {
-    os << (first_stage ? "" : ", ") << "{\"stage\": " << json_str(stage->stage())
+    os << (first_stage ? "" : ", ")
+       << "{\"stage\": " << json_str(stage->stage())
        << ", \"channels\": " << stage->channels()
        << ", \"banks\": " << stage->banks()
        << ", \"recorded_events\": " << stage->recorded_events()
@@ -228,7 +229,8 @@ void write_json(
        << ", \"reads\": " << stats.reads
        << ", \"writes\": " << stats.writes
        << ", \"span_ps\": " << stats.span_ps
-       << ", \"avg_read_latency_ns\": " << json_num(stats.read_latency_ns.mean())
+       << ", \"avg_read_latency_ns\": "
+       << json_num(stats.read_latency_ns.mean())
        << ", \"avg_write_latency_ns\": "
        << json_num(stats.write_latency_ns.mean())
        << ", \"p50_read_latency_ns\": " << json_num(stats.read_latency_ns.p50())

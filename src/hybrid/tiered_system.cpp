@@ -78,7 +78,8 @@ TieredSystem::TieredSystem(TieredConfig config)
     : TieredSystem(std::move(config), std::nullopt) {}
 
 TieredSystem::TieredSystem(
-    TieredConfig config, std::optional<sched::ControllerConfig> backend_controller,
+    TieredConfig config,
+    std::optional<sched::ControllerConfig> backend_controller,
     int run_threads)
     : config_(std::move(config)),
       backend_controller_(std::move(backend_controller)),
@@ -111,9 +112,10 @@ class TierStage {
               threads) {}
 
   void feed_dram(const memsim::Request& request) {
-    pool_.feed(static_cast<std::size_t>(
-                   memsim::place_request(dram_.model().timing, request).channel),
-               request);
+    pool_.feed(
+        static_cast<std::size_t>(
+            memsim::place_request(dram_.model().timing, request).channel),
+        request);
   }
 
   void feed_backend(const memsim::Request& request) {

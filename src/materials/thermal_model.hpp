@@ -35,7 +35,9 @@ struct ThermalRC {
   double thermal_resistance_k_per_w;
   double ambient_k;
 
-  double tau_s() const { return heat_capacity_j_per_k * thermal_resistance_k_per_w; }
+  double tau_s() const {
+    return heat_capacity_j_per_k * thermal_resistance_k_per_w;
+  }
 
   /// Steady-state temperature under constant power [W].
   double steady_state_k(double power_w) const {

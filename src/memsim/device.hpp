@@ -15,7 +15,8 @@
 namespace comet::memsim {
 
 struct DeviceTiming {
-  int channels = 1;              ///< Independent channels (address-interleaved).
+  /// Independent channels (address-interleaved).
+  int channels = 1;
   int banks_per_channel = 8;     ///< Concurrent banks within a channel.
   std::uint32_t line_bytes = 64; ///< Data returned per line access.
 
@@ -32,7 +33,8 @@ struct DeviceTiming {
   std::uint64_t read_occupancy_ps = 0;   ///< Bank busy time per read access.
   std::uint64_t write_occupancy_ps = 0;  ///< Bank busy time per write access.
   std::uint64_t burst_ps = 0;            ///< Channel bus busy per access.
-  std::uint64_t interface_ps = 0;        ///< Fixed pipeline latency (no occupancy).
+  /// Fixed pipeline latency (no occupancy).
+  std::uint64_t interface_ps = 0;
 
   /// Extra bank occupancy *after* the data beat, not on the latency path:
   /// COSMOS's destructive subtractive read must restore the erased row

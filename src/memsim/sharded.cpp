@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "telemetry/telemetry.hpp"
+#include "util/ring.hpp"
 
 namespace comet::memsim {
 
@@ -42,7 +42,7 @@ struct LanePool::Impl {
     std::mutex mutex;
     std::condition_variable can_push;  ///< Producer waits: queue full.
     std::condition_variable can_pull;  ///< Worker waits: queue empty.
-    std::deque<std::unique_ptr<Block>> queue;
+    util::RingQueue<std::unique_ptr<Block>> queue{kMaxQueuedBlocksPerWorker};
     bool done = false;
     bool failed = false;
     std::exception_ptr error;

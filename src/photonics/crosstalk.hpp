@@ -15,8 +15,10 @@ namespace comet::photonics {
 class CrosstalkModel {
  public:
   struct Params {
-    double coupling_db;              ///< Row-to-adjacent-row coupling (negative dB).
-    double fraction_shift_per_pj;    ///< Crystalline-fraction drift per coupled pJ.
+    /// Row-to-adjacent-row coupling (negative dB).
+    double coupling_db;
+    /// Crystalline-fraction drift per coupled pJ.
+    double fraction_shift_per_pj;
   };
 
   /// Calibrated to the paper: -17.75 dB coupling so a 750 pJ write leaks

@@ -12,7 +12,8 @@ struct LossParameters {
   double coupling_loss_db;          ///< Fiber-to-chip coupler [33].
   double mr_drop_loss_db;           ///< Passive MR drop [34].
   double mr_through_loss_db;        ///< Passive MR through [35].
-  double eo_mr_drop_loss_db;        ///< EO-tuned (carrier-injected) MR drop [36].
+  /// EO-tuned (carrier-injected) MR drop [36].
+  double eo_mr_drop_loss_db;
   double eo_mr_through_loss_db;     ///< EO-tuned MR through [36].
   double propagation_loss_db_per_cm;///< Strip waveguide [37].
   double bending_loss_db_per_90deg; ///< [38].

@@ -187,8 +187,8 @@ std::vector<TimelinePoint> Collector::timeline() const {
     point.writes = accum.writes;
     point.bytes = accum.bytes;
     // bytes / interval: B/ps scaled to GB/s (1 B/ps = 1000 GB/s).
-    point.bandwidth_gbps =
-        static_cast<double>(accum.bytes) * 1000.0 / static_cast<double>(interval);
+    point.bandwidth_gbps = static_cast<double>(accum.bytes) * 1000.0 /
+                           static_cast<double>(interval);
     point.avg_latency_ns = accum.latency_ns.mean();
     point.p50_latency_ns = accum.latency_ns.p50();
     point.p95_latency_ns = accum.latency_ns.p95();

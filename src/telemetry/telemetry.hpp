@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
-#include "memsim/request.hpp"
+// Leaf POD vocabulary header (Op, Request): includes nothing, links
+// nothing, so the link DAG stays telemetry <- memsim.
+#include "memsim/request.hpp"  // comet-lint: allow(layering)
 #include "util/stats.hpp"
 
 /// Run-scoped observability: per-request lifecycle events for Chrome

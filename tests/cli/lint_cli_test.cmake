@@ -1,0 +1,68 @@
+# ctest driver for scripts/lint_comet.py. Invoked as:
+#
+#   cmake -DPYTHON=<python3> -DREPO_ROOT=<checkout root>
+#         -P lint_cli_test.cmake
+#
+# Covers: (1) the planted-violation fixture tree reproduces
+# tests/lint_fixture/expected.txt verbatim — every rule fires exactly
+# once, at the pinned file:line, and the waived violation stays silent;
+# (2) the real tree is clean (exit 0, no output); (3) --rules narrows
+# the run to the selected rule; (4) an unknown rule is a usage error.
+
+if(NOT DEFINED PYTHON OR NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "pass -DPYTHON=... and -DREPO_ROOT=...")
+endif()
+set(LINTER ${REPO_ROOT}/scripts/lint_comet.py)
+
+function(expect_rc label rc expected)
+  if(NOT rc EQUAL expected)
+    message(FATAL_ERROR "${label}: expected exit ${expected}, got ${rc}")
+  endif()
+endfunction()
+
+# --- 1. Fixture tree: exit 1 and byte-identical findings.
+execute_process(
+  COMMAND ${PYTHON} ${LINTER} --root tests/lint_fixture
+  WORKING_DIRECTORY ${REPO_ROOT}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+expect_rc("fixture tree" "${rc}" 1)
+file(READ ${REPO_ROOT}/tests/lint_fixture/expected.txt expected)
+if(NOT out STREQUAL expected)
+  message(FATAL_ERROR "fixture findings drifted from expected.txt:\n"
+          "--- expected ---\n${expected}\n--- got ---\n${out}")
+endif()
+
+# --- 2. The real tree is clean.
+execute_process(
+  COMMAND ${PYTHON} ${LINTER}
+  WORKING_DIRECTORY ${REPO_ROOT}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+expect_rc("real tree" "${rc}" 0)
+if(NOT out STREQUAL "")
+  message(FATAL_ERROR "real tree: expected no findings, got:\n${out}")
+endif()
+
+# --- 3. --rules selects a subset: only the no-deque finding remains.
+execute_process(
+  COMMAND ${PYTHON} ${LINTER} --root tests/lint_fixture --rules no-deque
+  WORKING_DIRECTORY ${REPO_ROOT}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+expect_rc("rule subset" "${rc}" 1)
+string(REGEX MATCHALL "\\[[a-z-]+\\]" tags "${out}")
+if(NOT tags STREQUAL "[no-deque]")
+  message(FATAL_ERROR "rule subset: expected exactly one [no-deque] "
+          "finding, got tags '${tags}' in:\n${out}")
+endif()
+
+# --- 4. Unknown rule: usage error (exit 2), named in the diagnostic.
+execute_process(
+  COMMAND ${PYTHON} ${LINTER} --rules no-such-rule
+  WORKING_DIRECTORY ${REPO_ROOT}
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+expect_rc("unknown rule" "${rc}" 2)
+string(FIND "${err}" "no-such-rule" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "unknown rule: diagnostic must name it:\n${err}")
+endif()
+
+message(STATUS "lint_comet CLI tests passed")

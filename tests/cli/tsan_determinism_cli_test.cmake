@@ -1,0 +1,70 @@
+# Sharded-vs-serial bit-identity through the real binary, run under
+# ctest in every build flavor — including COMET_SANITIZE=thread, where
+# it is the TSan regression gate the tsan CI lane relies on: a memory-
+# ordering "fix" that silences the sanitizer by perturbing the merge
+# order breaks this test instead of shipping. Invoked as:
+#
+#   cmake -DCOMET_SIM=<path> -DWORK_DIR=<scratch> -DJQ=<jq>
+#         -P tsan_determinism_cli_test.cmake
+#
+# One traced, scheduled run is replayed at --run-threads 1 and
+# --run-threads 8 on a flat and a hybrid device; the stats JSON must
+# match bit-for-bit modulo the run_threads provenance field, and the
+# telemetry trace JSON must match byte-for-byte.
+
+if(NOT DEFINED COMET_SIM OR NOT DEFINED WORK_DIR OR NOT DEFINED JQ)
+  message(FATAL_ERROR "pass -DCOMET_SIM=..., -DWORK_DIR=... and -DJQ=...")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(expect_rc label rc expected)
+  if(NOT rc EQUAL expected)
+    message(FATAL_ERROR "${label}: expected exit ${expected}, got ${rc}")
+  endif()
+endfunction()
+
+execute_process(
+  COMMAND ${COMET_SIM} --dump-trace ${WORK_DIR}/det.nvt
+          --workload gcc_like --requests 6000
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+expect_rc("dump trace" "${rc}" 0)
+
+foreach(device comet hybrid-comet)
+  foreach(threads 1 8)
+    execute_process(
+      COMMAND ${COMET_SIM} --device ${device}
+              --trace-file ${WORK_DIR}/det.nvt
+              --schedule frfcfs --read-q 16 --write-q 16
+              --run-threads ${threads}
+              --trace-out ${WORK_DIR}/${device}_t${threads}_trace.json
+              --metrics-interval 1000
+              --json ${WORK_DIR}/${device}_t${threads}.json
+      RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+    expect_rc("${device} run-threads ${threads}" "${rc}" 0)
+    execute_process(
+      COMMAND ${JQ} -S
+              "del(.results[].run_threads, .results[].trace_out)"
+              ${WORK_DIR}/${device}_t${threads}.json
+      RESULT_VARIABLE rc
+      OUTPUT_FILE ${WORK_DIR}/${device}_t${threads}_norm.json
+      ERROR_VARIABLE err)
+    expect_rc("${device} t${threads} jq normalize" "${rc}" 0)
+  endforeach()
+
+  file(READ ${WORK_DIR}/${device}_t1_norm.json serial_stats)
+  file(READ ${WORK_DIR}/${device}_t8_norm.json sharded_stats)
+  if(NOT serial_stats STREQUAL sharded_stats)
+    message(FATAL_ERROR "${device}: sharded (8-thread) stats differ from "
+            "serial — determinism regression (diff "
+            "${WORK_DIR}/${device}_t1_norm.json against _t8_norm.json)")
+  endif()
+
+  file(READ ${WORK_DIR}/${device}_t1_trace.json serial_trace)
+  file(READ ${WORK_DIR}/${device}_t8_trace.json sharded_trace)
+  if(NOT serial_trace STREQUAL sharded_trace)
+    message(FATAL_ERROR "${device}: sharded telemetry trace is not "
+            "byte-identical to serial — lane recording regression")
+  endif()
+endforeach()
+
+message(STATUS "sharded-vs-serial determinism tests passed")

@@ -1,0 +1,11 @@
+// Fixture: nondeterministic entropy source inside an engine layer.
+#include <random>
+
+namespace comet::memsim {
+
+unsigned fresh_seed() {
+  std::random_device entropy;
+  return entropy();
+}
+
+}  // namespace comet::memsim

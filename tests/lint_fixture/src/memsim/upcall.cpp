@@ -1,0 +1,8 @@
+// Fixture: an engine layer reaching up into driver/ (layering break).
+#include "driver/options.hpp"
+
+namespace comet::memsim {
+
+void upcall() {}
+
+}  // namespace comet::memsim

@@ -1,0 +1,10 @@
+// Fixture: a .cpp whose first include is not its own header.
+#include "util/ring.hpp"
+
+#include "memsim/widget.hpp"
+
+namespace comet::memsim {
+
+int widget_id(const Widget& w) { return w.id; }
+
+}  // namespace comet::memsim

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace comet::memsim {
+
+struct Widget {
+  int id = 0;
+};
+
+}  // namespace comet::memsim

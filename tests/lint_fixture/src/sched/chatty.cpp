@@ -1,0 +1,10 @@
+// Fixture: console output from a library layer.
+#include <iostream>
+
+namespace comet::sched {
+
+void report_progress(int done) {
+  std::cout << "progress: " << done << "\n";
+}
+
+}  // namespace comet::sched

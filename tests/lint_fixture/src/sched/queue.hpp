@@ -1,0 +1,11 @@
+#pragma once
+
+// Fixture: std::deque in a hot-path layer (PR 6 ban).
+#include <deque>
+
+namespace comet::sched {
+
+using FixtureQueue = std::deque<int>;  // comet-lint: allow(no-deque) the
+// include above carries the planted finding; one per rule.
+
+}  // namespace comet::sched

@@ -1,0 +1,8 @@
+// Fixture: header without #pragma once.
+namespace comet::util {
+
+struct Guardless {
+  int value = 0;
+};
+
+}  // namespace comet::util

@@ -1,0 +1,11 @@
+// Fixture: thread primitive outside the two sanctioned pools.
+#include <thread>
+
+namespace comet::util {
+
+void spawn_helper() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace comet::util

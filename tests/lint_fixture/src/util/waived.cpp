@@ -1,0 +1,8 @@
+// Fixture: a justified waiver — this violation must NOT be reported.
+#include <deque>  // comet-lint: allow(no-deque) fixture: cold path, waiver demo
+
+namespace comet::util {
+
+using WaivedQueue = std::deque<int>;  // comet-lint: allow(no-deque) same demo
+
+}  // namespace comet::util

@@ -34,8 +34,9 @@ TEST(CometConfig, PaperGeometry4b) {
 TEST(CometConfig, BitDensitySweepKeepsLineCapacity) {
   // Section IV.A: M_c halves as b doubles, so a row always stores one
   // 128-byte line and the chip capacity stays constant.
-  for (const auto& c : {cc::CometConfig::comet_1b(), cc::CometConfig::comet_2b(),
-                        cc::CometConfig::comet_4b()}) {
+  for (const auto& c :
+       {cc::CometConfig::comet_1b(), cc::CometConfig::comet_2b(),
+        cc::CometConfig::comet_4b()}) {
     EXPECT_EQ(std::uint64_t(c.cols_per_subarray) * c.bits_per_cell, 1024u);
     EXPECT_EQ(c.bits_per_chip(), cc::CometConfig::comet_4b().bits_per_chip());
   }
@@ -184,12 +185,12 @@ TEST(PowerModel, Comet4bStack) {
 
 TEST(PowerModel, PowerDropsWithBitDensity) {
   const cp::LossParameters losses = cp::LossParameters::paper();
-  const double p1 =
-      cc::CometPowerModel(cc::CometConfig::comet_1b(), losses).breakdown().total_w();
-  const double p2 =
-      cc::CometPowerModel(cc::CometConfig::comet_2b(), losses).breakdown().total_w();
-  const double p4 =
-      cc::CometPowerModel(cc::CometConfig::comet_4b(), losses).breakdown().total_w();
+  auto total_w = [&](const cc::CometConfig& cfg) {
+    return cc::CometPowerModel(cfg, losses).breakdown().total_w();
+  };
+  const double p1 = total_w(cc::CometConfig::comet_1b());
+  const double p2 = total_w(cc::CometConfig::comet_2b());
+  const double p4 = total_w(cc::CometConfig::comet_4b());
   EXPECT_GT(p1, 1.8 * p2);
   EXPECT_GT(p2, 1.8 * p4);
 }

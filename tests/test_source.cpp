@@ -343,10 +343,12 @@ void expect_batches_match_next(ms::RequestSource& reference,
   ASSERT_EQ(got.size(), expected.size()) << context;
   for (std::size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(got[i].id, expected[i].id) << context << " #" << i;
-    EXPECT_EQ(got[i].arrival_ps, expected[i].arrival_ps) << context << " #" << i;
+    EXPECT_EQ(got[i].arrival_ps, expected[i].arrival_ps)
+        << context << " #" << i;
     EXPECT_EQ(got[i].op, expected[i].op) << context << " #" << i;
     EXPECT_EQ(got[i].address, expected[i].address) << context << " #" << i;
-    EXPECT_EQ(got[i].size_bytes, expected[i].size_bytes) << context << " #" << i;
+    EXPECT_EQ(got[i].size_bytes, expected[i].size_bytes)
+        << context << " #" << i;
   }
 }
 

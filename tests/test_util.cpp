@@ -160,7 +160,7 @@ TEST(LinearTable, Inverse) {
 
 TEST(Rk4, ExponentialDecay) {
   // dy/dt = -y, y(0)=1 -> y(1) = 1/e.
-  const double y = cu::rk4([](double, double y) { return -y; }, 1.0, 0.0,
+  const double y = cu::rk4([](double, double v) { return -v; }, 1.0, 0.0,
                            0.01, 100);
   EXPECT_NEAR(y, std::exp(-1.0), 1e-8);
 }
