@@ -69,9 +69,10 @@ LAYER_DEPS = {
     "sched": ["memsim"],
     "hybrid": ["memsim", "sched"],
     "config": ["memsim", "sched", "hybrid"],
+    "tenant": ["memsim", "sched", "config"],
     "accel": ["memsim"],
     "driver": ["core", "cosmos", "dram", "sched", "hybrid", "config",
-               "accel"],
+               "tenant", "accel"],
 }
 
 # Files allowed to spawn threads: the two sanctioned pools.

@@ -23,7 +23,21 @@ void ExperimentSpec::validate() const {
                                   "' contains an empty device spec");
     }
   }
-  if (trace_file.empty()) {
+  if (!tenants.empty()) {
+    validate_tenants(tenants);
+    if (!trace_file.empty()) {
+      throw std::invalid_argument(
+          "experiment '" + name +
+          "' sets trace_file and [tenant] streams; a trace tenant's file "
+          "belongs on its own spec");
+    }
+    if (!workload_names.empty() || !workloads.empty()) {
+      throw std::invalid_argument(
+          "experiment '" + name +
+          "' sets workloads and [tenant] streams; the tenant specs define "
+          "the demand of a multi-tenant run");
+    }
+  } else if (trace_file.empty()) {
     if (workload_names.empty() && workloads.empty()) {
       throw std::invalid_argument("experiment '" + name +
                                   "' defines no workloads and no trace_file");
@@ -144,6 +158,16 @@ ExperimentBuilder& ExperimentBuilder::telemetry(
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::tenant(TenantSpec spec) {
+  spec_.tenants.push_back(std::move(spec));
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::tenant_mapping(TenantMapping mapping) {
+  spec_.tenant_mapping = mapping;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::line_bytes(std::uint32_t value) {
   spec_.line_bytes = value;
   return *this;
@@ -197,6 +221,11 @@ ExperimentSpec parse_experiment(const toml::Document& doc,
 
   if (const toml::Table* telemetry = root.child("telemetry")) {
     parse_telemetry_section(*telemetry, doc.source, spec.telemetry);
+  }
+
+  if (const toml::Table* tenant = root.child("tenant")) {
+    parse_tenant_section(*tenant, doc.source, spec.tenants,
+                         spec.tenant_mapping);
   }
 
   if (const auto* devices = root.array_of_tables("device")) {
@@ -285,7 +314,9 @@ void write_experiment(std::ostream& os, const ExperimentSpec& spec) {
          << "drain_high_watermark = " << spec.controller.drain_high_watermark
          << "\n"
          << "drain_low_watermark = " << spec.controller.drain_low_watermark
-         << "\n";
+         << "\n"
+         << "tenant_tokens = " << spec.controller.tenant_tokens << "\n"
+         << "starvation_cap = " << spec.controller.starvation_cap << "\n";
     }
     if (sharded) {
       write_axis(os, "run_threads", spec.run_threads,
@@ -305,6 +336,34 @@ void write_experiment(std::ostream& os, const ExperimentSpec& spec) {
       if (!spec.telemetry.metrics_csv.empty()) {
         os << "metrics_csv = "
            << toml::format_string(spec.telemetry.metrics_csv) << "\n";
+      }
+    }
+  }
+  if (!spec.tenants.empty()) {
+    os << "\n[tenant]\n"
+       << "mapping = "
+       << toml::format_string(tenant_mapping_name(spec.tenant_mapping))
+       << "\n";
+    // parse_tenant_section returns streams in name order; specs built
+    // by parse already round-trip, programmatic ones re-load sorted.
+    for (const auto& tenant : spec.tenants) {
+      os << "\n[tenant." << tenant.name << "]\n";
+      if (!tenant.trace_file.empty()) {
+        os << "trace_file = " << toml::format_string(tenant.trace_file)
+           << "\n";
+      } else {
+        os << "workload = " << toml::format_string(tenant.profile.name)
+           << "\n";
+      }
+      if (tenant.interarrival_ns > 0.0) {
+        os << "interarrival_ns = " << toml::format_float(tenant.interarrival_ns)
+           << "\n";
+      }
+      if (tenant.burstiness > 0.0) {
+        os << "burstiness = " << toml::format_float(tenant.burstiness) << "\n";
+      }
+      if (tenant.requests != 0) {
+        os << "requests = " << tenant.requests << "\n";
       }
     }
   }

@@ -51,6 +51,15 @@
 ///     metrics_interval_ns = 1000000         # epoch metrics time-series
 ///     metrics_csv = "timeline.csv"          # also dump the timeline
 ///
+///     [tenant]                              # multi-tenant run (optional)
+///     mapping = "partition"                 # or "interleave"
+///     [tenant.web]                          # one section per stream
+///     workload = "gcc_like"                 # built-in profile name
+///     interarrival_ns = 50.0                # rate override (0 = profile's)
+///     burstiness = 0.5                      # open-loop burst knob [0, 1)
+///     [tenant.batch]
+///     trace_file = "batch.nvt"              # trace tenant
+///
 /// A `[controller]` holding only `run_threads` shards the direct replay
 /// without engaging scheduling (results are bit-identical for any
 /// thread count either way, so the axis measures wall-clock only).
@@ -97,6 +106,14 @@ struct ExperimentSpec {
   /// Default-constructed = disabled; never affects the replay results.
   comet::telemetry::TelemetrySpec telemetry;
 
+  /// Multi-tenant front-end: non-empty turns every matrix cell into an
+  /// interleaved run of these streams (plus per-tenant run-alone
+  /// baselines). The tenant specs then define the demand — workloads
+  /// and trace_file must stay empty. List order fixes the 1-based
+  /// tenant ids; parse_experiment orders streams by name.
+  std::vector<TenantSpec> tenants;
+  TenantMapping tenant_mapping = TenantMapping::kPartition;
+
   std::uint32_t line_bytes = 128;
   std::string trace_file;  ///< Non-empty: replay instead of synthesis.
   double cpu_ghz = 2.0;
@@ -106,8 +123,9 @@ struct ExperimentSpec {
   std::string source;
 
   /// Throws std::invalid_argument on an inconsistent spec: no devices,
-  /// no workloads without a trace file, workloads alongside a trace
-  /// file, empty axes, or an empty inline device.
+  /// no demand (workloads, trace file or tenants), workloads alongside
+  /// a trace file, workloads or a trace file alongside tenants, empty
+  /// axes, or an empty inline device.
   void validate() const;
 };
 
@@ -144,6 +162,10 @@ class ExperimentBuilder {
 
   /// Observability spec applied to every cell (see ExperimentSpec).
   ExperimentBuilder& telemetry(comet::telemetry::TelemetrySpec spec);
+
+  /// Appends one tenant stream (engages the multi-tenant front-end).
+  ExperimentBuilder& tenant(TenantSpec spec);
+  ExperimentBuilder& tenant_mapping(TenantMapping mapping);
   ExperimentBuilder& line_bytes(std::uint32_t value);
   ExperimentBuilder& trace(std::string path, double cpu_ghz = 2.0);
 

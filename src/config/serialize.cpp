@@ -721,7 +721,8 @@ void parse_controller_section(const toml::Table& table,
   const bool scheduling =
       reader.has("policy") || reader.has("read_queue_depth") ||
       reader.has("write_queue_depth") || reader.has("drain_high_watermark") ||
-      reader.has("drain_low_watermark");
+      reader.has("drain_low_watermark") || reader.has("tenant_tokens") ||
+      reader.has("starvation_cap");
   policies.clear();
   if (!scheduling) {
     reader.finish();
@@ -767,6 +768,12 @@ void parse_controller_section(const toml::Table& table,
   if (auto v = reader.get_int("drain_low_watermark", 0, INT_MAX)) {
     config.drain_low_watermark = int(*v);
   }
+  if (auto v = reader.get_int("tenant_tokens", 1, INT_MAX)) {
+    config.tenant_tokens = int(*v);
+  }
+  if (auto v = reader.get_int("starvation_cap", 1, INT_MAX)) {
+    config.starvation_cap = int(*v);
+  }
   reader.finish();
   validated(reader, table.line, [&] { config.validate(); });
 }
@@ -792,6 +799,50 @@ void parse_telemetry_section(const toml::Table& table,
   if (auto v = reader.get_string("metrics_csv")) spec.metrics_csv = *v;
   reader.finish();
   validated(reader, table.line, [&] { spec.validate(); });
+}
+
+void parse_tenant_section(const toml::Table& table, const std::string& source,
+                          std::vector<TenantSpec>& tenants,
+                          TenantMapping& mapping) {
+  TableReader reader(table, source, "[tenant]");
+  if (auto name = reader.get_string("mapping")) {
+    try {
+      mapping = tenant_mapping_from_name(*name);
+    } catch (const std::exception& e) {
+      reader.fail_at(reader.key_line("mapping"), e.what());
+    }
+  }
+  tenants.clear();
+  // toml::Table keeps sub-sections name-sorted, so stream order — and
+  // with it the 1-based tenant ids and per-tenant seed splits — is the
+  // sorted name order regardless of document layout.
+  for (const auto& [name, child] : table.children) {
+    (void)reader.child(name);  // Mark consumed for reader.finish().
+    TableReader t(child, source, "[tenant." + name + "]");
+    TenantSpec spec;
+    spec.name = name;
+    if (auto workload = t.get_string("workload")) {
+      try {
+        spec.profile = memsim::profile_by_name(*workload);
+      } catch (const std::exception& e) {
+        t.fail_at(t.key_line("workload"), e.what());
+      }
+    }
+    if (auto v = t.get_string("trace_file")) spec.trace_file = *v;
+    if (auto v = t.get_double("interarrival_ns", 0.0, 1e12)) {
+      spec.interarrival_ns = *v;
+    }
+    if (auto v = t.get_double("burstiness", 0.0, 1.0)) spec.burstiness = *v;
+    if (auto v = t.get_u64("requests", 1)) spec.requests = *v;
+    t.finish();
+    validated(t, child.line, [&] { spec.validate(); });
+    tenants.push_back(std::move(spec));
+  }
+  if (tenants.empty()) {
+    reader.fail("a [tenant] section needs at least one [tenant.NAME] stream");
+  }
+  reader.finish();
+  validated(reader, table.line, [&] { validate_tenants(tenants); });
 }
 
 }  // namespace comet::config

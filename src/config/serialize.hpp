@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "config/device_spec.hpp"
+#include "config/tenant_spec.hpp"
 #include "config/toml.hpp"
 #include "memsim/trace_gen.hpp"
 #include "telemetry/telemetry.hpp"
@@ -175,5 +176,19 @@ void parse_controller_section(const toml::Table& table,
 void parse_telemetry_section(const toml::Table& table,
                              const std::string& source,
                              telemetry::TelemetrySpec& spec);
+
+/// Parses a `[tenant]` table into the multi-tenant stream list: an
+/// optional `mapping = "partition" | "interleave"` scalar plus one
+/// `[tenant.NAME]` sub-section per stream (keys: `workload` — a
+/// built-in profile name —, `trace_file`, `interarrival_ns`,
+/// `burstiness`, `requests`). Streams are ordered by name (the TOML
+/// subset does not preserve section order), which fixes the 1-based
+/// tenant ids and per-tenant seeds deterministically. At least one
+/// stream is required; schema violations, unknown profiles and
+/// cross-tenant inconsistencies raise toml::ParseError anchored to the
+/// offending line.
+void parse_tenant_section(const toml::Table& table, const std::string& source,
+                          std::vector<TenantSpec>& tenants,
+                          TenantMapping& mapping);
 
 }  // namespace comet::config

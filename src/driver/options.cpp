@@ -1,5 +1,6 @@
 #include "driver/options.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <climits>
 #include <cmath>
@@ -116,6 +117,7 @@ Options parse_args(const std::vector<std::string>& args) {
       matrix(flag);
     } else if (flag == "--workload") {
       opt.workload = next();
+      opt.workload_given = true;
       matrix(flag);
     } else if (flag == "--channels") {
       opt.channels = static_cast<int>(parse_u64(flag, next(), INT_MAX));
@@ -210,6 +212,28 @@ Options parse_args(const std::vector<std::string>& args) {
         throw std::invalid_argument("--dump-trace requires a non-empty path");
       }
       matrix(flag);
+    } else if (flag == "--tenants") {
+      opt.tenants = next();
+      if (opt.tenants.empty()) {
+        throw std::invalid_argument("--tenants requires a non-empty list");
+      }
+      matrix(flag);
+    } else if (flag == "--tenant-mapping") {
+      opt.tenant_mapping = next();
+      (void)config::tenant_mapping_from_name(opt.tenant_mapping);
+      matrix(flag);
+    } else if (flag == "--tenant-tokens") {
+      opt.tenant_tokens = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+      if (*opt.tenant_tokens == 0) {
+        throw std::invalid_argument("--tenant-tokens must be >= 1");
+      }
+      matrix(flag);
+    } else if (flag == "--starvation-cap") {
+      opt.starvation_cap = static_cast<int>(parse_u64(flag, next(), INT_MAX));
+      if (*opt.starvation_cap == 0) {
+        throw std::invalid_argument("--starvation-cap must be >= 1");
+      }
+      matrix(flag);
     } else if (flag == "--trace-out") {
       opt.trace_out = next();
       if (opt.trace_out.empty()) {
@@ -279,6 +303,37 @@ Options parse_args(const std::vector<std::string>& args) {
   for (const auto& path : opt.device_files) {
     (void)config::parse_device_file(path, registry_resolver());
   }
+  if (opt.tenants.empty()) {
+    if (!opt.tenant_mapping.empty()) {
+      throw std::invalid_argument(
+          "--tenant-mapping requires --tenants (there are no streams to map)");
+    }
+  } else {
+    if (opt.workload_given) {
+      throw std::invalid_argument(
+          "--tenants and --workload cannot be combined (the tenant list "
+          "defines the demand; give each tenant its own workload)");
+    }
+    if (!opt.trace_file.empty()) {
+      throw std::invalid_argument(
+          "--tenants and --trace-file cannot be combined (use the "
+          "name=@trace-file tenant form instead)");
+    }
+    if (!opt.dump_trace.empty()) {
+      throw std::invalid_argument(
+          "--tenants and --dump-trace cannot be combined (a trace file holds "
+          "one request stream)");
+    }
+    // Parse the list now so malformed entries, unknown profiles,
+    // duplicate names and unreadable trace tenants all exit 2.
+    for (const auto& tenant : tenants_from_options(opt)) {
+      if (!tenant.trace_file.empty() && !file_readable(tenant.trace_file)) {
+        throw std::invalid_argument("--tenants: tenant '" + tenant.name +
+                                    "': cannot open '" + tenant.trace_file +
+                                    "'");
+      }
+    }
+  }
   if (!opt.trace_file.empty() && !opt.dump_trace.empty()) {
     throw std::invalid_argument(
         "--trace-file and --dump-trace cannot be combined (one replays a "
@@ -322,6 +377,10 @@ std::optional<sched::ControllerConfig> scheduler_from_options(
       throw std::invalid_argument(
           "--read-q/--write-q/--drain-high/--drain-low require --schedule");
     }
+    if (options.tenant_tokens || options.starvation_cap) {
+      throw std::invalid_argument(
+          "--tenant-tokens/--starvation-cap require --schedule");
+    }
     return std::nullopt;
   }
   auto config = sched::ControllerConfig::with_depths(
@@ -337,8 +396,96 @@ std::optional<sched::ControllerConfig> scheduler_from_options(
   }
   if (options.drain_high) config.drain_high_watermark = *options.drain_high;
   if (options.drain_low) config.drain_low_watermark = *options.drain_low;
+  // The fairness knobs refine their own policy only, for the same
+  // reason: every other policy would silently ignore them.
+  if (options.tenant_tokens && config.policy != sched::Policy::kTokenBudget) {
+    throw std::invalid_argument(
+        "--tenant-tokens applies to --schedule token-budget only (the " +
+        options.schedule + " policy keeps no token buckets)");
+  }
+  if (options.starvation_cap && config.policy != sched::Policy::kFrFcfsCap) {
+    throw std::invalid_argument(
+        "--starvation-cap applies to --schedule frfcfs-cap only (the " +
+        options.schedule + " policy keeps no starvation counters)");
+  }
+  if (options.tenant_tokens) config.tenant_tokens = *options.tenant_tokens;
+  if (options.starvation_cap) config.starvation_cap = *options.starvation_cap;
   config.validate();
   return config;
+}
+
+std::vector<config::TenantSpec> tenants_from_options(const Options& options) {
+  std::vector<config::TenantSpec> tenants;
+  if (options.tenants.empty()) return tenants;
+  const char* const shape =
+      "--tenants entries look like name=workload[:interarrival_ns"
+      "[:burstiness]] or name=@trace-file";
+  // Decimal fields: the parse_positive_double grammar, zero included
+  // (a zero rate/burstiness just keeps the spec's default meaning).
+  const auto parse_decimal = [&](const std::string& what,
+                                 const std::string& value) {
+    if (value.empty() ||
+        value.find_first_not_of("0123456789.") != std::string::npos ||
+        value.find('.') != value.rfind('.')) {
+      throw std::invalid_argument("--tenants: " + what +
+                                  " expects a non-negative decimal number, "
+                                  "got '" + value + "'");
+    }
+    return std::strtod(value.c_str(), nullptr);
+  };
+  std::stringstream list(options.tenants);
+  std::string entry;
+  while (std::getline(list, entry, ',')) {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= entry.size()) {
+      throw std::invalid_argument(std::string(shape) + "; got '" + entry +
+                                  "'");
+    }
+    config::TenantSpec spec;
+    spec.name = entry.substr(0, eq);
+    const std::string body = entry.substr(eq + 1);
+    if (body.front() == '@') {
+      if (body.size() == 1) {
+        throw std::invalid_argument("--tenants: tenant '" + spec.name +
+                                    "': '@' needs a trace-file path");
+      }
+      spec.trace_file = body.substr(1);
+    } else {
+      std::vector<std::string> parts;
+      std::stringstream fields(body);
+      std::string part;
+      while (std::getline(fields, part, ':')) parts.push_back(part);
+      if (parts.empty() || parts.size() > 3) {
+        throw std::invalid_argument(std::string(shape) + "; got '" + entry +
+                                    "'");
+      }
+      try {
+        spec.profile = memsim::profile_by_name(parts[0]);
+      } catch (const std::exception& e) {
+        throw std::invalid_argument("--tenants: tenant '" + spec.name +
+                                    "': " + e.what());
+      }
+      if (parts.size() > 1) {
+        spec.interarrival_ns = parse_decimal("interarrival_ns", parts[1]);
+      }
+      if (parts.size() > 2) {
+        spec.burstiness = parse_decimal("burstiness", parts[2]);
+      }
+    }
+    tenants.push_back(std::move(spec));
+  }
+  // Name order — the same deterministic stream ordering the [tenant]
+  // config sections get, so ids and seeds never depend on list order.
+  std::sort(tenants.begin(), tenants.end(),
+            [](const config::TenantSpec& a, const config::TenantSpec& b) {
+              return a.name < b.name;
+            });
+  try {
+    config::validate_tenants(tenants);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("--tenants: ") + e.what());
+  }
+  return tenants;
 }
 
 telemetry::TelemetrySpec telemetry_from_options(const Options& options) {
@@ -405,8 +552,10 @@ std::string usage() {
      << "  --cache-policy <p>     hybrid devices: write-allocate (default)\n"
      << "                         or write-no-allocate\n"
      << "  --schedule <policy>    engage the memory-controller scheduler:\n"
-     << "                         fcfs (in-order), frfcfs (open-row reuse)\n"
-     << "                         or read-first (write-drain watermarks)\n"
+     << "                         fcfs (in-order), frfcfs (open-row reuse),\n"
+     << "                         read-first (write-drain watermarks),\n"
+     << "                         token-budget or frfcfs-cap (fairness-aware\n"
+     << "                         FR-FCFS variants; see --list-policies)\n"
      << "  --read-q N             scheduler read-queue depth per channel\n"
      << "                         (default: 32; 0 = unbounded)\n"
      << "  --write-q N            scheduler write-queue depth per channel\n"
@@ -417,6 +566,19 @@ std::string usage() {
      << "  --drain-low N          write-drain low watermark, read-first\n"
      << "                         only (default: 3/8 of the write-queue\n"
      << "                         depth)\n"
+     << "  --tenants <list>       multi-tenant run: comma-separated streams\n"
+     << "                         name=workload[:interarrival_ns[:burst]]\n"
+     << "                         or name=@trace-file, merged into one\n"
+     << "                         interleaved run with per-tenant latency,\n"
+     << "                         slowdown-vs-alone and Jain fairness stats\n"
+     << "  --tenant-mapping <m>   tenant address spaces: partition (default,\n"
+     << "                         disjoint 1 TiB slabs) or interleave\n"
+     << "                         (line-granular sharing, maximal contention)\n"
+     << "  --tenant-tokens N      token-budget policy: per-tenant scheduling\n"
+     << "                         tokens per refill (default: 64)\n"
+     << "  --starvation-cap N     frfcfs-cap policy: times a queued tenant\n"
+     << "                         may be passed over before it outranks row\n"
+     << "                         hits (default: 16)\n"
      << "  --trace-file <path>    replay an on-disk NVMain trace (streamed,\n"
      << "                         O(1) memory) instead of a synthetic\n"
      << "                         workload; ignores --workload/--requests\n"

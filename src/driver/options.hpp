@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "config/tenant_spec.hpp"
 #include "sched/controller.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -42,6 +43,7 @@ struct Options {
   std::string dump_config;       ///< Non-empty: write the fully resolved
                                  ///< experiment spec here and exit.
   bool device_given = false;     ///< --device appeared explicitly.
+  bool workload_given = false;   ///< --workload appeared explicitly.
 
   // --- On-disk NVMain trace replay (--trace-file): replaces synthetic
   // --- workloads with a streamed trace file; --workload/--requests/
@@ -72,6 +74,19 @@ struct Options {
   std::optional<int> drain_high; ///< Write-drain high watermark.
   std::optional<int> drain_low;  ///< Write-drain low watermark.
 
+  // --- Multi-tenant front-end (--tenants engages it; see src/tenant):
+  // --- named streams merged into one run with per-tenant fairness
+  // --- stats. The tenant specs then define the demand, so --tenants
+  // --- conflicts with an explicit --workload and with --trace-file
+  // --- (trace tenants use the name=@path form instead). The fairness
+  // --- scheduling knobs refine their matching --schedule policy and
+  // --- are rejected otherwise (the --drain-* precedent).
+  std::string tenants;           ///< "name=workload[:ns[:burst]],..." /
+                                 ///< "name=@trace-file"; empty = off.
+  std::string tenant_mapping;    ///< partition | interleave ("" = partition).
+  std::optional<int> tenant_tokens;   ///< token-budget: refill size.
+  std::optional<int> starvation_cap;  ///< frfcfs-cap: pass-over bound.
+
   // --- Telemetry (--trace-out engages request tracing,
   // --- --metrics-interval the epoch metrics time-series; both apply to
   // --- every matrix cell and never change the replay results). The
@@ -96,6 +111,15 @@ std::optional<sched::ControllerConfig> scheduler_from_options(
 /// --metrics-csv without --metrics-interval (parse_args calls this, so
 /// bad combinations exit 2 before any simulation).
 telemetry::TelemetrySpec telemetry_from_options(const Options& options);
+
+/// The tenant streams the --tenants list describes (empty without the
+/// flag). Entries are `name=workload[:interarrival_ns[:burstiness]]`
+/// or `name=@trace-file`, comma-separated; streams are returned in
+/// name order — the same deterministic ordering contract as the
+/// [tenant] config sections. Throws std::invalid_argument on malformed
+/// entries, unknown profiles and duplicate names (parse_args calls
+/// this, so bad lists exit 2 before any simulation).
+std::vector<config::TenantSpec> tenants_from_options(const Options& options);
 
 /// Parses argv-style arguments (excluding argv[0]). Throws
 /// std::invalid_argument on unknown flags, missing values, malformed

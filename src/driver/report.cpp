@@ -130,6 +130,34 @@ void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
     os << "\n=== Scheduler breakdown ===\n";
     if (csv) sched.print_csv(os); else sched.print(os);
   }
+
+  // Multi-tenant runs get the fairness breakdown: per-tenant latency
+  // against its own run-alone baseline, plus each run's max slowdown
+  // and Jain index over the per-tenant slowdowns.
+  Table tenants({"device", "workload", "tenant", "reqs", "avg (ns)",
+                 "p99 (ns)", "alone (ns)", "slowdown"});
+  Table fairness({"device", "workload", "max slowdown", "Jain index"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& stats = results[i];
+    if (!stats.is_multi_tenant()) continue;
+    for (const auto& tenant : stats.tenants) {
+      tenants.add_row({jobs[i].device.name, jobs[i].profile.name, tenant.name,
+                       std::to_string(tenant.requests()),
+                       Table::num(tenant.avg_latency_ns(), 1),
+                       Table::num(tenant.latency_ns.p99(), 1),
+                       Table::num(tenant.alone_avg_latency_ns, 1),
+                       Table::num(tenant.slowdown, 3)});
+    }
+    fairness.add_row({jobs[i].device.name, jobs[i].profile.name,
+                      Table::num(stats.max_slowdown, 3),
+                      Table::num(stats.fairness_index, 3)});
+  }
+  if (tenants.rows() > 0) {
+    os << "\n=== Tenant breakdown ===\n";
+    if (csv) tenants.print_csv(os); else tenants.print(os);
+    os << "\n=== Tenant fairness ===\n";
+    if (csv) fairness.print_csv(os); else fairness.print(os);
+  }
 }
 
 namespace {
@@ -285,6 +313,35 @@ void write_json(
          << "}";
     } else {
       os << ", \"sched\": null";
+    }
+    // Per-tenant fairness block, "sched"-style: null for single-stream
+    // runs, so jq del(.results[].tenants) compares the two shapes.
+    if (stats.is_multi_tenant()) {
+      os << ", \"tenants\": {"
+         << "\"mapping\": "
+         << json_str(config::tenant_mapping_name(job.tenant_mapping))
+         << ", \"max_slowdown\": " << json_num(stats.max_slowdown)
+         << ", \"fairness_index\": " << json_num(stats.fairness_index)
+         << ", \"streams\": [";
+      for (std::size_t t = 0; t < stats.tenants.size(); ++t) {
+        const auto& tenant = stats.tenants[t];
+        os << (t ? ", " : "") << "{"
+           << "\"name\": " << json_str(tenant.name)
+           << ", \"reads\": " << tenant.reads
+           << ", \"writes\": " << tenant.writes
+           << ", \"bytes\": " << tenant.bytes_transferred
+           << ", \"avg_latency_ns\": " << json_num(tenant.avg_latency_ns())
+           << ", \"p50_latency_ns\": " << json_num(tenant.latency_ns.p50())
+           << ", \"p95_latency_ns\": " << json_num(tenant.latency_ns.p95())
+           << ", \"p99_latency_ns\": " << json_num(tenant.latency_ns.p99())
+           << ", \"alone_avg_latency_ns\": "
+           << json_num(tenant.alone_avg_latency_ns)
+           << ", \"slowdown\": " << json_num(tenant.slowdown)
+           << "}";
+      }
+      os << "]}";
+    } else {
+      os << ", \"tenants\": null";
     }
     // Telemetry provenance: null when the feature is disabled, so
     // jq del(...) diffs traced against untraced reports cleanly.

@@ -7,6 +7,7 @@
 
 #include "driver/registry.hpp"
 #include "memsim/trace.hpp"
+#include "tenant/runner.hpp"
 
 namespace comet::driver {
 
@@ -44,7 +45,12 @@ config::ExperimentSpec experiment_from_options(const Options& options) {
         config::parse_device_file(path, registry_resolver()), overrides));
   }
 
-  if (!options.trace_file.empty()) {
+  const auto tenants = tenants_from_options(options);
+  if (!tenants.empty()) {
+    for (auto tenant : tenants) builder.tenant(std::move(tenant));
+    builder.tenant_mapping(config::tenant_mapping_from_name(
+        options.tenant_mapping.empty() ? "partition" : options.tenant_mapping));
+  } else if (!options.trace_file.empty()) {
     builder.trace(options.trace_file, options.cpu_ghz);
   } else if (options.workload == "all") {
     for (auto& profile : memsim::spec_like_profiles()) {
@@ -104,7 +110,17 @@ std::vector<SweepJob> build_matrix(const config::ExperimentSpec& spec) {
   resolved.validate();
 
   std::vector<memsim::WorkloadProfile> profiles;
-  if (!resolved.trace_file.empty()) {
+  if (!resolved.tenants.empty()) {
+    // Multi-tenant run: one pseudo-workload labelled "a+b+..." (the
+    // same label run_multi_tenant stamps on the shared run); the
+    // tenant specs carry the actual demand.
+    memsim::WorkloadProfile pseudo;
+    for (const auto& tenant : resolved.tenants) {
+      if (!pseudo.name.empty()) pseudo.name += '+';
+      pseudo.name += tenant.name;
+    }
+    profiles.push_back(std::move(pseudo));
+  } else if (!resolved.trace_file.empty()) {
     // On-disk replay: one pseudo-workload per trace file, labelled with
     // its basename; the profile is never used for synthesis.
     memsim::WorkloadProfile pseudo;
@@ -152,6 +168,8 @@ std::vector<SweepJob> build_matrix(const config::ExperimentSpec& spec) {
                 job.controller = controller;
                 job.run_threads = run_threads;
                 job.telemetry = resolved.telemetry;
+                job.tenants = resolved.tenants;
+                job.tenant_mapping = resolved.tenant_mapping;
                 job.experiment = resolved.name;
                 job.config_file = resolved.source;
                 jobs.push_back(std::move(job));
@@ -173,6 +191,16 @@ memsim::SimStats run_job(const SweepJob& job,
                          telemetry::Collector* collector) {
   const auto engine = job.device.make_engine(job.controller, job.run_threads);
   if (collector) engine->attach_telemetry(collector);
+  if (!job.tenants.empty()) {
+    tenant::MultiTenantJob multi;
+    multi.tenants = job.tenants;
+    multi.mapping = job.tenant_mapping;
+    multi.default_requests = job.requests;
+    multi.seed = job.seed;
+    multi.line_bytes = job.line_bytes;
+    multi.cpu_ghz = job.cpu_ghz;
+    return tenant::run_multi_tenant(*engine, multi);
+  }
   if (!job.trace_path.empty()) {
     memsim::TraceFileSource source(
         job.trace_path, memsim::TraceConfig{.cpu_clock_ghz = job.cpu_ghz,

@@ -53,6 +53,13 @@ struct SweepJob {
   /// results are identical either way; only the recording happens).
   comet::telemetry::TelemetrySpec telemetry;
 
+  /// Multi-tenant front-end: non-empty replaces the single stream with
+  /// the interleaved tenant streams (tenant::run_multi_tenant —
+  /// `requests` then serves as the per-tenant default and `profile`
+  /// only labels the run). Empty = classic single-stream cell.
+  std::vector<config::TenantSpec> tenants;
+  config::TenantMapping tenant_mapping = config::TenantMapping::kPartition;
+
   // --- Provenance, echoed into the JSON report.
   std::string experiment;   ///< Experiment name ("cli" for flag runs).
   std::string config_file;  ///< The --config path; empty for flag runs.

@@ -15,6 +15,9 @@ struct Request {
   Op op = Op::kRead;
   std::uint64_t address = 0;     ///< Physical byte address.
   std::uint32_t size_bytes = 64; ///< Cache-line size of the request.
+  /// Originating tenant stream, 1-based; 0 marks a single-stream run
+  /// (no per-tenant accounting anywhere downstream).
+  std::uint16_t tenant = 0;
 };
 
 }  // namespace comet::memsim

@@ -52,8 +52,21 @@ class RequestSource {
 };
 
 /// Adapts a materialized vector (borrowed or owned) to the streaming
-/// interface. The borrowing constructor keeps a pointer: the vector must
-/// outlive the source.
+/// interface.
+///
+/// Lifetime contract: the lvalue constructor BORROWS — it stores only
+/// a pointer to the caller's vector, which must stay alive and
+/// unmodified until the source is drained or destroyed, whichever
+/// comes last. Mutating the vector mid-stream (push_back may
+/// reallocate) or letting it die first leaves the source reading
+/// freed memory. The rvalue constructor OWNS: it moves the vector in
+/// and has no external lifetime dependency — prefer it whenever the
+/// caller is done with the data. Callers that aggregate borrowed
+/// sources (e.g. tenant::MultiSource, which holds RequestSource
+/// pointers per tenant stream) inherit the same obligation
+/// transitively: every borrowed vector must outlive the whole
+/// aggregate's drain. tests/test_tenant.cpp exercises MultiSource
+/// over both flavors.
 class VectorSource final : public RequestSource {
  public:
   explicit VectorSource(const std::vector<Request>& requests)

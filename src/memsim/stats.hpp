@@ -2,11 +2,38 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/stats.hpp"
 
 /// Aggregate results of one trace replay against one architecture.
 namespace comet::memsim {
+
+/// Per-tenant slice of a multi-stream run, indexed tenant-1 in
+/// SimStats::tenants. Latency percentiles come from the same
+/// RunningStats machinery as the run-wide stats, so tenant breakdowns
+/// merge exactly across sharded lanes.
+struct TenantBreakdown {
+  std::string name;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_transferred = 0;
+  util::RunningStats latency_ns;  ///< End-to-end, reads and writes.
+
+  /// Mean end-to-end latency of the same tenant stream replayed alone
+  /// on a fresh engine (0 until the baseline pass fills it in).
+  double alone_avg_latency_ns = 0.0;
+  /// Shared-run mean latency / run-alone mean latency; >= 1 when
+  /// contention hurts, 0 for a tenant that issued no requests.
+  double slowdown = 0.0;
+
+  std::uint64_t requests() const { return reads + writes; }
+  double avg_latency_ns() const {
+    return latency_ns.count() == 0
+               ? 0.0
+               : latency_ns.sum() / static_cast<double>(latency_ns.count());
+  }
+};
 
 struct SimStats {
   std::string device_name;
@@ -57,6 +84,18 @@ struct SimStats {
   std::uint64_t drained_writes = 0;  ///< Writes issued while draining.
   std::uint64_t drain_stalls = 0;    ///< Drained writes with reads waiting.
   std::uint64_t admit_stalls = 0;    ///< Admissions delayed by a full queue.
+
+  // --- Multi-tenant breakdown, populated only when the stream carried
+  // --- tenant-tagged requests (tenant::MultiSource runs; empty
+  // --- otherwise). Indexed tenant-1; the fairness summary fields are
+  // --- derived by tenant::run_multi_tenant once the run-alone
+  // --- baselines exist.
+  std::vector<TenantBreakdown> tenants;
+  double max_slowdown = 0.0;     ///< Worst per-tenant slowdown.
+  double fairness_index = 0.0;   ///< Jain's index over tenant slowdowns.
+
+  /// True once a multi-tenant front-end tagged this run's stream.
+  bool is_multi_tenant() const { return !tenants.empty(); }
 
   /// True once a scheduler front-end queued this run's stream.
   bool is_scheduled() const { return scheduled; }

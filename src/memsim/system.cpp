@@ -34,6 +34,11 @@ struct LaneTotals {
   util::RunningStats queue_delay_ns;
   double dynamic_energy_pj = 0.0;
   double total_bank_busy_ns = 0.0;
+  /// Per-tenant accumulation follows the same lane discipline: indexed
+  /// tenant-1, grown on demand, and only ever touched for tagged
+  /// requests — untagged runs never allocate. merge_slice() reduces the
+  /// vectors element-wise, so sharded tenant stats stay bit-identical.
+  std::vector<TenantBreakdown> tenants;
 };
 
 struct ChannelState {
@@ -143,6 +148,27 @@ void merge_slice(ReplaySlice& into, const ReplaySlice& from) {
   a.drained_writes += b.drained_writes;
   a.drain_stalls += b.drain_stalls;
   a.admit_stalls += b.admit_stalls;
+
+  // Element-wise tenant merge. A lane that never saw tenant k carries
+  // an empty breakdown at k-1 (or a shorter vector), and empty-side
+  // RunningStats merges are exact — the same argument as the channel
+  // lanes themselves.
+  if (a.tenants.size() < b.tenants.size()) a.tenants.resize(b.tenants.size());
+  for (std::size_t i = 0; i < b.tenants.size(); ++i) {
+    TenantBreakdown& ta = a.tenants[i];
+    const TenantBreakdown& tb = b.tenants[i];
+    if (ta.name.empty()) ta.name = tb.name;
+    ta.reads += tb.reads;
+    ta.writes += tb.writes;
+    ta.bytes_transferred += tb.bytes_transferred;
+    ta.latency_ns.merge(tb.latency_ns);
+    if (ta.alone_avg_latency_ns == 0.0) {
+      ta.alone_avg_latency_ns = tb.alone_avg_latency_ns;
+    }
+    if (ta.slowdown == 0.0) ta.slowdown = tb.slowdown;
+  }
+  // max_slowdown / fairness_index stay untouched: derived from the
+  // merged breakdowns by the multi-tenant runner, never merged.
 }
 
 SimStats finalize_slice(ReplaySlice slice, const DeviceModel& model) {
@@ -317,6 +343,17 @@ struct ReplaySession::Impl {
     }
     lane.bytes += req.size_bytes;
     lane.last_completion = std::max(lane.last_completion, completion);
+    if (req.tenant != 0) {
+      if (lane.tenants.size() < req.tenant) lane.tenants.resize(req.tenant);
+      TenantBreakdown& tenant = lane.tenants[req.tenant - 1u];
+      if (req.op == Op::kRead) {
+        ++tenant.reads;
+      } else {
+        ++tenant.writes;
+      }
+      tenant.bytes_transferred += req.size_bytes;
+      tenant.latency_ns.add(latency_ns);
+    }
     if (telemetry) {
       telemetry->record_request(
           placement.channel,
@@ -329,6 +366,7 @@ struct ReplaySession::Impl {
                                   .size_bytes = req.size_bytes,
                                   .bank = static_cast<std::uint16_t>(
                                       placement.bank),
+                                  .tenant = req.tenant,
                                   .op = req.op});
     }
     return FeedResult{start, completion, bank_busy_until};
@@ -351,6 +389,7 @@ struct ReplaySession::Impl {
       lane.stats.queue_delay_ns = ch.totals.queue_delay_ns;
       lane.stats.dynamic_energy_pj = ch.totals.dynamic_energy_pj;
       lane.stats.total_bank_busy_ns = ch.totals.total_bank_busy_ns;
+      lane.stats.tenants = ch.totals.tenants;
       merge_slice(merged, lane);
     }
     return merged;

@@ -16,6 +16,8 @@ const char* policy_name(Policy policy) {
     case Policy::kFcfs: return "fcfs";
     case Policy::kFrFcfs: return "frfcfs";
     case Policy::kReadFirst: return "read-first";
+    case Policy::kTokenBudget: return "token-budget";
+    case Policy::kFrFcfsCap: return "frfcfs-cap";
   }
   return "fcfs";
 }
@@ -24,8 +26,11 @@ Policy policy_from_name(const std::string& name) {
   if (name == "fcfs") return Policy::kFcfs;
   if (name == "frfcfs") return Policy::kFrFcfs;
   if (name == "read-first") return Policy::kReadFirst;
-  throw std::invalid_argument("unknown scheduling policy '" + name +
-                              "'; expected fcfs, frfcfs or read-first");
+  if (name == "token-budget") return Policy::kTokenBudget;
+  if (name == "frfcfs-cap") return Policy::kFrFcfsCap;
+  throw std::invalid_argument(
+      "unknown scheduling policy '" + name +
+      "'; expected fcfs, frfcfs, read-first, token-budget or frfcfs-cap");
 }
 
 const std::vector<PolicyInfo>& known_policies() {
@@ -42,6 +47,14 @@ const std::vector<PolicyInfo>& known_policies() {
        "reads issue ahead of writes, with write-drain hysteresis",
        "read-queue-depth, write-queue-depth, drain-high-watermark, "
        "drain-low-watermark"},
+      {Policy::kTokenBudget, "token-budget",
+       "FR-FCFS limited to tenants with scheduling tokens left; buckets "
+       "refill when every queued tenant is spent",
+       "read-queue-depth, write-queue-depth, tenant-tokens"},
+      {Policy::kFrFcfsCap, "frfcfs-cap",
+       "FR-FCFS with a per-tenant starvation cap: tenants passed over "
+       "too often outrank row hits until they issue",
+       "read-queue-depth, write-queue-depth, starvation-cap"},
   };
   return policies;
 }
@@ -67,6 +80,14 @@ void ControllerConfig::validate() const {
         std::to_string(drain_high_watermark) + " exceeds write_queue_depth " +
         std::to_string(write_queue_depth) +
         "; the write queue can never fill that far");
+  }
+  if (tenant_tokens < 1) {
+    throw std::invalid_argument(
+        "ControllerConfig: tenant_tokens must be >= 1");
+  }
+  if (starvation_cap < 1) {
+    throw std::invalid_argument(
+        "ControllerConfig: starvation_cap must be >= 1");
   }
 }
 
@@ -116,11 +137,19 @@ struct Controller::Impl {
     bool from_writes = false;
     std::size_t index = 0;
     std::uint64_t issue_ps = 0;
+    /// Starvation boost (frfcfs-cap): 0 = the candidate's tenant hit
+    /// its cap and outranks everything un-starved. Policies that do
+    /// not rank tenants leave every pick at 0, so the comparison below
+    /// degenerates to the legacy order bit for bit.
+    int tenant_rank = 0;
     int hit_rank = 1;  ///< 0 = open-row/-region hit (preferred).
     std::uint64_t seq = 0;
 
     bool beats(const Pick& other) const {
       if (!other.valid) return true;
+      if (tenant_rank != other.tenant_rank) {
+        return tenant_rank < other.tenant_rank;
+      }
       if (issue_ps != other.issue_ps) return issue_ps < other.issue_ps;
       if (hit_rank != other.hit_rank) return hit_rank < other.hit_rank;
       return seq < other.seq;
@@ -142,6 +171,14 @@ struct Controller::Impl {
     std::vector<std::uint64_t> open_row;
     std::vector<std::uint64_t> open_region;
     bool draining = false;
+    // Fairness-policy state, indexed by Request::tenant (0, the
+    // untagged stream, included) and grown on demand — untagged legacy
+    // runs under legacy policies never allocate. Strictly channel-local
+    // like every other scheduling input, so sharded runs reproduce the
+    // serial decisions exactly.
+    std::vector<int> tokens;  ///< token-budget: issues left this epoch.
+    std::vector<std::uint64_t> starved;  ///< frfcfs-cap: passes endured.
+    std::vector<std::uint64_t> queued_per_tenant;  ///< frfcfs-cap.
     // A channel's pick depends only on its own queues/mirror/drain
     // state, so it stays valid until this channel issues or admits —
     // advance_until then rescans only the touched channel.
@@ -232,20 +269,42 @@ struct Controller::Impl {
 
   /// The transaction this channel's policy would issue next (and when),
   /// or an invalid pick when nothing is queued. fcfs never holds
-  /// transactions, so its channels never have picks.
-  Pick next_issue(const Channel& ch) const {
+  /// transactions, so its channels never have picks. Non-const because
+  /// token-budget refills the channel's buckets when every queued
+  /// tenant is spent (channel-local, so still deterministic).
+  Pick next_issue(Channel& ch) {
     Pick best;
+    // use_tokens skips candidates whose tenant bucket is empty (a
+    // tenant the channel has not seen yet has an untouched full
+    // bucket); use_starvation boosts candidates whose tenant endured
+    // starvation_cap cross-tenant issues (see Pick::tenant_rank).
     const auto consider = [&](const util::RingQueue<QueuedTx>& q,
-                              bool from_writes, bool prefer_hits) {
+                              bool from_writes, bool prefer_hits,
+                              bool use_tokens = false,
+                              bool use_starvation = false) {
       const std::size_t window = std::min(q.size(), kScanWindow);
       for (std::size_t i = 0; i < window; ++i) {
+        const QueuedTx& tx = q[i];
+        const std::size_t tenant = tx.request.tenant;
+        if (use_tokens && tenant < ch.tokens.size() &&
+            ch.tokens[tenant] <= 0) {
+          continue;
+        }
         Pick p;
         p.valid = true;
         p.from_writes = from_writes;
         p.index = i;
-        p.issue_ps = ready_time(ch, q[i]);
-        p.hit_rank = prefer_hits && open_hit(ch, q[i]) ? 0 : 1;
-        p.seq = q[i].seq;
+        p.issue_ps = ready_time(ch, tx);
+        p.hit_rank = prefer_hits && open_hit(ch, tx) ? 0 : 1;
+        if (use_starvation) {
+          p.tenant_rank =
+              tenant < ch.starved.size() &&
+                      ch.starved[tenant] >=
+                          static_cast<std::uint64_t>(config.starvation_cap)
+                  ? 0
+                  : 1;
+        }
+        p.seq = tx.seq;
         if (p.beats(best)) best = p;
       }
     };
@@ -269,6 +328,29 @@ struct Controller::Impl {
         }
         break;
       }
+      case Policy::kTokenBudget:
+        consider(ch.reads, /*from_writes=*/false, /*prefer_hits=*/true,
+                 /*use_tokens=*/true);
+        consider(ch.writes, /*from_writes=*/true, /*prefer_hits=*/true,
+                 /*use_tokens=*/true);
+        if (!best.valid && !(ch.reads.empty() && ch.writes.empty())) {
+          // Every in-window candidate is out of tokens: refill the
+          // buckets and open the next epoch. The rescan is guaranteed
+          // a pick, so a non-empty channel never deadlocks.
+          std::fill(ch.tokens.begin(), ch.tokens.end(),
+                    config.tenant_tokens);
+          consider(ch.reads, /*from_writes=*/false, /*prefer_hits=*/true,
+                   /*use_tokens=*/true);
+          consider(ch.writes, /*from_writes=*/true, /*prefer_hits=*/true,
+                   /*use_tokens=*/true);
+        }
+        break;
+      case Policy::kFrFcfsCap:
+        consider(ch.reads, /*from_writes=*/false, /*prefer_hits=*/true,
+                 /*use_tokens=*/false, /*use_starvation=*/true);
+        consider(ch.writes, /*from_writes=*/true, /*prefer_hits=*/true,
+                 /*use_tokens=*/false, /*use_starvation=*/true);
+        break;
     }
     return best;
   }
@@ -294,6 +376,17 @@ struct Controller::Impl {
     }
   }
 
+  /// frfcfs-cap bookkeeping: a transaction of `tenant` became
+  /// schedulable on `ch` (stalled arrivals count only once admitted —
+  /// starvation boosts are pointless while nothing can be picked).
+  void note_queued(Channel& ch, std::size_t tenant) {
+    if (ch.queued_per_tenant.size() <= tenant) {
+      ch.queued_per_tenant.resize(tenant + 1, 0);
+      ch.starved.resize(tenant + 1, 0);
+    }
+    ++ch.queued_per_tenant[tenant];
+  }
+
   /// Moves stalled arrivals into the queue a just-freed slot belongs
   /// to; they entered the controller at `at_ps` (the freeing issue).
   void admit_overflow(Channel& ch, bool from_writes, std::uint64_t at_ps) {
@@ -306,6 +399,9 @@ struct Controller::Impl {
       QueuedTx tx = std::move(stalled.front());
       stalled.pop_front();
       tx.admit_ps = std::max(tx.request.arrival_ps, at_ps);
+      if (config.policy == Policy::kFrFcfsCap) {
+        note_queued(ch, tx.request.tenant);
+      }
       q.push_back(std::move(tx));
     }
   }
@@ -315,6 +411,22 @@ struct Controller::Impl {
     auto& q = from_writes ? ch.writes : ch.reads;
     const QueuedTx tx = std::move(q[index]);
     q.erase_at(index);
+
+    const std::size_t tenant = tx.request.tenant;
+    if (config.policy == Policy::kTokenBudget) {
+      if (ch.tokens.size() <= tenant) {
+        ch.tokens.resize(tenant + 1, config.tenant_tokens);
+      }
+      --ch.tokens[tenant];
+    } else if (config.policy == Policy::kFrFcfsCap) {
+      // The issuer's patience resets; every other tenant still holding
+      // schedulable work on this channel was passed over once more.
+      --ch.queued_per_tenant[tenant];
+      ch.starved[tenant] = 0;
+      for (std::size_t t = 0; t < ch.queued_per_tenant.size(); ++t) {
+        if (t != tenant && ch.queued_per_tenant[t] > 0) ++ch.starved[t];
+      }
+    }
 
     const std::uint64_t issue_ps = std::max(ready_ps, ch.last_issue);
     ch.last_issue = issue_ps;
@@ -433,6 +545,9 @@ struct Controller::Impl {
       }
       stalled.push_back(std::move(tx));
     } else {
+      if (config.policy == Policy::kFrFcfsCap) {
+        note_queued(ch, tx.request.tenant);
+      }
       q.push_back(std::move(tx));
       update_drain(ch, req.arrival_ps);
       ch.pick_dirty = true;

@@ -38,6 +38,23 @@
 ///     write-drain hysteresis: when the write queue reaches the high
 ///     watermark the channel enters drain mode and issues writes —
 ///     stalling reads — until occupancy falls to the low watermark.
+///   - `token-budget`: FR-FCFS arbitration restricted to tenants with
+///     scheduling tokens left. Every tenant stream starts each epoch
+///     with `tenant_tokens` tokens per channel; an issue consumes one,
+///     and when no queued candidate has tokens left the channel refills
+///     every bucket and starts the next epoch. A heavy tenant thus gets
+///     at most `tenant_tokens` issues per epoch before lighter tenants
+///     catch up — per-stream bandwidth reservation in the small.
+///   - `frfcfs-cap`: FR-FCFS with a per-tenant starvation cap. Each
+///     time a channel issues for one tenant while another has work
+///     queued, the waiting tenant's starvation counter ticks; at
+///     `starvation_cap` its transactions outrank every un-starved
+///     candidate (row hits included) until one issues. Bounds the
+///     tail-latency a locality-heavy neighbour can inflict.
+///
+/// The fairness policies act on Request::tenant (tenant::MultiSource
+/// tags streams; untagged runs are one implicit tenant 0, for which
+/// both reduce to frfcfs arbitration with identical results).
 ///
 /// Queue bounds model finite controller SRAM: an arrival that finds its
 /// queue full waits (an admit stall) until the scheduler issues enough
@@ -52,9 +69,15 @@
 /// bit-identical for any thread count.
 namespace comet::sched {
 
-enum class Policy : std::uint8_t { kFcfs, kFrFcfs, kReadFirst };
+enum class Policy : std::uint8_t {
+  kFcfs,
+  kFrFcfs,
+  kReadFirst,
+  kTokenBudget,
+  kFrFcfsCap,
+};
 
-/// "fcfs" | "frfcfs" | "read-first".
+/// "fcfs" | "frfcfs" | "read-first" | "token-budget" | "frfcfs-cap".
 const char* policy_name(Policy policy);
 
 /// Throws std::invalid_argument naming the valid set on unknown names.
@@ -88,9 +111,17 @@ struct ControllerConfig {
   int drain_high_watermark = 28;
   int drain_low_watermark = 12;
 
+  /// token-budget policy: issues each tenant may make per channel per
+  /// refill epoch (see the policy summary above).
+  int tenant_tokens = 64;
+
+  /// frfcfs-cap policy: cross-tenant issues a queued tenant tolerates
+  /// on a channel before its transactions outrank un-starved ones.
+  int starvation_cap = 16;
+
   /// Throws std::invalid_argument on negative depths, watermarks
-  /// outside [0 <= low <= high], high < 1, or a high watermark the
-  /// bounded write queue can never reach.
+  /// outside [0 <= low <= high], high < 1, a high watermark the
+  /// bounded write queue can never reach, or fairness knobs < 1.
   void validate() const;
 
   /// Config with the drain watermarks re-derived from the write-queue

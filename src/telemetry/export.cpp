@@ -115,17 +115,36 @@ void write_chrome_trace(std::ostream& os, const std::vector<TraceRun>& runs) {
                       << ts_us(ev.bank_busy_until_ps - ev.start_ps)
                       << ", \"pid\": " << pid << ", \"tid\": " << ev.bank
                       << ", \"args\": {\"id\": " << ev.id
-                      << ", \"bytes\": " << ev.size_bytes
-                      << ", \"arrival_ns\": " << fmt_double(
-                             static_cast<double>(ev.arrival_ps) * 1e-3)
-                      << ", \"issue_ns\": " << fmt_double(
-                             static_cast<double>(ev.issue_ps) * 1e-3)
-                      << ", \"completion_ns\": " << fmt_double(
-                             static_cast<double>(ev.completion_ps) * 1e-3)
-                      << ", \"queue_delay_ns\": " << fmt_double(
-                             static_cast<double>(ev.start_ps - ev.arrival_ps) *
-                             1e-3)
-                      << "}}";
+                      << ", \"bytes\": " << ev.size_bytes;
+          if (ev.tenant != 0) os << ", \"tenant\": " << ev.tenant;
+          os << ", \"arrival_ns\": " << fmt_double(
+                    static_cast<double>(ev.arrival_ps) * 1e-3)
+             << ", \"issue_ns\": " << fmt_double(
+                    static_cast<double>(ev.issue_ps) * 1e-3)
+             << ", \"completion_ns\": " << fmt_double(
+                    static_cast<double>(ev.completion_ps) * 1e-3)
+             << ", \"queue_delay_ns\": " << fmt_double(
+                    static_cast<double>(ev.start_ps - ev.arrival_ps) * 1e-3)
+             << "}}";
+          // Multi-tenant runs additionally get one async track per
+          // tenant (per channel): the request's whole arrival →
+          // completion lifetime, so Perfetto shows each tenant's
+          // occupancy and interference side by side. Async b/e pairs —
+          // not X events — because per-tenant lifetimes overlap and
+          // the tid-ts monotonicity contract is for duration events.
+          if (ev.tenant != 0) {
+            const char* op = ev.op == memsim::Op::kRead ? "read" : "write";
+            sink.next() << "{\"name\": \"t" << ev.tenant << " " << op
+                        << "\", \"cat\": \"tenant\", \"ph\": \"b\", \"id\": "
+                        << ev.id << ", \"ts\": " << ts_us(ev.arrival_ps)
+                        << ", \"pid\": " << pid << ", \"tid\": " << channel_tid
+                        << ", \"args\": {\"tenant\": " << ev.tenant << "}}";
+            sink.next() << "{\"name\": \"t" << ev.tenant << " " << op
+                        << "\", \"cat\": \"tenant\", \"ph\": \"e\", \"id\": "
+                        << ev.id << ", \"ts\": " << ts_us(ev.completion_ps)
+                        << ", \"pid\": " << pid << ", \"tid\": " << channel_tid
+                        << "}";
+          }
         }
         for (const Mark& mark : lane.marks) {
           last_ts_ps = std::max(last_ts_ps, mark.at_ps);

@@ -73,6 +73,7 @@ struct RequestEvent {
   std::uint64_t bank_busy_until_ps = 0;
   std::uint32_t size_bytes = 0;
   std::uint16_t bank = 0;
+  std::uint16_t tenant = 0;  ///< 1-based tenant stream; 0 = untagged.
   memsim::Op op = memsim::Op::kRead;
 };
 

@@ -1,0 +1,36 @@
+#include "tenant/fairness.hpp"
+
+#include <algorithm>
+
+namespace comet::tenant {
+
+double jain_index(const std::vector<double>& values) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+void apply_fairness(memsim::SimStats& stats) {
+  std::vector<double> slowdowns;
+  slowdowns.reserve(stats.tenants.size());
+  for (auto& tenant : stats.tenants) {
+    if (tenant.requests() == 0 || tenant.alone_avg_latency_ns <= 0.0) {
+      tenant.slowdown = 0.0;
+      continue;
+    }
+    tenant.slowdown = tenant.avg_latency_ns() / tenant.alone_avg_latency_ns;
+    slowdowns.push_back(tenant.slowdown);
+  }
+  stats.max_slowdown =
+      slowdowns.empty()
+          ? 0.0
+          : *std::max_element(slowdowns.begin(), slowdowns.end());
+  stats.fairness_index = jain_index(slowdowns);
+}
+
+}  // namespace comet::tenant

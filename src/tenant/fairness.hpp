@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "memsim/stats.hpp"
+
+/// Fairness arithmetic over per-tenant breakdowns. Pure functions —
+/// the run orchestration that produces their inputs is in runner.hpp.
+namespace comet::tenant {
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over the given
+/// allocations: 1.0 when perfectly equal, 1/n when one tenant takes
+/// everything. An empty or all-zero vector is vacuously fair (1.0).
+double jain_index(const std::vector<double>& values);
+
+/// Fills the derived fairness fields of a multi-tenant result whose
+/// breakdowns already carry run-alone baselines: per-tenant slowdown
+/// (shared mean latency / alone mean latency; 0 for a tenant that
+/// issued no requests, or whose baseline recorded none), max_slowdown
+/// and fairness_index (Jain's, over the slowdowns of tenants that
+/// issued requests — zero-request tenants are excluded rather than
+/// counted as infinitely fair). No-op on a run without tenants.
+void apply_fairness(memsim::SimStats& stats);
+
+}  // namespace comet::tenant

@@ -1,0 +1,133 @@
+#include "tenant/multi_source.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace comet::tenant {
+namespace {
+
+/// Partition slab width: 1 TiB per tenant, far above any working set
+/// the generators address, so slabs never overlap.
+constexpr unsigned kPartitionShift = 40;
+
+/// Mean burst length (requests) of the on/off arrival modulation.
+/// Lengths are drawn uniformly in [1, 2 * kMeanBurstRequests - 1], so
+/// this is the expectation.
+constexpr std::uint64_t kMeanBurstRequests = 16;
+
+}  // namespace
+
+std::uint64_t map_partition(std::uint16_t tenant, std::uint64_t address) {
+  const std::uint64_t slab_mask = (1ull << kPartitionShift) - 1;
+  return (static_cast<std::uint64_t>(tenant) << kPartitionShift) |
+         (address & slab_mask);
+}
+
+std::uint64_t map_interleave(std::uint16_t tenant, std::uint16_t count,
+                             std::uint64_t address,
+                             std::uint32_t line_bytes) {
+  const std::uint64_t line = address / line_bytes;
+  const std::uint64_t offset = address % line_bytes;
+  const std::uint64_t shared_line =
+      line * count + (static_cast<std::uint64_t>(tenant) - 1);
+  return shared_line * line_bytes + offset;
+}
+
+PacedSource::PacedSource(std::unique_ptr<memsim::RequestSource> inner,
+                         std::uint16_t tenant, std::uint16_t tenant_count,
+                         config::TenantMapping mapping,
+                         double mean_interarrival_ns, double burstiness,
+                         std::uint64_t seed, std::uint32_t line_bytes)
+    : inner_(std::move(inner)),
+      tenant_(tenant),
+      tenant_count_(tenant_count),
+      mapping_(mapping),
+      mean_ps_(mean_interarrival_ns * 1e3),
+      burstiness_(burstiness),
+      line_bytes_(line_bytes),
+      rng_(seed) {
+  if (tenant_ == 0) {
+    throw std::invalid_argument("PacedSource: tenant ids are 1-based");
+  }
+  if (tenant_count_ < tenant_) {
+    throw std::invalid_argument(
+        "PacedSource: tenant id exceeds the tenant count");
+  }
+}
+
+std::optional<memsim::Request> PacedSource::next() {
+  auto pulled = inner_->next();
+  if (!pulled) return std::nullopt;
+  memsim::Request req = *pulled;
+  if (mean_ps_ > 0.0) {
+    double gap_ps;
+    if (burstiness_ <= 0.0) {
+      gap_ps = rng_.next_exponential(mean_ps_);
+    } else if (burst_left_ > 0) {
+      --burst_left_;
+      gap_ps = rng_.next_exponential(mean_ps_ * (1.0 - burstiness_));
+    } else {
+      // Between bursts: draw the next burst's length, charge the idle
+      // gap that keeps the long-run rate at 1/mean despite the
+      // compressed in-burst spacing, and emit the burst's first
+      // request.
+      const std::uint64_t burst =
+          1 + rng_.next_below(2 * kMeanBurstRequests - 1);
+      gap_ps = rng_.next_exponential(mean_ps_ * burstiness_ *
+                                     static_cast<double>(burst));
+      burst_left_ = static_cast<int>(burst) - 1;
+      gap_ps += rng_.next_exponential(mean_ps_ * (1.0 - burstiness_));
+    }
+    clock_ps_ += gap_ps;
+    req.arrival_ps = static_cast<std::uint64_t>(clock_ps_);
+  }
+  req.tenant = tenant_;
+  req.address = mapping_ == config::TenantMapping::kPartition
+                    ? map_partition(tenant_, req.address)
+                    : map_interleave(tenant_, tenant_count_, req.address,
+                                     line_bytes_);
+  return req;
+}
+
+MultiSource::MultiSource(std::vector<memsim::RequestSource*> sources)
+    : sources_(std::move(sources)) {
+  if (sources_.empty()) {
+    throw std::invalid_argument("MultiSource: need at least one source");
+  }
+  heads_.resize(sources_.size());
+}
+
+MultiSource::MultiSource(
+    std::vector<std::unique_ptr<memsim::RequestSource>> sources)
+    : owned_(std::move(sources)) {
+  sources_.reserve(owned_.size());
+  for (const auto& source : owned_) sources_.push_back(source.get());
+  if (sources_.empty()) {
+    throw std::invalid_argument("MultiSource: need at least one source");
+  }
+  heads_.resize(sources_.size());
+}
+
+std::optional<memsim::Request> MultiSource::next() {
+  if (!primed_) {
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      heads_[i] = sources_[i]->next();
+    }
+    primed_ = true;
+  }
+  std::size_t best = sources_.size();
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    if (!heads_[i]) continue;
+    if (best == sources_.size() ||
+        heads_[i]->arrival_ps < heads_[best]->arrival_ps) {
+      best = i;
+    }
+  }
+  if (best == sources_.size()) return std::nullopt;
+  memsim::Request req = *heads_[best];
+  heads_[best] = sources_[best]->next();
+  req.id = next_id_++;
+  return req;
+}
+
+}  // namespace comet::tenant

@@ -1,0 +1,120 @@
+#include "tenant/runner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "memsim/trace.hpp"
+#include "memsim/trace_gen.hpp"
+#include "tenant/fairness.hpp"
+#include "tenant/multi_source.hpp"
+
+namespace comet::tenant {
+namespace {
+
+/// Per-tenant seed split (SplitMix64 increment): `salt` separates the
+/// generator's stream from the pacer's so re-timing never correlates
+/// with the addresses being timed.
+std::uint64_t tenant_seed(std::uint64_t seed, std::size_t index,
+                          std::uint64_t salt) {
+  return seed + 0x9e3779b97f4a7c15ULL * (2 * index + 1 + salt);
+}
+
+}  // namespace
+
+std::unique_ptr<memsim::RequestSource> make_tenant_stream(
+    const MultiTenantJob& job, std::size_t index) {
+  if (index >= job.tenants.size()) {
+    throw std::invalid_argument("make_tenant_stream: no such tenant");
+  }
+  const config::TenantSpec& spec = job.tenants[index];
+  spec.validate();
+  const auto tenant_id = static_cast<std::uint16_t>(index + 1);
+  const auto tenant_count = static_cast<std::uint16_t>(job.tenants.size());
+
+  std::unique_ptr<memsim::RequestSource> inner;
+  double mean_interarrival_ns = spec.interarrival_ns;
+  if (!spec.trace_file.empty()) {
+    // Trace tenants keep their native arrival times unless the spec
+    // overrides the rate (mean 0 disables the pacer's re-timing).
+    memsim::TraceConfig trace_config;
+    trace_config.cpu_clock_ghz = job.cpu_ghz;
+    trace_config.line_bytes = job.line_bytes;
+    inner = std::make_unique<memsim::TraceFileSource>(spec.trace_file,
+                                                      trace_config);
+  } else {
+    const std::uint64_t requests =
+        spec.requests != 0 ? spec.requests : job.default_requests;
+    // Generator arrivals are always re-drawn by the pacer (that is the
+    // open-loop model), so the effective rate falls back to the
+    // profile's own when the spec does not override it.
+    if (mean_interarrival_ns <= 0.0) {
+      mean_interarrival_ns = spec.profile.avg_interarrival_ns;
+    }
+    inner = std::make_unique<memsim::GeneratorSource>(
+        memsim::TraceGenerator(spec.profile,
+                               tenant_seed(job.seed, index, /*salt=*/0))
+            .stream(requests, job.line_bytes));
+  }
+  return std::make_unique<PacedSource>(
+      std::move(inner), tenant_id, tenant_count, job.mapping,
+      mean_interarrival_ns, spec.burstiness,
+      tenant_seed(job.seed, index, /*salt=*/1), job.line_bytes);
+}
+
+std::unique_ptr<memsim::RequestSource> make_multi_stream(
+    const MultiTenantJob& job) {
+  config::validate_tenants(job.tenants);
+  std::vector<std::unique_ptr<memsim::RequestSource>> streams;
+  streams.reserve(job.tenants.size());
+  for (std::size_t i = 0; i < job.tenants.size(); ++i) {
+    streams.push_back(make_tenant_stream(job, i));
+  }
+  return std::make_unique<MultiSource>(std::move(streams));
+}
+
+std::string multi_workload_name(const MultiTenantJob& job) {
+  std::string name;
+  for (const auto& tenant : job.tenants) {
+    if (!name.empty()) name += '+';
+    name += tenant.name;
+  }
+  return name;
+}
+
+memsim::SimStats run_multi_tenant(memsim::Engine& engine,
+                                  const MultiTenantJob& job) {
+  config::validate_tenants(job.tenants);
+  if (job.tenants.empty()) {
+    throw std::invalid_argument("run_multi_tenant: no tenants");
+  }
+
+  const auto multi = make_multi_stream(job);
+  memsim::SimStats stats = engine.run(*multi, multi_workload_name(job));
+
+  // A tenant whose stream produced no requests never reached a lane;
+  // make the breakdown dense before naming it.
+  if (stats.tenants.size() < job.tenants.size()) {
+    stats.tenants.resize(job.tenants.size());
+  }
+  for (std::size_t i = 0; i < job.tenants.size(); ++i) {
+    stats.tenants[i].name = job.tenants[i].name;
+  }
+
+  // Run-alone baselines: the identical sub-stream on the identical
+  // engine (controller, thread count and all), telemetry detached so
+  // the shared run's trace stays the run's trace.
+  telemetry::Collector* const collector = engine.telemetry();
+  engine.attach_telemetry(nullptr);
+  for (std::size_t i = 0; i < job.tenants.size(); ++i) {
+    const auto alone = make_tenant_stream(job, i);
+    const memsim::SimStats alone_stats =
+        engine.run(*alone, job.tenants[i].name);
+    stats.tenants[i].alone_avg_latency_ns = alone_stats.avg_latency_ns();
+  }
+  engine.attach_telemetry(collector);
+
+  apply_fairness(stats);
+  return stats;
+}
+
+}  // namespace comet::tenant

@@ -10,7 +10,10 @@
 # One traced, scheduled run is replayed at --run-threads 1 and
 # --run-threads 8 on a flat and a hybrid device; the stats JSON must
 # match bit-for-bit modulo the run_threads provenance field, and the
-# telemetry trace JSON must match byte-for-byte.
+# telemetry trace JSON must match byte-for-byte. A second loop repeats
+# the exercise for a traced multi-tenant run under the fairness-aware
+# FR-FCFS variant — the per-tenant breakdowns, slowdowns, Jain index
+# and the per-tenant telemetry tracks must all shard bit-identically.
 
 if(NOT DEFINED COMET_SIM OR NOT DEFINED WORK_DIR OR NOT DEFINED JQ)
   message(FATAL_ERROR "pass -DCOMET_SIM=..., -DWORK_DIR=... and -DJQ=...")
@@ -66,5 +69,51 @@ foreach(device comet hybrid-comet)
             "byte-identical to serial — lane recording regression")
   endif()
 endforeach()
+
+# --- Multi-tenant determinism: two tenants under frfcfs-cap (the
+# --- starvation bookkeeping is the newest channel-local state, so it
+# --- gets the sharded gate too), traced, serial vs 8 threads.
+foreach(threads 1 8)
+  execute_process(
+    COMMAND ${COMET_SIM} --device comet
+            --tenants "web=gcc_like,batch=mcf_like:40:0.5"
+            --requests 4000
+            --schedule frfcfs-cap --read-q 16 --write-q 16
+            --run-threads ${threads}
+            --trace-out ${WORK_DIR}/tenants_t${threads}_trace.json
+            --json ${WORK_DIR}/tenants_t${threads}.json
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  expect_rc("tenants run-threads ${threads}" "${rc}" 0)
+  execute_process(
+    COMMAND ${JQ} -S
+            "del(.results[].run_threads, .results[].trace_out)"
+            ${WORK_DIR}/tenants_t${threads}.json
+    RESULT_VARIABLE rc
+    OUTPUT_FILE ${WORK_DIR}/tenants_t${threads}_norm.json
+    ERROR_VARIABLE err)
+  expect_rc("tenants t${threads} jq normalize" "${rc}" 0)
+endforeach()
+
+file(READ ${WORK_DIR}/tenants_t1_norm.json serial_stats)
+file(READ ${WORK_DIR}/tenants_t8_norm.json sharded_stats)
+if(NOT serial_stats STREQUAL sharded_stats)
+  message(FATAL_ERROR "multi-tenant: sharded (8-thread) stats differ from "
+          "serial — per-tenant merge determinism regression (diff "
+          "${WORK_DIR}/tenants_t1_norm.json against _t8_norm.json)")
+endif()
+
+# The normalized report must actually carry the tenant block (guards
+# against a regression that silently drops it and trivially passes).
+file(READ ${WORK_DIR}/tenants_t1_norm.json tenant_report)
+if(NOT tenant_report MATCHES "fairness_index")
+  message(FATAL_ERROR "multi-tenant report lost its fairness breakdown")
+endif()
+
+file(READ ${WORK_DIR}/tenants_t1_trace.json serial_trace)
+file(READ ${WORK_DIR}/tenants_t8_trace.json sharded_trace)
+if(NOT serial_trace STREQUAL sharded_trace)
+  message(FATAL_ERROR "multi-tenant: sharded telemetry trace is not "
+          "byte-identical to serial — per-tenant track regression")
+endif()
 
 message(STATUS "sharded-vs-serial determinism tests passed")

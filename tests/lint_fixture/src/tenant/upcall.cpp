@@ -1,0 +1,9 @@
+// Fixture: the tenant front-end reaching up into driver/ (layering
+// break — tenant feeds the driver, never the other way around).
+#include "driver/sweep.hpp"
+
+namespace comet::tenant {
+
+void upcall() {}
+
+}  // namespace comet::tenant

@@ -772,4 +772,137 @@ TEST(ExperimentApi, TelemetryExperimentRoundTripsThroughToml) {
             std::string::npos);
 }
 
+// --- Multi-tenant [tenant] section ---------------------------------------
+
+TEST(ExperimentApi, TenantSectionParses) {
+  const std::string text =
+      "[experiment]\n"
+      "devices = [\"comet\"]\n"
+      "[tenant]\n"
+      "mapping = \"interleave\"\n"
+      "[tenant.web]\n"
+      "workload = \"gcc_like\"\n"
+      "[tenant.batch]\n"
+      "workload = \"mcf_like\"\n"
+      "interarrival_ns = 40.0\n"
+      "burstiness = 0.5\n"
+      "requests = 3000\n";
+  const auto spec = comet::config::parse_experiment(
+      toml::parse_string(text, "t.toml"), nullptr);
+  ASSERT_EQ(spec.tenants.size(), 2u);
+  // Streams come out name-ordered regardless of document order: name
+  // order fixes tenant ids and per-tenant seeds, so two documents
+  // listing the same tenants always mean the same run.
+  EXPECT_EQ(spec.tenants[0].name, "batch");
+  EXPECT_EQ(spec.tenants[0].profile.name, "mcf_like");
+  EXPECT_DOUBLE_EQ(spec.tenants[0].interarrival_ns, 40.0);
+  EXPECT_DOUBLE_EQ(spec.tenants[0].burstiness, 0.5);
+  EXPECT_EQ(spec.tenants[0].requests, 3000u);
+  EXPECT_EQ(spec.tenants[1].name, "web");
+  EXPECT_EQ(spec.tenants[1].profile.name, "gcc_like");
+  EXPECT_EQ(spec.tenants[1].requests, 0u);  // 0 = the run-level default.
+  EXPECT_EQ(spec.tenant_mapping, comet::config::TenantMapping::kInterleave);
+}
+
+TEST(ExperimentApi, TenantSectionDiagnostics) {
+  const auto parse = [](const std::string& tenant_block) {
+    return comet::config::parse_experiment(
+        toml::parse_string("[experiment]\n"
+                           "devices = [\"comet\"]\n" +
+                               tenant_block,
+                           "t.toml"),
+        nullptr);
+  };
+  // Unknown mapping names the two valid spellings.
+  EXPECT_THROW(parse("[tenant]\n"
+                     "mapping = \"striped\"\n"
+                     "[tenant.a]\n"
+                     "workload = \"gcc_like\"\n"),
+               toml::ParseError);
+  // A stream needs a demand: workload or trace_file.
+  EXPECT_THROW(parse("[tenant.a]\n"
+                     "interarrival_ns = 10.0\n"),
+               toml::ParseError);
+  // Unknown workload profiles are rejected at the offending line.
+  EXPECT_THROW(parse("[tenant.a]\n"
+                     "workload = \"no_such_profile\"\n"),
+               toml::ParseError);
+  // A bare [tenant] section with no streams schedules nothing.
+  EXPECT_THROW(parse("[tenant]\n"
+                     "mapping = \"partition\"\n"),
+               toml::ParseError);
+  // Unknown keys are rejected like every other section.
+  EXPECT_THROW(parse("[tenant.a]\n"
+                     "workload = \"gcc_like\"\n"
+                     "priority = 3\n"),
+               toml::ParseError);
+  // burstiness is a fraction of [0, 1).
+  EXPECT_THROW(parse("[tenant.a]\n"
+                     "workload = \"gcc_like\"\n"
+                     "burstiness = 1.0\n"),
+               toml::ParseError);
+}
+
+TEST(ExperimentApi, TenantStreamsConflictWithOtherDemandAxes) {
+  comet::config::TenantSpec tenant;
+  tenant.name = "web";
+  tenant.profile = comet::memsim::profile_by_name("gcc_like");
+  // Tenants own the demand: a workload axis on top is ambiguous.
+  EXPECT_THROW(ExperimentBuilder()
+                   .device("comet")
+                   .workload(comet::memsim::profile_by_name("gcc_like"))
+                   .tenant(tenant)
+                   .build(),
+               std::invalid_argument);
+  // So is a run-level trace file (trace tenants carry their own path).
+  EXPECT_THROW(ExperimentBuilder()
+                   .device("comet")
+                   .trace("demand.nvt", 2.0)
+                   .tenant(tenant)
+                   .build(),
+               std::invalid_argument);
+  EXPECT_NO_THROW(
+      ExperimentBuilder().device("comet").tenant(tenant).build());
+}
+
+TEST(ExperimentApi, TenantExperimentRoundTripsThroughToml) {
+  // The --dump-config loop for multi-tenant runs: the [tenant] section
+  // must survive serialize -> reparse exactly.
+  const auto options = comet::driver::parse_args(
+      {"--device", "comet", "--tenants", "web=gcc_like,batch=mcf_like:40:0.5",
+       "--tenant-mapping", "interleave", "--schedule", "token-budget",
+       "--tenant-tokens", "32", "--requests", "400"});
+  const auto resolved = comet::driver::resolve_experiment(
+      comet::driver::experiment_from_options(options));
+
+  const std::string text = comet::config::experiment_to_toml(resolved);
+  EXPECT_NE(text.find("[tenant]"), std::string::npos);
+  EXPECT_NE(text.find("mapping = \"interleave\""), std::string::npos);
+  EXPECT_NE(text.find("[tenant.batch]"), std::string::npos);
+  EXPECT_NE(text.find("[tenant.web]"), std::string::npos);
+  EXPECT_NE(text.find("tenant_tokens = 32"), std::string::npos);
+  const auto reparsed = comet::config::parse_experiment(
+      toml::parse_string(text, "dump.toml"), nullptr);
+  ASSERT_EQ(reparsed.tenants.size(), resolved.tenants.size());
+  for (std::size_t i = 0; i < reparsed.tenants.size(); ++i) {
+    EXPECT_EQ(reparsed.tenants[i].name, resolved.tenants[i].name);
+    EXPECT_EQ(reparsed.tenants[i].profile.name,
+              resolved.tenants[i].profile.name);
+    EXPECT_DOUBLE_EQ(reparsed.tenants[i].interarrival_ns,
+                     resolved.tenants[i].interarrival_ns);
+    EXPECT_DOUBLE_EQ(reparsed.tenants[i].burstiness,
+                     resolved.tenants[i].burstiness);
+    EXPECT_EQ(reparsed.tenants[i].requests, resolved.tenants[i].requests);
+  }
+  EXPECT_EQ(reparsed.tenant_mapping, resolved.tenant_mapping);
+  EXPECT_EQ(reparsed.controller.tenant_tokens, 32);
+
+  // A tenant-free spec writes no [tenant] section at all.
+  const auto plain = comet::driver::resolve_experiment(
+      comet::driver::experiment_from_options(comet::driver::parse_args(
+          {"--device", "comet", "--workload", "gcc_like"})));
+  EXPECT_EQ(comet::config::experiment_to_toml(plain).find("[tenant]"),
+            std::string::npos);
+}
+
 }  // namespace

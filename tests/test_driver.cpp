@@ -552,7 +552,7 @@ TEST(OptionsTest, ListPoliciesParsesAndRegistryIsComplete) {
   EXPECT_TRUE(parse_args({"--list-policies"}).list_policies);
   EXPECT_FALSE(parse_args({}).list_policies);
   const auto& policies = comet::sched::known_policies();
-  ASSERT_EQ(policies.size(), 3u);
+  ASSERT_EQ(policies.size(), 5u);
   for (const auto& info : policies) {
     // The printed token must round-trip through the scheduler's own
     // name mapping — the same token --schedule accepts.
@@ -631,6 +631,106 @@ TEST(ReportTest, JsonCarriesTelemetryProvenanceAndTimeline) {
         "\"timeline\": null"}) {
     EXPECT_NE(plain.str().find(field), std::string::npos) << field;
   }
+}
+
+TEST(OptionsTest, TenantListParsesAndSortsByName) {
+  const Options opt = parse_args(
+      {"--device", "comet", "--tenants",
+       "web=gcc_like,batch=mcf_like:40:0.5", "--tenant-mapping",
+       "interleave"});
+  const auto tenants = comet::driver::tenants_from_options(opt);
+  ASSERT_EQ(tenants.size(), 2u);
+  // Name order, not flag order: tenant ids and seeds must not depend
+  // on how the user happened to type the list.
+  EXPECT_EQ(tenants[0].name, "batch");
+  EXPECT_EQ(tenants[0].profile.name, "mcf_like");
+  EXPECT_DOUBLE_EQ(tenants[0].interarrival_ns, 40.0);
+  EXPECT_DOUBLE_EQ(tenants[0].burstiness, 0.5);
+  EXPECT_EQ(tenants[1].name, "web");
+  EXPECT_EQ(tenants[1].profile.name, "gcc_like");
+  EXPECT_DOUBLE_EQ(tenants[1].interarrival_ns, 0.0);
+  EXPECT_EQ(opt.tenant_mapping, "interleave");
+}
+
+TEST(OptionsTest, TenantListDiagnostics) {
+  // Malformed entries die at parse time (main() maps this to exit 2).
+  EXPECT_THROW(parse_args({"--tenants", ""}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--tenants", "webgcc_like"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--tenants", "web="}), std::invalid_argument);
+  EXPECT_THROW(parse_args({"--tenants", "=gcc_like"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--tenants", "web=no_such_profile"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--tenants", "web=gcc_like,web=mcf_like"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--tenants", "web=gcc_like:abc"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--tenants", "web=gcc_like:40:1.5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--tenants", "a b=gcc_like"}),
+               std::invalid_argument);
+  // A trace tenant's file must be readable at parse time.
+  EXPECT_THROW(parse_args({"--tenants", "prod=@/no/such.nvt"}),
+               std::invalid_argument);
+}
+
+TEST(OptionsTest, TenantFlagDependenciesRejectedAtParseTime) {
+  EXPECT_THROW(parse_args({"--tenant-mapping", "interleave"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--tenants", "web=gcc_like", "--tenant-mapping",
+                           "striped"}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_args({"--tenants", "web=gcc_like", "--workload", "gcc_like"}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_args({"--tenants", "web=gcc_like", "--dump-trace", "x.nvt"}),
+      std::invalid_argument);
+  const TempTraceFile file;
+  EXPECT_THROW(parse_args({"--tenants", "web=gcc_like", "--trace-file",
+                           file.path()}),
+               std::invalid_argument);
+}
+
+TEST(OptionsTest, FairnessKnobsDemandTheirPolicy) {
+  using comet::driver::scheduler_from_options;
+  // The knobs only mean something under their policy; anywhere else
+  // they would silently gate nothing.
+  EXPECT_THROW(
+      scheduler_from_options(parse_args({"--tenant-tokens", "32"})),
+      std::invalid_argument);
+  EXPECT_THROW(scheduler_from_options(parse_args(
+                   {"--schedule", "frfcfs", "--tenant-tokens", "32"})),
+               std::invalid_argument);
+  EXPECT_THROW(scheduler_from_options(parse_args(
+                   {"--schedule", "token-budget", "--starvation-cap", "8"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_args({"--tenant-tokens", "0"}), std::invalid_argument);
+
+  const auto budget = scheduler_from_options(parse_args(
+      {"--schedule", "token-budget", "--tenant-tokens", "32"}));
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_EQ(budget->tenant_tokens, 32);
+  const auto capped = scheduler_from_options(parse_args(
+      {"--schedule", "frfcfs-cap", "--starvation-cap", "8"}));
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ(capped->starvation_cap, 8);
+}
+
+TEST(SweepTest, TenantSpecsRideIntoEveryJob) {
+  const auto jobs = build_matrix(parse_args(
+      {"--device", "comet", "--tenants", "web=gcc_like,batch=mcf_like",
+       "--schedule", "frfcfs-cap", "--requests", "500"}));
+  ASSERT_EQ(jobs.size(), 1u);
+  ASSERT_EQ(jobs[0].tenants.size(), 2u);
+  EXPECT_EQ(jobs[0].tenants[0].name, "batch");
+  EXPECT_EQ(jobs[0].tenants[1].name, "web");
+  EXPECT_EQ(jobs[0].profile.name, "batch+web");
+  EXPECT_EQ(jobs[0].tenant_mapping, comet::config::TenantMapping::kPartition);
+  ASSERT_TRUE(jobs[0].controller.has_value());
+  EXPECT_EQ(jobs[0].controller->policy,
+            comet::sched::Policy::kFrFcfsCap);
 }
 
 }  // namespace

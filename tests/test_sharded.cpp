@@ -95,9 +95,8 @@ const std::vector<ms::Request>& shared_trace() {
 std::vector<std::optional<sc::ControllerConfig>> controller_axis() {
   std::vector<std::optional<sc::ControllerConfig>> axis;
   axis.push_back(std::nullopt);
-  for (const auto policy :
-       {sc::Policy::kFcfs, sc::Policy::kFrFcfs, sc::Policy::kReadFirst}) {
-    axis.push_back(sc::ControllerConfig::with_depths(policy, 8, 8));
+  for (const auto& info : sc::known_policies()) {
+    axis.push_back(sc::ControllerConfig::with_depths(info.policy, 8, 8));
   }
   return axis;
 }
