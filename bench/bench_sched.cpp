@@ -25,6 +25,7 @@
 #include "bench_json.hpp"
 #include "driver/registry.hpp"
 #include "driver/sweep.hpp"
+#include "memsim/sharded.hpp"
 #include "memsim/trace_gen.hpp"
 #include "sched/controller.hpp"
 #include "util/table.hpp"
@@ -169,6 +170,7 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_sched.json");
   if (json) {
     namespace cb = comet::bench;
+    const int hw_threads = comet::memsim::resolve_run_threads(0);
     std::vector<cb::BenchResult> results;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const auto& c = *jobs[i].controller;
@@ -185,6 +187,7 @@ int main(int argc, char** argv) {
                   {"workload", cb::json_str(jobs[i].profile.name)},
                   {"policy", cb::json_str(sc::policy_name(c.policy))},
                   {"queue_depth", std::to_string(c.read_queue_depth)},
+                  {"hw_threads", std::to_string(hw_threads)},
                   {"line_bytes", std::to_string(kLineBytes)},
                   {"seed", "42"}};
       results.push_back(std::move(r));

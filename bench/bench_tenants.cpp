@@ -27,6 +27,7 @@
 #include "config/tenant_spec.hpp"
 #include "driver/registry.hpp"
 #include "driver/sweep.hpp"
+#include "memsim/sharded.hpp"
 #include "memsim/trace_gen.hpp"
 #include "sched/controller.hpp"
 #include "util/table.hpp"
@@ -129,6 +130,7 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_tenants.json");
   if (json) {
     namespace cb = comet::bench;
+    const int hw_threads = comet::memsim::resolve_run_threads(0);
     const std::size_t shared_requests = 2 * requests_per_tenant;
     std::vector<cb::BenchResult> results;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -145,6 +147,7 @@ int main(int argc, char** argv) {
           {"mapping",
            cb::json_str(cf::tenant_mapping_name(jobs[i].tenant_mapping))},
           {"requests_per_tenant", std::to_string(requests_per_tenant)},
+          {"hw_threads", std::to_string(hw_threads)},
           {"line_bytes", std::to_string(kLineBytes)},
           {"seed", "42"}};
       results.push_back(std::move(r));

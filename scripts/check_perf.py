@@ -11,14 +11,32 @@ once they land in the baseline. Cells that *improved* past the same
 threshold are flagged informationally (never failing) — a stale
 baseline under-gates every later change, so a refresh is suggested.
 
+Thread-count guard (PR 10): every bench cell records the host's
+resolved hardware thread count under ``config.hw_threads``. When the
+baseline cell was generated on a host with a different thread count
+than the current run, its throughput is not comparable (sharded cells
+scale with the core count), so that cell is warned about and skipped
+instead of gated. Cells whose baselines predate the field compare as
+before.
+
+Report mode (PR 10): ``--report [DIR]`` pairs every
+``BASELINE_<x>.json`` with its ``BENCH_<x>.json`` in DIR (default: the
+current directory — the layout the CI perf lane creates) and writes a
+markdown perf-trajectory table to ``--out`` (default:
+``PERF_REPORT.md``). Report mode never fails the build; it is the
+visibility artifact, the pairwise gate above is the enforcement.
+
 Usage:
     check_perf.py BASELINE.json CURRENT.json [--max-regression 0.15]
+    check_perf.py --report [DIR] [--out PERF_REPORT.md]
 
 Stdlib only, so it runs on any CI image with a bare python3.
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 
@@ -39,19 +57,54 @@ def load(path):
     return doc["bench"], by_name
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=0.15,
-        help="max allowed fractional throughput drop per cell "
-        "(default: 0.15 = 15%%)",
-    )
-    args = parser.parse_args()
+def hw_threads_of(result):
+    """The recorded host thread count, or None for pre-PR-10 cells."""
+    return result.get("config", {}).get("hw_threads")
 
+
+def compare_cells(baseline, current, max_regression):
+    """Pairs baseline and current cells into comparison rows.
+
+    Each row is a dict with name / base_rps / cur_rps / delta / status,
+    where status is one of: ok, regression, improved, missing, new,
+    skipped (hw_threads mismatch — note carries the detail).
+    """
+    rows = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        row = {"name": name, "base_rps": base["requests_per_s"],
+               "cur_rps": None, "delta": None, "status": "missing",
+               "note": ""}
+        if name in current:
+            cur = current[name]
+            row["cur_rps"] = cur["requests_per_s"]
+            base_hw = hw_threads_of(base)
+            cur_hw = hw_threads_of(cur)
+            if (base_hw is not None and cur_hw is not None
+                    and base_hw != cur_hw):
+                row["status"] = "skipped"
+                row["note"] = (f"hw_threads {base_hw} -> {cur_hw}: "
+                               "not comparable")
+            else:
+                base_rps = row["base_rps"]
+                delta = ((row["cur_rps"] - base_rps) / base_rps
+                         if base_rps > 0 else 0.0)
+                row["delta"] = delta
+                if delta < -max_regression:
+                    row["status"] = "regression"
+                elif delta > max_regression:
+                    row["status"] = "improved"
+                else:
+                    row["status"] = "ok"
+        rows.append(row)
+    for name in sorted(set(current) - set(baseline)):
+        rows.append({"name": name, "base_rps": None,
+                     "cur_rps": current[name]["requests_per_s"],
+                     "delta": None, "status": "new", "note": ""})
+    return rows
+
+
+def run_gate(args):
     bench_base, baseline = load(args.baseline)
     bench_cur, current = load(args.current)
     if bench_base != bench_cur:
@@ -60,34 +113,45 @@ def main():
             f"current is '{bench_cur}'"
         )
 
+    rows = compare_cells(baseline, current, args.max_regression)
     failures = []
     improvements = []
-    width = max((len(n) for n in baseline), default=4)
+    skips = []
+    width = max((len(r["name"]) for r in rows), default=4)
     print(f"perf gate: {bench_base} "
           f"(max regression {args.max_regression:.0%})")
     print(f"{'cell':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
-    for name in sorted(baseline):
-        base_rps = baseline[name]["requests_per_s"]
-        if name not in current:
-            print(f"{name:<{width}}  {base_rps:>12.0f}  {'MISSING':>12}")
+    for row in rows:
+        name = row["name"]
+        if row["status"] == "missing":
+            print(f"{name:<{width}}  {row['base_rps']:>12.0f}  {'MISSING':>12}")
             failures.append(f"{name}: missing from current run")
             continue
-        cur_rps = current[name]["requests_per_s"]
-        delta = (cur_rps - base_rps) / base_rps if base_rps > 0 else 0.0
+        if row["status"] == "new":
+            print(f"{name:<{width}}  {'(new)':>12}  {row['cur_rps']:>12.0f}")
+            continue
+        if row["status"] == "skipped":
+            print(f"{name:<{width}}  {row['base_rps']:>12.0f}  "
+                  f"{row['cur_rps']:>12.0f}  {'skipped':>8}  << {row['note']}")
+            skips.append(f"{name}: {row['note']}")
+            continue
         flag = ""
-        if delta < -args.max_regression:
+        if row["status"] == "regression":
             flag = "  << REGRESSION"
-            failures.append(f"{name}: {delta:+.1%} (allowed -"
+            failures.append(f"{name}: {row['delta']:+.1%} (allowed -"
                             f"{args.max_regression:.0%})")
-        elif delta > args.max_regression:
+        elif row["status"] == "improved":
             flag = "  << improved"
-            improvements.append(f"{name}: {delta:+.1%}")
-        print(f"{name:<{width}}  {base_rps:>12.0f}  {cur_rps:>12.0f}  "
-              f"{delta:>+7.1%}{flag}")
-    for name in sorted(set(current) - set(baseline)):
-        print(f"{name:<{width}}  {'(new)':>12}  "
-              f"{current[name]['requests_per_s']:>12.0f}")
+            improvements.append(f"{name}: {row['delta']:+.1%}")
+        print(f"{name:<{width}}  {row['base_rps']:>12.0f}  "
+              f"{row['cur_rps']:>12.0f}  {row['delta']:>+7.1%}{flag}")
 
+    if skips:
+        print(f"\nwarning: {len(skips)} cell(s) skipped — the baseline "
+              "was recorded on a host with a different hardware thread "
+              "count, so its throughput does not gate this run:")
+        for skip in skips:
+            print(f"  ~ {skip}")
     if improvements:
         # Informational only: a much-faster cell means the committed
         # baseline is stale, and a stale baseline masks future
@@ -104,6 +168,103 @@ def main():
         return 1
     print("\nOK: no cell regressed past the gate")
     return 0
+
+
+def markdown_rps(value):
+    return f"{value:,.0f}" if value is not None else "—"
+
+
+STATUS_NOTES = {
+    "ok": "",
+    "regression": "**regression**",
+    "improved": "improved",
+    "missing": "**missing from current run**",
+    "new": "new cell (ungated until committed)",
+}
+
+
+def run_report(args):
+    report_dir = args.report_dir or "."
+    pairs = []
+    for base_path in sorted(glob.glob(os.path.join(report_dir,
+                                                   "BASELINE_*.json"))):
+        suffix = os.path.basename(base_path)[len("BASELINE_"):]
+        cur_path = os.path.join(report_dir, "BENCH_" + suffix)
+        if os.path.exists(cur_path):
+            pairs.append((base_path, cur_path))
+        else:
+            print(f"note: {base_path} has no matching BENCH_{suffix}",
+                  file=sys.stderr)
+    if not pairs:
+        sys.exit(f"{report_dir}: no BASELINE_*.json / BENCH_*.json pairs "
+                 "(the CI perf lane renames committed baselines to "
+                 "BASELINE_<x>.json before rerunning the benches)")
+
+    lines = ["# COMET perf trajectory", "",
+             f"Per-cell replay throughput vs the committed baseline "
+             f"(gate threshold {args.max_regression:.0%}; rows whose "
+             "baseline host had a different `hw_threads` are skipped, "
+             "not gated).", ""]
+    for base_path, cur_path in pairs:
+        bench_base, baseline = load(base_path)
+        bench_cur, current = load(cur_path)
+        if bench_base != bench_cur:
+            sys.exit(f"bench mismatch: {base_path} is '{bench_base}', "
+                     f"{cur_path} is '{bench_cur}'")
+        rows = compare_cells(baseline, current, args.max_regression)
+        lines.append(f"## {bench_base}")
+        lines.append("")
+        lines.append("| cell | baseline req/s | current req/s | delta "
+                     "| note |")
+        lines.append("|---|---:|---:|---:|---|")
+        for row in rows:
+            delta = (f"{row['delta']:+.1%}" if row["delta"] is not None
+                     else "—")
+            note = row["note"] or STATUS_NOTES.get(row["status"], "")
+            lines.append(f"| {row['name']} | {markdown_rps(row['base_rps'])} "
+                         f"| {markdown_rps(row['cur_rps'])} | {delta} "
+                         f"| {note} |")
+        lines.append("")
+
+    with open(args.out, "w") as f:
+        f.write("\n".join(lines))
+    print(f"wrote {args.out} ({len(pairs)} bench pair(s))")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="perf regression gate / report (see module docstring)")
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline bench_json (gate mode)")
+    parser.add_argument("current", nargs="?",
+                        help="current bench_json (gate mode)")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="max allowed fractional throughput drop per cell "
+        "(default: 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--report", nargs="?", const=".", default=None, metavar="DIR",
+        dest="report_dir",
+        help="aggregate BASELINE_*.json / BENCH_*.json pairs in DIR "
+        "(default: .) into a markdown trajectory table instead of gating")
+    parser.add_argument(
+        "--out", default="PERF_REPORT.md",
+        help="markdown output path for --report (default: PERF_REPORT.md)")
+    args = parser.parse_args()
+
+    if args.report_dir is not None:
+        if args.baseline or args.current:
+            parser.error("--report takes a directory, not baseline/current "
+                         "files")
+        return run_report(args)
+    if not args.baseline or not args.current:
+        parser.error("gate mode needs BASELINE.json and CURRENT.json "
+                     "(or use --report)")
+    return run_gate(args)
 
 
 if __name__ == "__main__":

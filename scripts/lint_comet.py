@@ -13,7 +13,8 @@ reviewer to notice.
 Rules (select a subset with --rules, list them with --list-rules):
 
   thread-containment  std::thread / std::jthread / std::async only in
-                      memsim/sharded.cpp and driver/sweep.cpp.
+                      memsim/sharded.cpp, driver/sweep.cpp and
+                      prof/heartbeat.cpp.
   determinism         no rand()/srand()/std::random_device and no
                       wall-clock (system_clock, time(NULL), ...) inside
                       the engine layers (everything under src/ except
@@ -60,7 +61,8 @@ import sys
 LAYER_DEPS = {
     "util": [],
     "telemetry": ["util"],
-    "memsim": ["util", "telemetry"],
+    "prof": ["util"],
+    "memsim": ["util", "telemetry", "prof"],
     "materials": ["util"],
     "photonics": ["materials"],
     "core": ["photonics", "memsim"],
@@ -68,15 +70,17 @@ LAYER_DEPS = {
     "dram": ["memsim"],
     "sched": ["memsim"],
     "hybrid": ["memsim", "sched"],
-    "config": ["memsim", "sched", "hybrid"],
+    "config": ["memsim", "sched", "hybrid", "prof"],
     "tenant": ["memsim", "sched", "config"],
     "accel": ["memsim"],
     "driver": ["core", "cosmos", "dram", "sched", "hybrid", "config",
                "tenant", "accel"],
 }
 
-# Files allowed to spawn threads: the two sanctioned pools.
-THREAD_ALLOWLIST = {"memsim/sharded.cpp", "driver/sweep.cpp"}
+# Files allowed to spawn threads: the two sanctioned pools plus the
+# progress-heartbeat thread (PR 10), which only ever reads atomics.
+THREAD_ALLOWLIST = {"memsim/sharded.cpp", "driver/sweep.cpp",
+                    "prof/heartbeat.cpp"}
 
 # Layers where std::deque is banned (PR 6: RingQueue on the hot path).
 DEQUE_BANNED_LAYERS = {"util", "memsim", "sched", "hybrid", "telemetry"}
@@ -183,8 +187,9 @@ def scan_file(path, src_root, rules, out):
 
         if rel not in THREAD_ALLOWLIST and THREAD_RE.search(code):
             hit(i, "thread-containment",
-                "thread primitive outside LanePool (memsim/sharded.cpp) "
-                "and the driver sweep pool (driver/sweep.cpp)")
+                "thread primitive outside LanePool (memsim/sharded.cpp), "
+                "the driver sweep pool (driver/sweep.cpp) and the "
+                "progress heartbeat (prof/heartbeat.cpp)")
 
         if layer != FRONTEND_LAYER:
             for pattern, what in DETERMINISM_RES:

@@ -91,6 +91,7 @@ void ExperimentSpec::validate() const {
   }
   if (!policies.empty()) controller.validate();
   telemetry.validate();
+  profile.validate();
 }
 
 ExperimentBuilder& ExperimentBuilder::name(std::string value) {
@@ -158,6 +159,11 @@ ExperimentBuilder& ExperimentBuilder::telemetry(
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::profile(comet::prof::ProfSpec spec) {
+  spec_.profile = std::move(spec);
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::tenant(TenantSpec spec) {
   spec_.tenants.push_back(std::move(spec));
   return *this;
@@ -221,6 +227,14 @@ ExperimentSpec parse_experiment(const toml::Document& doc,
 
   if (const toml::Table* telemetry = root.child("telemetry")) {
     parse_telemetry_section(*telemetry, doc.source, spec.telemetry);
+  }
+
+  if (const toml::Table* profile = root.child("profile")) {
+    parse_profile_section(*profile, doc.source, spec.profile);
+  }
+
+  if (const toml::Table* slo = root.child("slo")) {
+    parse_slo_section(*slo, doc.source, spec.profile);
   }
 
   if (const toml::Table* tenant = root.child("tenant")) {
@@ -338,6 +352,18 @@ void write_experiment(std::ostream& os, const ExperimentSpec& spec) {
            << toml::format_string(spec.telemetry.metrics_csv) << "\n";
       }
     }
+  }
+  if (spec.profile.profiling() || spec.profile.heartbeat()) {
+    os << "\n[profile]\n";
+    if (spec.profile.profiling()) os << "enabled = true\n";
+    if (spec.profile.heartbeat()) {
+      os << "progress_ms = " << spec.profile.progress_ms << "\n";
+    }
+  }
+  if (spec.profile.gating()) {
+    os << "\n[slo]\n"
+       << "assert = "
+       << toml::format_string(prof::slo_to_string(spec.profile.slo)) << "\n";
   }
   if (!spec.tenants.empty()) {
     os << "\n[tenant]\n"

@@ -51,6 +51,13 @@
 ///     metrics_interval_ns = 1000000         # epoch metrics time-series
 ///     metrics_csv = "timeline.csv"          # also dump the timeline
 ///
+///     [profile]                             # host observability (optional)
+///     enabled = true                        # stage/lane wall profiling
+///     progress_ms = 500                     # live stderr heartbeat
+///
+///     [slo]                                 # run health gates (optional)
+///     assert = "p99_read_ns<=2500"          # violation -> exit 3
+///
 ///     [tenant]                              # multi-tenant run (optional)
 ///     mapping = "partition"                 # or "interleave"
 ///     [tenant.web]                          # one section per stream
@@ -105,6 +112,13 @@ struct ExperimentSpec {
   /// every matrix cell (each cell records into its own Collector).
   /// Default-constructed = disabled; never affects the replay results.
   comet::telemetry::TelemetrySpec telemetry;
+
+  /// Host-side observability: run profiling, the live progress
+  /// heartbeat and SLO health gates ([profile] / [slo] sections, the
+  /// --profile/--progress/--assert-slo flags). Applied to every matrix
+  /// cell (each cell profiles into its own Profiler); never affects
+  /// the replay results.
+  comet::prof::ProfSpec profile;
 
   /// Multi-tenant front-end: non-empty turns every matrix cell into an
   /// interleaved run of these streams (plus per-tenant run-alone
@@ -162,6 +176,9 @@ class ExperimentBuilder {
 
   /// Observability spec applied to every cell (see ExperimentSpec).
   ExperimentBuilder& telemetry(comet::telemetry::TelemetrySpec spec);
+
+  /// Host-side observability spec applied to every cell.
+  ExperimentBuilder& profile(comet::prof::ProfSpec spec);
 
   /// Appends one tenant stream (engages the multi-tenant front-end).
   ExperimentBuilder& tenant(TenantSpec spec);

@@ -801,6 +801,32 @@ void parse_telemetry_section(const toml::Table& table,
   validated(reader, table.line, [&] { spec.validate(); });
 }
 
+void parse_profile_section(const toml::Table& table, const std::string& source,
+                           prof::ProfSpec& spec) {
+  TableReader reader(table, source, "[profile]");
+  if (auto v = reader.get_bool("enabled")) spec.profile = *v;
+  if (auto v = reader.get_u64("progress_ms", 1)) spec.progress_ms = *v;
+  reader.finish();
+  validated(reader, table.line, [&] { spec.validate(); });
+}
+
+void parse_slo_section(const toml::Table& table, const std::string& source,
+                       prof::ProfSpec& spec) {
+  TableReader reader(table, source, "[slo]");
+  if (auto lists = reader.get_string_list("assert")) {
+    for (const std::string& text : lists.value()) {
+      try {
+        std::vector<prof::SloPredicate> parsed = prof::parse_slo(text);
+        spec.slo.insert(spec.slo.end(), parsed.begin(), parsed.end());
+      } catch (const std::exception& e) {
+        reader.fail_at(reader.key_line("assert"), e.what());
+      }
+    }
+  }
+  reader.finish();
+  validated(reader, table.line, [&] { spec.validate(); });
+}
+
 void parse_tenant_section(const toml::Table& table, const std::string& source,
                           std::vector<TenantSpec>& tenants,
                           TenantMapping& mapping) {

@@ -12,6 +12,7 @@
 #include "config/tenant_spec.hpp"
 #include "config/toml.hpp"
 #include "memsim/trace_gen.hpp"
+#include "prof/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 /// Two-way serialization between the simulator's configuration structs
@@ -190,5 +191,21 @@ void parse_telemetry_section(const toml::Table& table,
 void parse_tenant_section(const toml::Table& table, const std::string& source,
                           std::vector<TenantSpec>& tenants,
                           TenantMapping& mapping);
+
+/// Parses a `[profile]` table into the host-side observability spec:
+/// `enabled` (record the host profile — the `--profile` flag) and
+/// `progress_ms` (live heartbeat interval, >= 1 — `--progress=N`).
+/// Keys override the spec's defaults in place. Schema violations raise
+/// toml::ParseError anchored to the offending line.
+void parse_profile_section(const toml::Table& table, const std::string& source,
+                           prof::ProfSpec& spec);
+
+/// Parses an `[slo]` table: `assert` — one predicate list string or an
+/// array of them (the `--assert-slo` grammar, see prof/slo.hpp),
+/// concatenated into the spec's gate set. Malformed predicates and
+/// unknown metrics raise toml::ParseError anchored to the offending
+/// line.
+void parse_slo_section(const toml::Table& table, const std::string& source,
+                       prof::ProfSpec& spec);
 
 }  // namespace comet::config

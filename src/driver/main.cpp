@@ -12,9 +12,12 @@
 #include "driver/options.hpp"
 #include "driver/registry.hpp"
 #include "driver/report.hpp"
+#include "driver/slo_eval.hpp"
 #include "driver/sweep.hpp"
 #include "memsim/trace.hpp"
 #include "memsim/trace_gen.hpp"
+#include "prof/heartbeat.hpp"
+#include "prof/profiler.hpp"
 #include "sched/controller.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
@@ -132,13 +135,60 @@ int main(int argc, char** argv) {
     const auto jobs = build_matrix(options);
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::unique_ptr<comet::telemetry::Collector>> collectors;
-    const auto results = run_sweep(jobs, options.threads, &collectors);
+
+    // Host observability: the profilers exist before the sweep starts so
+    // the heartbeat can watch their progress counters live; the sweep
+    // attaches them per job. Heartbeat-only runs still profile nothing —
+    // the "host" JSON object stays null without --profile.
+    auto profilers = make_profilers(jobs);
+    std::unique_ptr<comet::prof::Heartbeat> heartbeat;
+    const std::uint64_t heartbeat_ms =
+        jobs.empty() ? 0 : jobs.front().profile_spec.progress_ms;
+    if (heartbeat_ms > 0) {
+      std::vector<const comet::prof::Profiler*> watched;
+      watched.reserve(profilers.size());
+      for (const auto& profiler : profilers) {
+        if (profiler) watched.push_back(profiler.get());
+      }
+      if (!watched.empty()) {
+        heartbeat = std::make_unique<comet::prof::Heartbeat>(
+            std::cerr, heartbeat_ms, std::move(watched),
+            estimate_sweep_requests(jobs));
+      }
+    }
+
+    const auto results =
+        run_sweep(jobs, options.threads, &collectors, &profilers);
+    if (heartbeat) heartbeat->stop();
     const auto elapsed = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start);
 
     print_report(std::cout, jobs, results, options.csv);
+    print_host_profile(std::cout, jobs, &profilers, options.csv);
     std::cout << "\n" << jobs.size() << " run(s) in " << elapsed.count()
               << " s\n";
+
+    // SLO health gates: evaluated per record against the finished stats
+    // (plus each job's host wall clock). The report is still written in
+    // full — exit 3 replaces exit 0 only after everything is on disk,
+    // so CI can both archive the JSON and fail the build.
+    std::vector<std::vector<SloOutcome>> slo_outcomes(jobs.size());
+    bool slo_failed = false;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto& predicates = jobs[i].profile_spec.slo;
+      if (predicates.empty()) continue;
+      const double wall_s =
+          profilers[i] ? profilers[i]->wall_seconds() : 0.0;
+      slo_outcomes[i] = evaluate_slo(predicates, results[i], wall_s);
+      for (const auto& outcome : slo_outcomes[i]) {
+        if (outcome.pass) continue;
+        slo_failed = true;
+        std::cerr << "comet_sim: SLO violation: "
+                  << outcome.predicate.to_string() << " (actual "
+                  << outcome.value << ") on " << jobs[i].device.name << "/"
+                  << jobs[i].profile.name << "\n";
+      }
+    }
 
     // Telemetry exports: every traced cell lands in one Chrome trace
     // (one process group per run × stage × channel) and one timeline
@@ -193,7 +243,7 @@ int main(int argc, char** argv) {
     }
 
     if (!json_tmp.empty()) {
-      write_json(out, jobs, results, &collectors);
+      write_json(out, jobs, results, &collectors, &profilers, &slo_outcomes);
       out.close();
       if (out.fail() ||
           std::rename(json_tmp.c_str(), options.json_path.c_str()) != 0) {
@@ -204,6 +254,7 @@ int main(int argc, char** argv) {
       }
       std::cout << "wrote " << options.json_path << "\n";
     }
+    if (slo_failed) return 3;
   } catch (const std::exception& e) {
     std::cerr << "comet_sim: " << e.what() << "\n";
     return 1;

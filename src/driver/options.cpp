@@ -105,6 +105,28 @@ Options parse_args(const std::vector<std::string>& args) {
       opt.list_policies = true;
       continue;
     }
+    if (flag == "--profile") {
+      opt.profile = true;
+      matrix(flag);
+      continue;
+    }
+    // --progress takes an optional =ms value (there is no way to make a
+    // space-separated value optional), defaulting to two ticks a second.
+    if (flag == "--progress") {
+      opt.progress_ms = 500;
+      matrix(flag);
+      continue;
+    }
+    if (flag.rfind("--progress=", 0) == 0) {
+      opt.progress_ms =
+          parse_u64("--progress", flag.substr(std::string("--progress=").size()));
+      if (opt.progress_ms == 0) {
+        throw std::invalid_argument(
+            "--progress interval must be >= 1 (milliseconds between updates)");
+      }
+      matrix("--progress");
+      continue;
+    }
     const auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) {
         throw std::invalid_argument(flag + " requires a value");
@@ -256,6 +278,14 @@ Options parse_args(const std::vector<std::string>& args) {
         throw std::invalid_argument("--metrics-csv requires a non-empty path");
       }
       matrix(flag);
+    } else if (flag == "--assert-slo") {
+      opt.assert_slo = next();
+      if (opt.assert_slo.empty()) {
+        throw std::invalid_argument(
+            "--assert-slo requires a predicate list, e.g. "
+            "\"p99_read_ns<=2500,requests_per_s>=5e6\"");
+      }
+      matrix(flag);
     } else if (flag == "--json") {
       opt.json_path = next();
       if (opt.json_path.empty()) {
@@ -366,6 +396,9 @@ Options parse_args(const std::vector<std::string>& args) {
   // Same for the telemetry flags (--trace-limit without --trace-out,
   // --metrics-csv without --metrics-interval).
   (void)telemetry_from_options(opt);
+  // And the host-observability flags: a malformed or unknown-metric
+  // --assert-slo expression exits 2 before any simulation.
+  (void)prof_from_options(opt);
   return opt;
 }
 
@@ -514,6 +547,21 @@ telemetry::TelemetrySpec telemetry_from_options(const Options& options) {
   return spec;
 }
 
+prof::ProfSpec prof_from_options(const Options& options) {
+  prof::ProfSpec spec;
+  spec.profile = options.profile;
+  spec.progress_ms = options.progress_ms;
+  if (!options.assert_slo.empty()) {
+    try {
+      spec.slo = prof::parse_slo(options.assert_slo);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(std::string("--assert-slo: ") + e.what());
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
 std::string usage() {
   std::ostringstream os;
   os << "comet_sim — trace-driven sweep driver for the COMET memory study\n"
@@ -597,6 +645,18 @@ std::string usage() {
      << "                         activity, latency percentiles) into the\n"
      << "                         --json report's timeline array\n"
      << "  --metrics-csv <path>   also write the timeline as CSV\n"
+     << "  --profile              record a host-side run profile (stage wall\n"
+     << "                         times, lane utilization, queue stalls,\n"
+     << "                         peak RSS) into each record's JSON host\n"
+     << "                         object and a console table; never changes\n"
+     << "                         the simulated results\n"
+     << "  --progress[=ms]        live heartbeat on stderr while the sweep\n"
+     << "                         runs: completed/total requests, req/s,\n"
+     << "                         ETA, RSS (default period: 500 ms)\n"
+     << "  --assert-slo <list>    comma-separated run health gates over\n"
+     << "                         the report metrics, e.g.\n"
+     << "                         \"p99_read_ns<=2500,requests_per_s>=5e6\";\n"
+     << "                         any violated predicate exits 3\n"
      << "  --json <path>          also write machine-readable JSON\n"
      << "  --csv                  print CSV instead of aligned tables\n"
      << "  --list-devices         print every device token and exit\n"

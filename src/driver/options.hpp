@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "config/tenant_spec.hpp"
+#include "prof/profiler.hpp"
 #include "sched/controller.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -95,6 +96,15 @@ struct Options {
   std::optional<std::uint64_t> trace_limit;  ///< Event cap (0 = unlimited).
   std::optional<std::uint64_t> metrics_interval_ns;  ///< Epoch length.
   std::string metrics_csv;       ///< Non-empty: also dump timeline CSV.
+
+  // --- Host-side observability (src/prof): --profile records stage /
+  // --- LanePool wall-clock profiles into each record's JSON `host`
+  // --- object, --progress[=ms] runs the live stderr heartbeat, and
+  // --- --assert-slo gates the run's health (violation = exit 3). None
+  // --- of them changes the replay results.
+  bool profile = false;          ///< --profile: record host profiles.
+  std::uint64_t progress_ms = 0; ///< --progress heartbeat period; 0 = off.
+  std::string assert_slo;        ///< --assert-slo predicate list ("" = off).
 };
 
 /// The controller config the --schedule/--read-q/--write-q/--drain-*
@@ -111,6 +121,13 @@ std::optional<sched::ControllerConfig> scheduler_from_options(
 /// --metrics-csv without --metrics-interval (parse_args calls this, so
 /// bad combinations exit 2 before any simulation).
 telemetry::TelemetrySpec telemetry_from_options(const Options& options);
+
+/// The host-observability spec the --profile/--progress/--assert-slo
+/// flags describe (disabled when none is given). Throws
+/// std::invalid_argument on a malformed --assert-slo expression or an
+/// unknown SLO metric (parse_args calls this, so bad predicates exit 2
+/// before any simulation).
+prof::ProfSpec prof_from_options(const Options& options);
 
 /// The tenant streams the --tenants list describes (empty without the
 /// flag). Entries are `name=workload[:interarrival_ns[:burstiness]]`

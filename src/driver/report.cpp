@@ -160,6 +160,67 @@ void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
   }
 }
 
+void print_host_profile(
+    std::ostream& os, const std::vector<SweepJob>& jobs,
+    const std::vector<std::unique_ptr<prof::Profiler>>* profilers, bool csv) {
+  if (!profilers) return;
+  if (profilers->size() != jobs.size()) {
+    throw std::invalid_argument("jobs/profilers size mismatch");
+  }
+  using util::Table;
+
+  Table host({"device", "workload", "wall (s)", "req/s", "pool util",
+              "push stalls", "pop waits", "queue max"});
+  Table stages({"device", "workload", "stage", "calls", "wall (s)", "share"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const prof::Profiler* profiler = (*profilers)[i].get();
+    if (!profiler || !profiler->spec().profiling()) continue;
+
+    // Pool pressure aggregated across this record's pools (a hybrid run
+    // has one pool per tier stage): utilization weighted by worker-time.
+    double busy_s = 0.0, capacity_s = 0.0;
+    std::uint64_t push_stalls = 0, pop_waits = 0;
+    std::size_t queue_high_water = 0;
+    for (const auto& pool : profiler->pools()) {
+      push_stalls += pool->push_stalls;
+      if (pool->queue_high_water > queue_high_water) {
+        queue_high_water = pool->queue_high_water;
+      }
+      for (const auto& worker : pool->workers) {
+        busy_s += worker.busy_s;
+        pop_waits += worker.pop_waits;
+      }
+      capacity_s +=
+          pool->wall_s * static_cast<double>(pool->workers.size());
+    }
+    const double utilization = capacity_s > 0.0 ? busy_s / capacity_s : 0.0;
+    host.add_row({jobs[i].device.name, jobs[i].profile.name,
+                  Table::num(profiler->wall_seconds(), 3),
+                  Table::sci(profiler->requests_per_second(), 3),
+                  Table::num(utilization, 3),
+                  std::to_string(push_stalls), std::to_string(pop_waits),
+                  std::to_string(queue_high_water)});
+
+    const double wall_s = profiler->wall_seconds();
+    for (const auto& [name, stage] : profiler->stages()) {
+      stages.add_row({jobs[i].device.name, jobs[i].profile.name, name,
+                      std::to_string(stage.calls),
+                      Table::num(stage.wall_s, 3),
+                      Table::num(wall_s > 0.0 ? stage.wall_s / wall_s : 0.0,
+                                 3)});
+    }
+  }
+  if (host.rows() == 0) return;
+
+  os << "\n=== Host profile (wall clock; peak RSS "
+     << prof::peak_rss_bytes() / (1024 * 1024) << " MiB) ===\n";
+  if (csv) host.print_csv(os); else host.print(os);
+  if (stages.rows() > 0) {
+    os << "\n=== Host stage timings ===\n";
+    if (csv) stages.print_csv(os); else stages.print(os);
+  }
+}
+
 namespace {
 
 void write_timeline_json(std::ostream& os,
@@ -227,17 +288,94 @@ void write_telemetry_json(std::ostream& os,
   os << "]}";
 }
 
+/// The whole-job host profile: wall clock, throughput, RSS, stage
+/// timings and one entry per LanePool.
+void write_host_json(std::ostream& os, const prof::Profiler& profiler) {
+  os << "{\"wall_s\": " << json_num(profiler.wall_seconds())
+     << ", \"requests\": " << profiler.run_requests()
+     << ", \"requests_per_s\": " << json_num(profiler.requests_per_second())
+     << ", \"peak_rss_bytes\": " << prof::peak_rss_bytes()
+     << ", \"stages\": [";
+  bool first = true;
+  for (const auto& [name, stage] : profiler.stages()) {
+    os << (first ? "" : ", ") << "{\"stage\": " << json_str(name)
+       << ", \"calls\": " << stage.calls
+       << ", \"wall_s\": " << json_num(stage.wall_s) << "}";
+    first = false;
+  }
+  os << "], \"pools\": [";
+  bool first_pool = true;
+  for (const auto& pool : profiler.pools()) {
+    os << (first_pool ? "" : ", ") << "{\"stage\": " << json_str(pool->stage)
+       << ", \"threads\": " << pool->threads
+       << ", \"wall_s\": " << json_num(pool->wall_s)
+       << ", \"utilization\": " << json_num(pool->utilization())
+       << ", \"blocks_pushed\": " << pool->blocks_pushed
+       << ", \"blocks_allocated\": " << pool->blocks_allocated
+       << ", \"blocks_recycled\": " << pool->blocks_recycled
+       << ", \"push_stalls\": " << pool->push_stalls
+       << ", \"push_wait_s\": " << json_num(pool->push_wait_s)
+       << ", \"queue_high_water\": " << pool->queue_high_water
+       << ", \"lanes\": [";
+    for (std::size_t l = 0; l < pool->lanes.size(); ++l) {
+      const auto& lane = pool->lanes[l];
+      os << (l ? ", " : "") << "{\"busy_s\": " << json_num(lane.busy_s)
+         << ", \"blocks\": " << lane.blocks
+         << ", \"requests\": " << lane.requests << "}";
+    }
+    os << "], \"workers\": [";
+    for (std::size_t w = 0; w < pool->workers.size(); ++w) {
+      const auto& worker = pool->workers[w];
+      os << (w ? ", " : "") << "{\"busy_s\": " << json_num(worker.busy_s)
+         << ", \"idle_s\": " << json_num(worker.idle_s)
+         << ", \"pop_waits\": " << worker.pop_waits << "}";
+    }
+    os << "]}";
+    first_pool = false;
+  }
+  os << "]}";
+}
+
+/// The SLO verdict: overall pass plus one check per predicate. A check
+/// that was skipped (metric not applicable to this record) reports
+/// applicable=false and pass=true so the reader can tell "held" from
+/// "not measured".
+void write_slo_json(std::ostream& os,
+                    const std::vector<SloOutcome>& outcomes) {
+  os << "{\"pass\": " << (slo_violated(outcomes) ? "false" : "true")
+     << ", \"checks\": [";
+  for (std::size_t c = 0; c < outcomes.size(); ++c) {
+    const SloOutcome& outcome = outcomes[c];
+    os << (c ? ", " : "")
+       << "{\"predicate\": " << json_str(outcome.predicate.to_string())
+       << ", \"metric\": " << json_str(outcome.predicate.metric)
+       << ", \"threshold\": " << json_num(outcome.predicate.threshold)
+       << ", \"value\": " << json_num(outcome.value)
+       << ", \"applicable\": " << (outcome.applicable ? "true" : "false")
+       << ", \"pass\": " << (outcome.pass ? "true" : "false") << "}";
+  }
+  os << "]}";
+}
+
 }  // namespace
 
 void write_json(
     std::ostream& os, const std::vector<SweepJob>& jobs,
     const std::vector<memsim::SimStats>& results,
-    const std::vector<std::unique_ptr<telemetry::Collector>>* collectors) {
+    const std::vector<std::unique_ptr<telemetry::Collector>>* collectors,
+    const std::vector<std::unique_ptr<prof::Profiler>>* profilers,
+    const std::vector<std::vector<SloOutcome>>* slo) {
   if (jobs.size() != results.size()) {
     throw std::invalid_argument("jobs/results size mismatch");
   }
   if (collectors && collectors->size() != jobs.size()) {
     throw std::invalid_argument("jobs/collectors size mismatch");
+  }
+  if (profilers && profilers->size() != jobs.size()) {
+    throw std::invalid_argument("jobs/profilers size mismatch");
+  }
+  if (slo && slo->size() != jobs.size()) {
+    throw std::invalid_argument("jobs/slo size mismatch");
   }
   os << "{\n  \"bench\": \"comet_sim_sweep\",\n  \"results\": [";
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -375,6 +513,23 @@ void write_json(
       write_timeline_json(os, *collector);
     } else {
       os << ", \"timeline\": null";
+    }
+    // Host profile and SLO verdict, same null contract: --profile off
+    // (or a heartbeat/gate-only profiler) keeps "host" null, no
+    // --assert-slo keeps "slo" null.
+    const prof::Profiler* profiler =
+        profilers ? (*profilers)[i].get() : nullptr;
+    if (profiler && job.profile_spec.profiling()) {
+      os << ", \"host\": ";
+      write_host_json(os, *profiler);
+    } else {
+      os << ", \"host\": null";
+    }
+    if (slo && !(*slo)[i].empty()) {
+      os << ", \"slo\": ";
+      write_slo_json(os, (*slo)[i]);
+    } else {
+      os << ", \"slo\": null";
     }
     os << "}";
   }

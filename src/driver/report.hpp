@@ -3,6 +3,7 @@
 #include <ostream>
 #include <vector>
 
+#include "driver/slo_eval.hpp"
 #include "driver/sweep.hpp"
 #include "memsim/stats.hpp"
 
@@ -14,6 +15,15 @@ namespace comet::driver {
 /// switches both tables to CSV.
 void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
                   const std::vector<memsim::SimStats>& results, bool csv);
+
+/// "Host profile" tables for the --profile runs: per-record wall time,
+/// throughput, pool utilization and queue pressure, followed by the
+/// per-stage wall-time breakdown. Prints nothing when no record was
+/// profiled (`profilers` null, or no entry with spec().profiling()).
+/// `profilers`, when given, must be indexed like `jobs`.
+void print_host_profile(
+    std::ostream& os, const std::vector<SweepJob>& jobs,
+    const std::vector<std::unique_ptr<prof::Profiler>>* profilers, bool csv);
 
 /// BENCH_fig9.json-style record: `{"bench": "comet_sim_sweep",
 /// "results": [{device, workload, channels, requests, seed,
@@ -32,10 +42,22 @@ void print_report(std::ostream& os, const std::vector<SweepJob>& jobs,
 /// diffs a traced run against an untraced one field for field.
 /// `collectors`, when given, must be indexed like `jobs` (null entries
 /// = telemetry disabled for that job).
+///
+/// Host observability rides along the same way: a "host" object (whole-
+/// job wall time, host throughput, peak RSS, stage timings and LanePool
+/// profiles) on records whose job had --profile and a Profiler in
+/// `profilers`, and an "slo" object (overall pass plus one check per
+/// predicate, skipped checks marked inapplicable) on records with an
+/// entry in `slo` — both null otherwise, preserving the jq del() diff
+/// contract. `profilers` and `slo`, when given, must be indexed like
+/// `jobs` (an empty predicate list in `slo` means "no gating" for that
+/// record).
 void write_json(
     std::ostream& os, const std::vector<SweepJob>& jobs,
     const std::vector<memsim::SimStats>& results,
     const std::vector<std::unique_ptr<telemetry::Collector>>* collectors =
-        nullptr);
+        nullptr,
+    const std::vector<std::unique_ptr<prof::Profiler>>* profilers = nullptr,
+    const std::vector<std::vector<SloOutcome>>* slo = nullptr);
 
 }  // namespace comet::driver

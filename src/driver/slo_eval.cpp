@@ -1,0 +1,82 @@
+#include "driver/slo_eval.hpp"
+
+namespace comet::driver {
+namespace {
+
+struct Metric {
+  bool applicable = false;
+  double value = 0.0;
+};
+
+Metric lookup(const std::string& name, const memsim::SimStats& stats,
+              double wall_s) {
+  const auto yes = [](double value) { return Metric{true, value}; };
+
+  // Simulated-time metrics: defined for every record (empty stats
+  // yield their natural zeros — RunningStats guards its own divisions).
+  if (name == "avg_latency_ns") return yes(stats.avg_latency_ns());
+  if (name == "avg_read_ns") return yes(stats.read_latency_ns.mean());
+  if (name == "avg_write_ns") return yes(stats.write_latency_ns.mean());
+  if (name == "avg_queue_delay_ns") return yes(stats.queue_delay_ns.mean());
+  if (name == "p50_read_ns") return yes(stats.read_latency_ns.p50());
+  if (name == "p95_read_ns") return yes(stats.read_latency_ns.p95());
+  if (name == "p99_read_ns") return yes(stats.read_latency_ns.p99());
+  if (name == "p50_write_ns") return yes(stats.write_latency_ns.p50());
+  if (name == "p95_write_ns") return yes(stats.write_latency_ns.p95());
+  if (name == "p99_write_ns") return yes(stats.write_latency_ns.p99());
+  if (name == "bandwidth_gbps") return yes(stats.bandwidth_gbps());
+  if (name == "energy_pj_per_bit") return yes(stats.epb_pj_per_bit());
+
+  // Mode-dependent metrics: skipped (never violating) where the record
+  // has no such concept, so one gate set serves a mixed sweep.
+  if (name == "hit_rate") {
+    return Metric{stats.is_hybrid(), stats.is_hybrid() ? stats.hit_rate() : 0.0};
+  }
+  if (name == "max_slowdown") {
+    return Metric{stats.is_multi_tenant(), stats.max_slowdown};
+  }
+  if (name == "fairness_index") {
+    return Metric{stats.is_multi_tenant(), stats.fairness_index};
+  }
+
+  // Host-side metrics: need the per-job wall clock, which exists
+  // whenever a Profiler was attached (--profile/--progress/--assert-slo
+  // all attach one).
+  if (name == "wall_s") return Metric{wall_s > 0.0, wall_s};
+  if (name == "requests_per_s") {
+    const auto requests = static_cast<double>(stats.reads + stats.writes);
+    return Metric{wall_s > 0.0, wall_s > 0.0 ? requests / wall_s : 0.0};
+  }
+  // Unreachable for predicates built by prof::parse_slo (the grammar
+  // validates names against prof::known_slo_metrics; a registry/eval
+  // drift is caught by tests iterating that list).
+  return Metric{false, 0.0};
+}
+
+}  // namespace
+
+std::vector<SloOutcome> evaluate_slo(
+    const std::vector<prof::SloPredicate>& predicates,
+    const memsim::SimStats& stats, double wall_s) {
+  std::vector<SloOutcome> outcomes;
+  outcomes.reserve(predicates.size());
+  for (const prof::SloPredicate& predicate : predicates) {
+    SloOutcome outcome;
+    outcome.predicate = predicate;
+    const Metric metric = lookup(predicate.metric, stats, wall_s);
+    outcome.applicable = metric.applicable;
+    outcome.value = metric.value;
+    outcome.pass = !metric.applicable || predicate.holds(metric.value);
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+bool slo_violated(const std::vector<SloOutcome>& outcomes) {
+  for (const SloOutcome& outcome : outcomes) {
+    if (!outcome.pass) return true;
+  }
+  return false;
+}
+
+}  // namespace comet::driver

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "memsim/stats.hpp"
+#include "prof/slo.hpp"
+
+/// SLO health-gate evaluation: maps the metric *names* the prof layer's
+/// grammar accepts (prof::known_slo_metrics) onto the *values* a
+/// finished run produced. The split keeps the grammar reusable and
+/// engine-agnostic while the driver — which owns SimStats and the host
+/// wall clock — decides what each name means.
+namespace comet::driver {
+
+/// One predicate's result against one record.
+struct SloOutcome {
+  prof::SloPredicate predicate;
+
+  /// False when the metric does not exist for this record (hit_rate on
+  /// a flat device, max_slowdown without tenants, requests_per_s /
+  /// wall_s without --profile). Skipped predicates never violate — a
+  /// sweep mixing hybrid and flat cells can still gate on hit_rate.
+  bool applicable = false;
+  double value = 0.0;
+  bool pass = true;  ///< True when skipped or when the predicate holds.
+};
+
+/// Evaluates every predicate against one record. `wall_s` is the job's
+/// host wall time (0 when unprofiled — the host metrics are then not
+/// applicable). Division-guarded throughout: a zero-request or
+/// zero-time run yields zeros, never NaN.
+std::vector<SloOutcome> evaluate_slo(
+    const std::vector<prof::SloPredicate>& predicates,
+    const memsim::SimStats& stats, double wall_s);
+
+/// True when any outcome is an applicable failed predicate.
+bool slo_violated(const std::vector<SloOutcome>& outcomes);
+
+}  // namespace comet::driver

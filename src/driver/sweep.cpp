@@ -1,6 +1,7 @@
 #include "driver/sweep.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -65,6 +66,7 @@ config::ExperimentSpec experiment_from_options(const Options& options) {
     builder.controller_config(*controller);
   }
   builder.telemetry(telemetry_from_options(options));
+  builder.profile(prof_from_options(options));
 
   builder.requests({options.requests})
       .seeds({options.seed})
@@ -168,6 +170,7 @@ std::vector<SweepJob> build_matrix(const config::ExperimentSpec& spec) {
                 job.controller = controller;
                 job.run_threads = run_threads;
                 job.telemetry = resolved.telemetry;
+                job.profile_spec = resolved.profile;
                 job.tenants = resolved.tenants;
                 job.tenant_mapping = resolved.tenant_mapping;
                 job.experiment = resolved.name;
@@ -187,10 +190,22 @@ std::vector<SweepJob> build_matrix(const Options& options) {
   return build_matrix(experiment_from_options(options));
 }
 
-memsim::SimStats run_job(const SweepJob& job,
-                         telemetry::Collector* collector) {
+memsim::SimStats run_job(const SweepJob& job, telemetry::Collector* collector,
+                         prof::Profiler* profiler) {
   const auto engine = job.device.make_engine(job.controller, job.run_threads);
   if (collector) engine->attach_telemetry(collector);
+  if (profiler) engine->attach_profiler(profiler);
+  const auto started = std::chrono::steady_clock::now();
+  const auto finish = [&](memsim::SimStats stats) {
+    if (profiler) {
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      profiler->set_run_totals(wall_s, stats.reads + stats.writes);
+    }
+    return stats;
+  };
   if (!job.tenants.empty()) {
     tenant::MultiTenantJob multi;
     multi.tenants = job.tenants;
@@ -199,22 +214,53 @@ memsim::SimStats run_job(const SweepJob& job,
     multi.seed = job.seed;
     multi.line_bytes = job.line_bytes;
     multi.cpu_ghz = job.cpu_ghz;
-    return tenant::run_multi_tenant(*engine, multi);
+    return finish(tenant::run_multi_tenant(*engine, multi));
   }
   if (!job.trace_path.empty()) {
     memsim::TraceFileSource source(
         job.trace_path, memsim::TraceConfig{.cpu_clock_ghz = job.cpu_ghz,
                                             .line_bytes = job.line_bytes});
-    return engine->run(source, job.profile.name);
+    return finish(engine->run(source, job.profile.name));
   }
   auto source = memsim::TraceGenerator(job.profile, job.seed)
                     .stream(job.requests, job.line_bytes);
-  return engine->run(source, job.profile.name);
+  return finish(engine->run(source, job.profile.name));
+}
+
+std::vector<std::unique_ptr<prof::Profiler>> make_profilers(
+    const std::vector<SweepJob>& jobs) {
+  std::vector<std::unique_ptr<prof::Profiler>> profilers(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].profile_spec.enabled()) {
+      profilers[i] = std::make_unique<prof::Profiler>(jobs[i].profile_spec);
+    }
+  }
+  return profilers;
+}
+
+std::uint64_t estimate_sweep_requests(const std::vector<SweepJob>& jobs) {
+  std::uint64_t total = 0;
+  for (const SweepJob& job : jobs) {
+    if (!job.tenants.empty()) {
+      // Merged run plus one baseline replay per tenant: 2x each stream.
+      for (const auto& tenant : job.tenants) {
+        const std::uint64_t requests =
+            tenant.trace_file.empty()
+                ? (tenant.requests > 0 ? tenant.requests : job.requests)
+                : 0;  // Trace tenants: length unknown until EOF.
+        total += 2 * requests;
+      }
+    } else if (job.trace_path.empty()) {
+      total += job.requests;
+    }
+  }
+  return total;
 }
 
 std::vector<memsim::SimStats> run_sweep(
     const std::vector<SweepJob>& jobs, int threads,
-    std::vector<std::unique_ptr<telemetry::Collector>>* collectors) {
+    std::vector<std::unique_ptr<telemetry::Collector>>* collectors,
+    std::vector<std::unique_ptr<prof::Profiler>>* profilers) {
   std::vector<memsim::SimStats> results(jobs.size());
   if (collectors) {
     // One collector per telemetry-enabled job, created before any
@@ -231,6 +277,9 @@ std::vector<memsim::SimStats> run_sweep(
   const auto job_collector = [&](std::size_t i) -> telemetry::Collector* {
     return collectors ? (*collectors)[i].get() : nullptr;
   };
+  const auto job_profiler = [&](std::size_t i) -> prof::Profiler* {
+    return profilers ? (*profilers)[i].get() : nullptr;
+  };
   if (jobs.empty()) return results;
 
   if (threads <= 0) {
@@ -243,7 +292,7 @@ std::vector<memsim::SimStats> run_sweep(
 
   if (threads == 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      results[i] = run_job(jobs[i], job_collector(i));
+      results[i] = run_job(jobs[i], job_collector(i), job_profiler(i));
     }
     return results;
   }
@@ -257,7 +306,7 @@ std::vector<memsim::SimStats> run_sweep(
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
       try {
-        results[i] = run_job(jobs[i], job_collector(i));
+        results[i] = run_job(jobs[i], job_collector(i), job_profiler(i));
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

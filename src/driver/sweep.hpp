@@ -10,6 +10,7 @@
 #include "driver/registry.hpp"
 #include "memsim/stats.hpp"
 #include "memsim/trace_gen.hpp"
+#include "prof/profiler.hpp"
 
 /// Parallel sweep engine: fans the experiment matrix out across a
 /// thread pool. Each job is fully independent — the request stream is
@@ -53,6 +54,11 @@ struct SweepJob {
   /// results are identical either way; only the recording happens).
   comet::telemetry::TelemetrySpec telemetry;
 
+  /// Host-side observability for this cell (wall-clock twin of
+  /// `telemetry`): stage/LanePool profiling, heartbeat progress and SLO
+  /// gating. Also never changes the replay results.
+  comet::prof::ProfSpec profile_spec;
+
   /// Multi-tenant front-end: non-empty replaces the single stream with
   /// the interleaved tenant streams (tenant::run_multi_tenant —
   /// `requests` then serves as the per-tenant default and `profile`
@@ -91,8 +97,26 @@ std::vector<SweepJob> build_matrix(const Options& options);
 /// streams the job's source through the device's engine in O(1) memory.
 /// A non-null `collector` is attached to the engine for the run (the
 /// caller builds it from job.telemetry and reads it back afterwards).
+/// A non-null `profiler` is likewise attached and additionally receives
+/// the job's wall time and request total (set_run_totals) when the run
+/// finishes; neither observer changes the simulated stats.
 memsim::SimStats run_job(const SweepJob& job,
-                         telemetry::Collector* collector = nullptr);
+                         telemetry::Collector* collector = nullptr,
+                         prof::Profiler* profiler = nullptr);
+
+/// One Profiler per profiling-enabled job (indexed like `jobs`; null
+/// entries otherwise), built eagerly on the calling thread — hoisted
+/// out of run_sweep so the heartbeat can start watching the profilers'
+/// progress counters *before* the sweep runs.
+std::vector<std::unique_ptr<prof::Profiler>> make_profilers(
+    const std::vector<SweepJob>& jobs);
+
+/// Upper-bound request total for the whole sweep (the heartbeat's ETA
+/// denominator): synthetic cells contribute `requests` (tenant cells
+/// twice — the merged run plus the per-tenant baseline replays); trace
+/// cells contribute 0 (stream length unknown until EOF), so a
+/// trace-only sweep reports progress without an ETA.
+std::uint64_t estimate_sweep_requests(const std::vector<SweepJob>& jobs);
 
 /// Runs every job across `threads` workers (0 → hardware concurrency,
 /// clamped to the job count; 1 → fully serial in the calling thread).
@@ -104,8 +128,14 @@ memsim::SimStats run_job(const SweepJob& job,
 /// the calling thread before any worker starts and attached to each
 /// job's engine — each job records into its own collector, so the sweep
 /// pool needs no telemetry synchronization.
+///
+/// A non-null `profilers` (from make_profilers, indexed like `jobs`)
+/// attaches each entry to its job's engine the same way. The caller
+/// owns the vector so the heartbeat can poll the progress counters —
+/// the only profiler state written while a job is still running.
 std::vector<memsim::SimStats> run_sweep(
     const std::vector<SweepJob>& jobs, int threads,
-    std::vector<std::unique_ptr<telemetry::Collector>>* collectors = nullptr);
+    std::vector<std::unique_ptr<telemetry::Collector>>* collectors = nullptr,
+    std::vector<std::unique_ptr<prof::Profiler>>* profilers = nullptr);
 
 }  // namespace comet::driver

@@ -1,12 +1,14 @@
 #include "hybrid/tiered_system.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "memsim/sharded.hpp"
 #include "memsim/system.hpp"
+#include "prof/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/units.hpp"
 
@@ -103,13 +105,14 @@ class TierStage {
             const std::optional<sched::ControllerConfig>& controller,
             const std::string& workload_name, int threads,
             telemetry::Recorder* dram_telemetry,
-            telemetry::Recorder* backend_telemetry)
+            telemetry::Recorder* backend_telemetry,
+            prof::Profiler* profiler)
       : dram_(dram),
         backend_(backend),
         dram_lanes_(static_cast<std::size_t>(dram.model().timing.channels)),
         pool_(make_lanes(dram, backend, controller, workload_name,
                          dram_telemetry, backend_telemetry),
-              threads) {}
+              threads, profiler ? profiler->add_pool("tiers") : nullptr) {}
 
   void feed_dram(const memsim::Request& request) {
     pool_.feed(
@@ -207,9 +210,10 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
         "backend", config_.backend.timing.channels,
         config_.backend.timing.banks_per_channel, limit - limit / 2);
   }
+  prof::Profiler* const profiler = this->profiler();
   TierStage tiers(dram_system, backend_system, backend_controller_,
                   workload_name, run_threads_, dram_recorder,
-                  backend_recorder);
+                  backend_recorder, profiler);
   // Derived-request ids live in their own (top-bit) namespace, above any
   // realistic demand id space, for traceability.
   std::uint64_t next_id = 1ull << 63;
@@ -299,13 +303,33 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
   };
 
   Request block[memsim::kFeedBlockRequests];
+  using ProfClock = std::chrono::steady_clock;
+  double pull_s = 0.0;
+  double feed_s = 0.0;
+  std::uint64_t batches = 0;
   for (;;) {
+    ProfClock::time_point t0;
+    if (profiler) t0 = ProfClock::now();
     const std::size_t pulled =
         source.next_batch(block, memsim::kFeedBlockRequests);
     if (pulled == 0) break;
+    if (profiler) {
+      pull_s += std::chrono::duration<double>(ProfClock::now() - t0).count();
+      ++batches;
+      t0 = ProfClock::now();
+    }
     for (std::size_t i = 0; i < pulled; ++i) process_demand(block[i]);
+    if (profiler) {
+      feed_s += std::chrono::duration<double>(ProfClock::now() - t0).count();
+      profiler->add_progress(pulled);
+    }
+  }
+  if (profiler && batches > 0) {
+    profiler->record_stage("source_pull", pull_s, batches);
+    profiler->record_stage("engine_feed", feed_s, batches);
   }
 
+  prof::StageTimer merge_timer(profiler, "shard_merge");
   memsim::ReplaySlice dram_slice;
   memsim::ReplaySlice backend_slice;
   tiers.finish(dram_slice, backend_slice);
@@ -316,6 +340,7 @@ TieredStats TieredSystem::run_tiered(memsim::RequestSource& source,
   stats.dram = memsim::finalize_slice(std::move(dram_slice), config_.dram);
   stats.backend =
       memsim::finalize_slice(std::move(backend_slice), config_.backend);
+  merge_timer.stop();
 
   // The demand wall-clock: first demand arrival to the last completion
   // of either tier. Each tier's span is anchored at its own sub-stream's

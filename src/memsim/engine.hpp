@@ -10,6 +10,10 @@ namespace comet::telemetry {
 class Collector;
 }
 
+namespace comet::prof {
+class Profiler;
+}
+
 /// The polymorphic replay-engine seam.
 ///
 /// Every architecture in the study — a flat MemorySystem, a hybrid
@@ -39,6 +43,18 @@ class Engine {
   /// tests read this; sweeps attach per-job collectors).
   telemetry::Collector* telemetry() const { return telemetry_; }
 
+  /// Attaches a host-side profiler the next run() reports into: stage
+  /// wall timings, LanePool utilization/stall counters, and the live
+  /// progress counter the heartbeat polls. Null (the default) disables
+  /// profiling at the cost of one pointer test per request block;
+  /// simulated statistics are bit-identical either way. Same lifetime
+  /// and sharing rules as attach_telemetry: one profiler per concurrent
+  /// job, outliving every run().
+  void attach_profiler(prof::Profiler* profiler) { profiler_ = profiler; }
+
+  /// The attached profiler, or nullptr.
+  prof::Profiler* profiler() const { return profiler_; }
+
   /// Replays the stream (which must yield requests sorted by arrival
   /// time; throws std::invalid_argument naming the offending index
   /// otherwise) and returns aggregate statistics. The source is drained
@@ -53,6 +69,7 @@ class Engine {
 
  private:
   telemetry::Collector* telemetry_ = nullptr;
+  prof::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace comet::memsim

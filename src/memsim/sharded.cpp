@@ -1,16 +1,28 @@
 #include "memsim/sharded.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "prof/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/ring.hpp"
 
 namespace comet::memsim {
+
+namespace {
+
+using ProfClock = std::chrono::steady_clock;
+
+double seconds_since(ProfClock::time_point start) {
+  return std::chrono::duration<double>(ProfClock::now() - start).count();
+}
+
+}  // namespace
 
 int resolve_run_threads(int requested) {
   if (requested < 0) {
@@ -46,6 +58,9 @@ struct LanePool::Impl {
     bool done = false;
     bool failed = false;
     std::exception_ptr error;
+    /// This worker's profile slot, or null. Written only by this worker
+    /// thread; the join in shutdown() publishes it to the reader.
+    prof::WorkerProfile* wprof = nullptr;
   };
 
   std::vector<std::unique_ptr<ShardLane>> lanes;
@@ -54,19 +69,33 @@ struct LanePool::Impl {
   std::vector<std::unique_ptr<Worker>> workers;  ///< Empty = inline mode.
   std::mutex free_mutex;
   std::vector<std::unique_ptr<Block>> free_blocks;
+  /// Host profile, or null. Producer-side counters (push_*, block
+  /// accounting, high water) are producer-thread-only; each lane/worker
+  /// slot belongs to the worker owning that lane (lane % workers).
+  prof::PoolProfile* profile = nullptr;
+  ProfClock::time_point profile_start;
 
-  Impl(std::vector<std::unique_ptr<ShardLane>> lanes_in, int threads)
-      : lanes(std::move(lanes_in)) {
+  Impl(std::vector<std::unique_ptr<ShardLane>> lanes_in, int threads,
+       prof::PoolProfile* profile_in)
+      : lanes(std::move(lanes_in)), profile(profile_in) {
     if (lanes.empty()) {
       throw std::invalid_argument("LanePool: at least one lane required");
+    }
+    if (profile) {
+      profile->lanes.resize(lanes.size());
+      profile->threads = threads <= 1 ? 0 : static_cast<int>(std::min(
+                             static_cast<std::size_t>(threads), lanes.size()));
+      profile_start = ProfClock::now();
     }
     if (threads <= 1) return;  // Inline mode: feed on the caller's thread.
     const std::size_t worker_count =
         std::min(static_cast<std::size_t>(threads), lanes.size());
     pending.resize(lanes.size());
     workers.reserve(worker_count);
+    if (profile) profile->workers.resize(worker_count);
     for (std::size_t i = 0; i < worker_count; ++i) {
       workers.push_back(std::make_unique<Worker>());
+      if (profile) workers.back()->wprof = &profile->workers[i];
     }
     // Spawn only once every Worker is at its final address.
     for (auto& worker : workers) {
@@ -90,6 +119,13 @@ struct LanePool::Impl {
         free_blocks.pop_back();
       }
     }
+    if (profile) {
+      if (block) {
+        ++profile->blocks_recycled;
+      } else {
+        ++profile->blocks_allocated;
+      }
+    }
     if (!block) {
       block = std::make_unique<Block>();
       block->requests.reserve(kFeedBlockRequests);
@@ -110,7 +146,16 @@ struct LanePool::Impl {
       bool failed = false;
       {
         std::unique_lock<std::mutex> lock(w.mutex);
-        w.can_pull.wait(lock, [&] { return w.done || !w.queue.empty(); });
+        if (w.wprof && !w.done && w.queue.empty()) {
+          // Only a wait that actually blocks is counted as idle time —
+          // the common full-queue path stays untimed.
+          const ProfClock::time_point wait_start = ProfClock::now();
+          w.can_pull.wait(lock, [&] { return w.done || !w.queue.empty(); });
+          ++w.wprof->pop_waits;
+          w.wprof->idle_s += seconds_since(wait_start);
+        } else {
+          w.can_pull.wait(lock, [&] { return w.done || !w.queue.empty(); });
+        }
         if (w.queue.empty()) return;  // done, and fully drained.
         block = std::move(w.queue.front());
         w.queue.pop_front();
@@ -122,7 +167,18 @@ struct LanePool::Impl {
       if (!failed) {
         try {
           ShardLane& lane = *lanes[block->lane];
-          for (const Request& req : block->requests) lane.feed(req);
+          if (w.wprof) {
+            const ProfClock::time_point feed_start = ProfClock::now();
+            for (const Request& req : block->requests) lane.feed(req);
+            const double busy = seconds_since(feed_start);
+            w.wprof->busy_s += busy;
+            prof::LaneProfile& lprof = profile->lanes[block->lane];
+            lprof.busy_s += busy;
+            ++lprof.blocks;
+            lprof.requests += block->requests.size();
+          } else {
+            for (const Request& req : block->requests) lane.feed(req);
+          }
         } catch (...) {
           std::lock_guard<std::mutex> lock(w.mutex);
           w.failed = true;
@@ -137,8 +193,18 @@ struct LanePool::Impl {
     Worker& w = worker_for(block->lane);
     {
       std::unique_lock<std::mutex> lock(w.mutex);
-      w.can_push.wait(
-          lock, [&] { return w.queue.size() < kMaxQueuedBlocksPerWorker; });
+      if (profile && w.queue.size() >= kMaxQueuedBlocksPerWorker) {
+        // The producer is about to stall on a full queue: the signature
+        // of a lane that cannot keep up with the stream.
+        const ProfClock::time_point wait_start = ProfClock::now();
+        w.can_push.wait(
+            lock, [&] { return w.queue.size() < kMaxQueuedBlocksPerWorker; });
+        ++profile->push_stalls;
+        profile->push_wait_s += seconds_since(wait_start);
+      } else {
+        w.can_push.wait(
+            lock, [&] { return w.queue.size() < kMaxQueuedBlocksPerWorker; });
+      }
       if (w.failed) {
         const std::exception_ptr error = w.error;
         lock.unlock();
@@ -146,6 +212,11 @@ struct LanePool::Impl {
         std::rethrow_exception(error);
       }
       w.queue.push_back(std::move(block));
+      if (profile) {
+        ++profile->blocks_pushed;
+        profile->queue_high_water =
+            std::max(profile->queue_high_water, w.queue.size());
+      }
     }
     w.can_pull.notify_one();
   }
@@ -188,6 +259,7 @@ struct LanePool::Impl {
         if (worker->failed) std::rethrow_exception(worker->error);
       }
     }
+    if (profile) profile->wall_s = seconds_since(profile_start);
     std::vector<ReplaySlice> slices;
     slices.reserve(lanes.size());
     for (auto& lane : lanes) slices.push_back(lane->finish_slice());
@@ -195,8 +267,9 @@ struct LanePool::Impl {
   }
 };
 
-LanePool::LanePool(std::vector<std::unique_ptr<ShardLane>> lanes, int threads)
-    : impl_(std::make_unique<Impl>(std::move(lanes), threads)) {}
+LanePool::LanePool(std::vector<std::unique_ptr<ShardLane>> lanes, int threads,
+                   prof::PoolProfile* profile)
+    : impl_(std::make_unique<Impl>(std::move(lanes), threads, profile)) {}
 
 LanePool::~LanePool() = default;
 
@@ -208,18 +281,32 @@ std::vector<ReplaySlice> LanePool::finish() { return impl_->finish(); }
 
 SimStats run_sharded(const MemorySystem& system,
                      std::vector<std::unique_ptr<ShardLane>> lanes,
-                     int threads, RequestSource& source) {
+                     int threads, RequestSource& source,
+                     prof::Profiler* profiler) {
   const DeviceTiming& timing = system.model().timing;
   if (lanes.size() != static_cast<std::size_t>(timing.channels)) {
     throw std::invalid_argument("run_sharded: one lane per channel required");
   }
-  LanePool pool(std::move(lanes), threads);
+  prof::PoolProfile* pool_profile =
+      profiler ? profiler->add_pool("") : nullptr;
+  LanePool pool(std::move(lanes), threads, pool_profile);
   Request block[kFeedBlockRequests];
   std::uint64_t fed = 0;
   std::uint64_t prev_arrival = 0;
+  // Stage wall time is accumulated locally per batch and recorded once:
+  // two clock reads per 1024-request block when profiling, nothing when
+  // not.
+  double pull_s = 0.0;
+  double feed_s = 0.0;
+  std::uint64_t batches = 0;
   for (;;) {
+    ProfClock::time_point t0;
+    if (profiler) t0 = ProfClock::now();
     const std::size_t pulled = source.next_batch(block, kFeedBlockRequests);
+    if (profiler && pulled > 0) pull_s += seconds_since(t0);
     if (pulled == 0) break;
+    ++batches;
+    if (profiler) t0 = ProfClock::now();
     for (std::size_t i = 0; i < pulled; ++i) {
       const Request& req = block[i];
       // The global sorted-stream contract, with serial-identical
@@ -230,7 +317,16 @@ SimStats run_sharded(const MemorySystem& system,
       pool.feed(static_cast<std::size_t>(place_request(timing, req).channel),
                 req);
     }
+    if (profiler) {
+      feed_s += seconds_since(t0);
+      profiler->add_progress(pulled);
+    }
   }
+  if (profiler && batches > 0) {
+    profiler->record_stage("source_pull", pull_s, batches);
+    profiler->record_stage("engine_feed", feed_s, batches);
+  }
+  prof::StageTimer merge_timer(profiler, "shard_merge");
   std::vector<ReplaySlice> slices = pool.finish();
   ReplaySlice total;
   for (const ReplaySlice& slice : slices) merge_slice(total, slice);
@@ -256,7 +352,8 @@ SimStats ShardedEngine::run(RequestSource& source,
     lanes.push_back(
         std::make_unique<SessionLane>(system_, workload_name, recorder));
   }
-  return run_sharded(system_, std::move(lanes), run_threads_, source);
+  return run_sharded(system_, std::move(lanes), run_threads_, source,
+                     profiler());
 }
 
 }  // namespace comet::memsim

@@ -31,6 +31,11 @@
 /// threads <= 1 the pool degenerates to inline feeding on the caller's
 /// thread — zero threading overhead, same code path as the tests'
 /// reference runs.
+namespace comet::prof {
+class Profiler;
+struct PoolProfile;
+}
+
 namespace comet::memsim {
 
 /// Resolves a --run-threads request: 0 means one thread per hardware
@@ -76,7 +81,13 @@ class SessionLane final : public ShardLane {
 class LanePool {
  public:
   /// Takes ownership of the lanes. threads <= 1 selects inline mode.
-  LanePool(std::vector<std::unique_ptr<ShardLane>> lanes, int threads);
+  /// A non-null `profile` collects host-side wall-clock counters (lane
+  /// busy time, queue stalls, block recycling); the pool sizes its lane
+  /// and worker vectors before any worker spawns, and publishes every
+  /// counter by the time finish() returns. Null costs one pointer test
+  /// per block; the simulated results are bit-identical either way.
+  LanePool(std::vector<std::unique_ptr<ShardLane>> lanes, int threads,
+           prof::PoolProfile* profile = nullptr);
   ~LanePool();
 
   LanePool(const LanePool&) = delete;
@@ -99,9 +110,12 @@ class LanePool {
 /// replay uses), enforcing the global sorted-by-arrival contract with
 /// serial-identical diagnostics, then merges the slices in channel
 /// order and finalizes against `system`'s model.
+/// A non-null `profiler` receives a pool profile plus "source_pull" /
+/// "engine_feed" / "shard_merge" stage timings and live progress ticks.
 SimStats run_sharded(const MemorySystem& system,
                      std::vector<std::unique_ptr<ShardLane>> lanes,
-                     int threads, RequestSource& source);
+                     int threads, RequestSource& source,
+                     prof::Profiler* profiler = nullptr);
 
 /// Engine adapter: a flat MemorySystem replayed across per-channel
 /// worker threads — the parallel twin of MemorySystem itself, returning

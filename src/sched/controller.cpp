@@ -1,11 +1,13 @@
 #include "sched/controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "prof/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/ring.hpp"
 
@@ -645,15 +647,35 @@ memsim::SimStats ScheduledSystem::run(memsim::RequestSource& source,
           system_, config_, workload_name, recorder));
     }
     return memsim::run_sharded(system_, std::move(lanes), run_threads_,
-                               source);
+                               source, profiler());
   }
   Controller controller(system_, config_, workload_name, recorder);
   memsim::Request block[memsim::kFeedBlockRequests];
+  prof::Profiler* const profiler = this->profiler();
+  using ProfClock = std::chrono::steady_clock;
+  double pull_s = 0.0;
+  double feed_s = 0.0;
+  std::uint64_t batches = 0;
   for (;;) {
+    ProfClock::time_point t0;
+    if (profiler) t0 = ProfClock::now();
     const std::size_t pulled =
         source.next_batch(block, memsim::kFeedBlockRequests);
     if (pulled == 0) break;
+    if (profiler) {
+      pull_s += std::chrono::duration<double>(ProfClock::now() - t0).count();
+      ++batches;
+      t0 = ProfClock::now();
+    }
     for (std::size_t i = 0; i < pulled; ++i) controller.feed(block[i]);
+    if (profiler) {
+      feed_s += std::chrono::duration<double>(ProfClock::now() - t0).count();
+      profiler->add_progress(pulled);
+    }
+  }
+  if (profiler && batches > 0) {
+    profiler->record_stage("source_pull", pull_s, batches);
+    profiler->record_stage("engine_feed", feed_s, batches);
   }
   return controller.finish();
 }

@@ -5,6 +5,7 @@
 
 #include "memsim/trace.hpp"
 #include "memsim/trace_gen.hpp"
+#include "prof/profiler.hpp"
 #include "tenant/fairness.hpp"
 #include "tenant/multi_source.hpp"
 
@@ -102,15 +103,20 @@ memsim::SimStats run_multi_tenant(memsim::Engine& engine,
 
   // Run-alone baselines: the identical sub-stream on the identical
   // engine (controller, thread count and all), telemetry detached so
-  // the shared run's trace stays the run's trace.
+  // the shared run's trace stays the run's trace. The profiler stays
+  // attached — baseline replays are host work worth seeing (they
+  // roughly double a multi-tenant run's wall time), so they keep
+  // ticking the progress counter and land in a stage of their own.
   telemetry::Collector* const collector = engine.telemetry();
   engine.attach_telemetry(nullptr);
+  prof::StageTimer baseline_timer(engine.profiler(), "baseline_replays");
   for (std::size_t i = 0; i < job.tenants.size(); ++i) {
     const auto alone = make_tenant_stream(job, i);
     const memsim::SimStats alone_stats =
         engine.run(*alone, job.tenants[i].name);
     stats.tenants[i].alone_avg_latency_ns = alone_stats.avg_latency_ns();
   }
+  baseline_timer.stop();
   engine.attach_telemetry(collector);
 
   apply_fairness(stats);

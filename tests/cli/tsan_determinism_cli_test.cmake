@@ -10,10 +10,13 @@
 # One traced, scheduled run is replayed at --run-threads 1 and
 # --run-threads 8 on a flat and a hybrid device; the stats JSON must
 # match bit-for-bit modulo the run_threads provenance field, and the
-# telemetry trace JSON must match byte-for-byte. A second loop repeats
-# the exercise for a traced multi-tenant run under the fairness-aware
-# FR-FCFS variant — the per-tenant breakdowns, slowdowns, Jain index
-# and the per-tenant telemetry tracks must all shard bit-identically.
+# telemetry trace JSON must match byte-for-byte. A profiled leg then
+# replays the same trace with the full host-observability stack on
+# (--profile, --progress, --assert-slo) and must reproduce the
+# unprofiled serial stats exactly. A final loop repeats the exercise
+# for a traced multi-tenant run under the fairness-aware FR-FCFS
+# variant — the per-tenant breakdowns, slowdowns, Jain index and the
+# per-tenant telemetry tracks must all shard bit-identically.
 
 if(NOT DEFINED COMET_SIM OR NOT DEFINED WORK_DIR OR NOT DEFINED JQ)
   message(FATAL_ERROR "pass -DCOMET_SIM=..., -DWORK_DIR=... and -DJQ=...")
@@ -67,6 +70,69 @@ foreach(device comet hybrid-comet)
   if(NOT serial_trace STREQUAL sharded_trace)
     message(FATAL_ERROR "${device}: sharded telemetry trace is not "
             "byte-identical to serial — lane recording regression")
+  endif()
+endforeach()
+
+# --- Host-profiling determinism (PR 10): the same trace with the full
+# --- observability stack on (--profile, heartbeat, an always-true SLO
+# --- gate) must reproduce the unprofiled serial stats bit-for-bit at
+# --- 1 and 8 replay threads — profiling reads clocks and counters but
+# --- never perturbs the replay. Under COMET_SANITIZE=thread this also
+# --- races the heartbeat thread against the LanePool workers.
+foreach(threads 1 8)
+  execute_process(
+    COMMAND ${COMET_SIM} --device comet
+            --trace-file ${WORK_DIR}/det.nvt
+            --schedule frfcfs --read-q 16 --write-q 16
+            --run-threads ${threads}
+            --trace-out ${WORK_DIR}/prof_t${threads}_trace.json
+            --metrics-interval 1000
+            --profile --progress=20 --assert-slo "wall_s<=3600"
+            --json ${WORK_DIR}/prof_t${threads}.json
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  expect_rc("profiled run-threads ${threads}" "${rc}" 0)
+  execute_process(
+    COMMAND ${JQ} -S
+            "del(.results[].run_threads, .results[].trace_out, .results[].host, .results[].slo)"
+            ${WORK_DIR}/prof_t${threads}.json
+    RESULT_VARIABLE rc
+    OUTPUT_FILE ${WORK_DIR}/prof_t${threads}_norm.json
+    ERROR_VARIABLE err)
+  expect_rc("profiled t${threads} jq normalize" "${rc}" 0)
+endforeach()
+
+# The profiled records must carry a real host object before deletion
+# (guards a regression that silently turns profiling off and passes).
+file(READ ${WORK_DIR}/prof_t8.json profiled_report)
+if(NOT profiled_report MATCHES "\"host\": {")
+  message(FATAL_ERROR "profiled report lost its host profile object")
+endif()
+
+execute_process(
+  COMMAND ${JQ} -S
+          "del(.results[].run_threads, .results[].trace_out, .results[].host, .results[].slo)"
+          ${WORK_DIR}/comet_t1.json
+  RESULT_VARIABLE rc
+  OUTPUT_FILE ${WORK_DIR}/comet_t1_renorm.json
+  ERROR_VARIABLE err)
+expect_rc("unprofiled baseline jq normalize" "${rc}" 0)
+
+file(READ ${WORK_DIR}/comet_t1_renorm.json unprofiled_stats)
+foreach(threads 1 8)
+  file(READ ${WORK_DIR}/prof_t${threads}_norm.json profiled_stats)
+  if(NOT unprofiled_stats STREQUAL profiled_stats)
+    message(FATAL_ERROR "profiled t${threads} stats differ from the "
+            "unprofiled serial run — profiling perturbed the replay "
+            "(diff ${WORK_DIR}/comet_t1_renorm.json against "
+            "prof_t${threads}_norm.json)")
+  endif()
+  # The telemetry trace recorded alongside profiling must also be
+  # byte-identical to the unprofiled serial trace.
+  file(READ ${WORK_DIR}/comet_t1_trace.json unprofiled_trace)
+  file(READ ${WORK_DIR}/prof_t${threads}_trace.json profiled_trace)
+  if(NOT unprofiled_trace STREQUAL profiled_trace)
+    message(FATAL_ERROR "profiled t${threads} telemetry trace is not "
+            "byte-identical to the unprofiled serial trace")
   endif()
 endforeach()
 

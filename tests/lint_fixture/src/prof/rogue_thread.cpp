@@ -1,0 +1,12 @@
+// Fixture: the prof layer's thread allowance is per-file — only
+// prof/heartbeat.cpp may spawn; any other prof file must still fire.
+#include <thread>
+
+namespace comet::prof {
+
+void rogue() {
+  std::thread watcher([] {});
+  watcher.join();
+}
+
+}  // namespace comet::prof

@@ -1,0 +1,395 @@
+// Host-side observability tests (src/prof + driver/slo_eval). The
+// load-bearing gate mirrors test_sharded.cpp: attaching a Profiler must
+// never change the simulated statistics — exact ==, every field, for
+// every registry device (flat and hybrid), scheduled and direct, at
+// thread counts {1, 2, 8}. Around it: the SLO grammar (parse errors,
+// round-trip printing, registry/evaluator agreement), degenerate runs
+// (zero and single-request sweeps with profiling and heartbeat on,
+// empty-stats gating without division blowups) and the heartbeat
+// thread's lifecycle including an unknown (0) request total.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "driver/registry.hpp"
+#include "driver/slo_eval.hpp"
+#include "driver/sweep.hpp"
+#include "memsim/sharded.hpp"
+#include "memsim/stats.hpp"
+#include "memsim/trace_gen.hpp"
+#include "prof/heartbeat.hpp"
+#include "prof/profiler.hpp"
+#include "prof/slo.hpp"
+#include "sched/controller.hpp"
+#include "util/stats.hpp"
+
+namespace ms = comet::memsim;
+namespace pf = comet::prof;
+namespace dr = comet::driver;
+namespace sc = comet::sched;
+namespace cu = comet::util;
+
+namespace {
+
+pf::ProfSpec profiling_spec() {
+  pf::ProfSpec spec;
+  spec.profile = true;
+  return spec;
+}
+
+/// Exact comparison of every SimStats field (the test_sharded.cpp
+/// contract, reused for the profiled-vs-unprofiled gate).
+void expect_identical(const ms::SimStats& a, const ms::SimStats& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.device_name, b.device_name) << label;
+  EXPECT_EQ(a.workload_name, b.workload_name) << label;
+  EXPECT_EQ(a.reads, b.reads) << label;
+  EXPECT_EQ(a.writes, b.writes) << label;
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred) << label;
+  EXPECT_EQ(a.span_ps, b.span_ps) << label;
+  const auto same_dist = [&](const cu::RunningStats& x,
+                             const cu::RunningStats& y, const char* which) {
+    EXPECT_EQ(x.count(), y.count()) << label << " " << which;
+    EXPECT_EQ(x.mean(), y.mean()) << label << " " << which;
+    EXPECT_EQ(x.stddev(), y.stddev()) << label << " " << which;
+    EXPECT_EQ(x.min(), y.min()) << label << " " << which;
+    EXPECT_EQ(x.max(), y.max()) << label << " " << which;
+    EXPECT_EQ(x.sum(), y.sum()) << label << " " << which;
+    EXPECT_EQ(x.p50(), y.p50()) << label << " " << which;
+    EXPECT_EQ(x.p95(), y.p95()) << label << " " << which;
+    EXPECT_EQ(x.p99(), y.p99()) << label << " " << which;
+  };
+  same_dist(a.read_latency_ns, b.read_latency_ns, "read");
+  same_dist(a.write_latency_ns, b.write_latency_ns, "write");
+  same_dist(a.queue_delay_ns, b.queue_delay_ns, "queue");
+  EXPECT_EQ(a.dynamic_energy_pj, b.dynamic_energy_pj) << label;
+  EXPECT_EQ(a.background_energy_pj, b.background_energy_pj) << label;
+  EXPECT_EQ(a.total_bank_busy_ns, b.total_bank_busy_ns) << label;
+  EXPECT_EQ(a.hybrid, b.hybrid) << label;
+  EXPECT_EQ(a.cache_hits, b.cache_hits) << label;
+  EXPECT_EQ(a.cache_misses, b.cache_misses) << label;
+  EXPECT_EQ(a.writebacks, b.writebacks) << label;
+  EXPECT_EQ(a.dram_tier_energy_pj, b.dram_tier_energy_pj) << label;
+  EXPECT_EQ(a.backend_tier_energy_pj, b.backend_tier_energy_pj) << label;
+  EXPECT_EQ(a.scheduled, b.scheduled) << label;
+  EXPECT_EQ(a.sched_policy, b.sched_policy) << label;
+  same_dist(a.sched_queue_delay_ns, b.sched_queue_delay_ns, "sched-queue");
+  same_dist(a.service_latency_ns, b.service_latency_ns, "service");
+  EXPECT_EQ(a.write_drains, b.write_drains) << label;
+  EXPECT_EQ(a.drain_stalls, b.drain_stalls) << label;
+  EXPECT_EQ(a.admit_stalls, b.admit_stalls) << label;
+}
+
+const std::vector<ms::Request>& shared_trace() {
+  static const std::vector<ms::Request> trace =
+      ms::TraceGenerator(ms::profile_by_name("gcc_like"), 7).generate(2000,
+                                                                      64);
+  return trace;
+}
+
+ms::SimStats run_spec(const dr::DeviceSpec& spec,
+                      const std::optional<sc::ControllerConfig>& controller,
+                      int threads, pf::Profiler* profiler) {
+  const auto engine = spec.make_engine(controller, threads);
+  if (profiler) engine->attach_profiler(profiler);
+  return engine->run(shared_trace(), "gcc_like");
+}
+
+}  // namespace
+
+// ----------------------------------------------------- SLO grammar
+
+TEST(SloParse, AcceptsEveryOperatorAndScientificThresholds) {
+  const auto slo = pf::parse_slo(
+      " p99_read_ns <= 2500 , requests_per_s>=5e6, hit_rate>0.5,"
+      "max_slowdown<3.0,wall_s==1.25e-1 ");
+  ASSERT_EQ(slo.size(), 5u);
+  EXPECT_EQ(slo[0].metric, "p99_read_ns");
+  EXPECT_EQ(slo[0].op, pf::SloPredicate::Op::kLe);
+  EXPECT_EQ(slo[0].threshold, 2500.0);
+  EXPECT_EQ(slo[1].op, pf::SloPredicate::Op::kGe);
+  EXPECT_EQ(slo[1].threshold, 5e6);
+  EXPECT_EQ(slo[2].op, pf::SloPredicate::Op::kGt);
+  EXPECT_EQ(slo[3].op, pf::SloPredicate::Op::kLt);
+  EXPECT_EQ(slo[4].op, pf::SloPredicate::Op::kEq);
+  EXPECT_EQ(slo[4].threshold, 0.125);
+}
+
+TEST(SloParse, RejectsMalformedPredicates) {
+  EXPECT_THROW(pf::parse_slo("bogus_metric<=1"), std::invalid_argument);
+  EXPECT_THROW(pf::parse_slo("p99_read_ns"), std::invalid_argument);
+  EXPECT_THROW(pf::parse_slo("p99_read_ns<="), std::invalid_argument);
+  EXPECT_THROW(pf::parse_slo("p99_read_ns<=abc"), std::invalid_argument);
+  EXPECT_THROW(pf::parse_slo("p99_read_ns<=1e"), std::invalid_argument);
+  EXPECT_THROW(pf::parse_slo("p99_read_ns<=nan"), std::invalid_argument);
+  EXPECT_THROW(pf::parse_slo("<=1"), std::invalid_argument);
+  EXPECT_THROW(pf::parse_slo("a<=1,,b>=2"), std::invalid_argument);
+  EXPECT_THROW(pf::parse_slo("p99_read_ns<=1,"), std::invalid_argument);
+}
+
+TEST(SloParse, EmptyListMeansNoGating) {
+  EXPECT_TRUE(pf::parse_slo("").empty());
+}
+
+TEST(SloParse, ToStringRoundTripsThroughTheParser) {
+  const std::string text =
+      "p99_read_ns<=2500,requests_per_s>=5e6,max_slowdown<3,hit_rate>0.55";
+  const auto first = pf::parse_slo(text);
+  const auto second = pf::parse_slo(pf::slo_to_string(first));
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].metric, second[i].metric);
+    EXPECT_EQ(first[i].op, second[i].op);
+    EXPECT_EQ(first[i].threshold, second[i].threshold);
+  }
+  // Integral thresholds print as integers, not scientific notation.
+  EXPECT_EQ(first[0].to_string(), "p99_read_ns<=2500");
+}
+
+// ------------------------------------- registry/evaluator agreement
+
+TEST(SloEval, EveryRegistryMetricHasAnEvaluatorMapping) {
+  // A record where every metric class is live: hybrid + multi-tenant
+  // stats and a nonzero host wall clock. Every name the grammar accepts
+  // must then evaluate as applicable — a metric added to kMetrics
+  // without a driver mapping fails here.
+  ms::SimStats stats;
+  stats.hybrid = true;
+  stats.tenants.emplace_back();
+  for (const auto& name : pf::known_slo_metrics()) {
+    const auto slo = pf::parse_slo(name + "<=1e300");
+    const auto outcomes = dr::evaluate_slo(slo, stats, /*wall_s=*/1.0);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].applicable) << name;
+    EXPECT_TRUE(outcomes[0].pass) << name;
+  }
+}
+
+TEST(SloEval, EmptyStatsNeverDivideByZero) {
+  // Degenerate gating: zero requests, zero wall clock. Every metric
+  // must produce a finite value (or be skipped), never NaN/inf.
+  const ms::SimStats stats;
+  for (const auto& name : pf::known_slo_metrics()) {
+    const auto slo = pf::parse_slo(name + ">=0");
+    const auto outcomes = dr::evaluate_slo(slo, stats, /*wall_s=*/0.0);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(std::isfinite(outcomes[0].value)) << name;
+    if (outcomes[0].applicable) {
+      EXPECT_TRUE(outcomes[0].pass) << name;
+    }
+  }
+}
+
+TEST(SloEval, InapplicableMetricsAreSkippedNotViolated) {
+  // Flat single-stream record: hit_rate / max_slowdown / fairness and
+  // the host metrics (wall_s == 0, unprofiled) must all skip — an
+  // impossible threshold stays green because it was never measured.
+  const ms::SimStats stats;
+  const auto slo = pf::parse_slo(
+      "hit_rate>=1,max_slowdown<=0,fairness_index>=1,"
+      "requests_per_s>=1e12,wall_s<=0");
+  const auto outcomes = dr::evaluate_slo(slo, stats, /*wall_s=*/0.0);
+  for (const auto& outcome : outcomes) {
+    EXPECT_FALSE(outcome.applicable) << outcome.predicate.metric;
+    EXPECT_TRUE(outcome.pass) << outcome.predicate.metric;
+  }
+  EXPECT_FALSE(dr::slo_violated(outcomes));
+}
+
+TEST(SloEval, ViolationIsDetectedAndNamed) {
+  ms::SimStats stats;
+  stats.reads = 100;
+  stats.read_latency_ns.add(5000.0);
+  const auto slo = pf::parse_slo("p99_read_ns<=1,avg_queue_delay_ns>=0");
+  const auto outcomes = dr::evaluate_slo(slo, stats, /*wall_s=*/0.5);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].pass);
+  EXPECT_TRUE(outcomes[1].pass);
+  EXPECT_TRUE(dr::slo_violated(outcomes));
+  EXPECT_EQ(outcomes[0].predicate.to_string(), "p99_read_ns<=1");
+}
+
+// -------------------------------------------------- ProfSpec basics
+
+TEST(ProfSpec, EnabledIsTheUnionOfTheThreeLegs) {
+  pf::ProfSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  spec.profile = true;
+  EXPECT_TRUE(spec.profiling());
+  EXPECT_TRUE(spec.enabled());
+  spec = pf::ProfSpec{};
+  spec.progress_ms = 250;
+  EXPECT_TRUE(spec.heartbeat());
+  EXPECT_TRUE(spec.enabled());
+  spec = pf::ProfSpec{};
+  spec.slo = pf::parse_slo("wall_s<=60");
+  EXPECT_TRUE(spec.gating());
+  EXPECT_TRUE(spec.enabled());
+}
+
+TEST(Profiler, RequestsPerSecondGuardsDegenerateRuns) {
+  pf::Profiler profiler(profiling_spec());
+  EXPECT_EQ(profiler.requests_per_second(), 0.0);
+  profiler.set_run_totals(0.0, 0);
+  EXPECT_EQ(profiler.requests_per_second(), 0.0);
+  profiler.set_run_totals(2.0, 1000);
+  EXPECT_EQ(profiler.requests_per_second(), 500.0);
+}
+
+// ------------------------------------------------- degenerate sweeps
+
+TEST(DegenerateRuns, ZeroAndSingleRequestAcrossEngineShapes) {
+  // Every engine shape (flat direct, scheduled, sharded, hybrid) at 0
+  // and 1 requests with profiling AND heartbeat enabled: no hangs, no
+  // division blowups, and the simulated counts still add up.
+  pf::ProfSpec spec = profiling_spec();
+  spec.progress_ms = 1;
+
+  struct Shape {
+    const char* token;
+    std::optional<sc::ControllerConfig> controller;
+    int run_threads;
+  };
+  const Shape shapes[] = {
+      {"comet", std::nullopt, 1},
+      {"comet", sc::ControllerConfig::with_depths(sc::Policy::kFrFcfs, 8, 8),
+       1},
+      {"comet", std::nullopt, 4},
+      {"hybrid-comet", std::nullopt, 1},
+  };
+  for (const Shape& shape : shapes) {
+    for (const std::size_t requests : {std::size_t{0}, std::size_t{1}}) {
+      dr::SweepJob job;
+      job.device = dr::make_device_spec(shape.token);
+      job.profile = ms::profile_by_name("gcc_like");
+      job.requests = requests;
+      job.run_threads = shape.run_threads;
+      job.controller = shape.controller;
+      job.profile_spec = spec;
+
+      pf::Profiler profiler(spec);
+      std::ostringstream sink;
+      std::vector<const pf::Profiler*> watched{&profiler};
+      pf::Heartbeat heartbeat(sink, spec.progress_ms, watched, requests);
+      const ms::SimStats stats = dr::run_job(job, nullptr, &profiler);
+      heartbeat.stop();
+
+      const std::string label = std::string(shape.token) + "/rt" +
+                                std::to_string(shape.run_threads) + "/n" +
+                                std::to_string(requests);
+      EXPECT_EQ(stats.reads + stats.writes, requests) << label;
+      EXPECT_EQ(profiler.progress(), requests) << label;
+      EXPECT_EQ(profiler.run_requests(), requests) << label;
+      EXPECT_GE(profiler.wall_seconds(), 0.0) << label;
+      EXPECT_TRUE(std::isfinite(profiler.requests_per_second())) << label;
+
+      // Gating an empty/near-empty record must not divide by zero.
+      const auto outcomes =
+          dr::evaluate_slo(pf::parse_slo("requests_per_s>=0,wall_s>=0"),
+                           stats, profiler.wall_seconds());
+      for (const auto& outcome : outcomes) {
+        EXPECT_TRUE(std::isfinite(outcome.value)) << label;
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------- heartbeat
+
+TEST(Heartbeat, UnknownTotalPrintsCountsWithoutEta) {
+  pf::Profiler profiler(profiling_spec());
+  profiler.add_progress(1234);
+  std::ostringstream out;
+  {
+    pf::Heartbeat heartbeat(out, 1, {&profiler}, /*total_requests=*/0);
+    heartbeat.stop();
+    heartbeat.stop();  // Idempotent.
+  }
+  const std::string text = out.str();
+  EXPECT_NE(text.find("req"), std::string::npos);
+  EXPECT_EQ(text.find("ETA"), std::string::npos);
+  EXPECT_EQ(text.find('%'), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Heartbeat, KnownTotalReportsPercentAndSurvivesZeroProgress) {
+  pf::Profiler profiler(profiling_spec());
+  std::ostringstream out;
+  {
+    pf::Heartbeat heartbeat(out, 1, {&profiler}, /*total_requests=*/1000);
+  }  // Destructor stops; zero progress must not divide by zero.
+  EXPECT_NE(out.str().find('%'), std::string::npos);
+}
+
+TEST(Heartbeat, SumsProgressAcrossProfilers) {
+  pf::Profiler a(profiling_spec());
+  pf::Profiler b(profiling_spec());
+  a.add_progress(600);
+  b.add_progress(400);
+  std::ostringstream out;
+  pf::Heartbeat heartbeat(out, 1, {&a, &b}, 1000);
+  heartbeat.stop();
+  EXPECT_NE(out.str().find("100.0%"), std::string::npos) << out.str();
+}
+
+// ------------------------------------- profiled-vs-unprofiled gate
+
+TEST(ProfiledBitIdentity, EveryFlatRegistryDeviceEveryThreadCount) {
+  for (const auto& token : dr::known_devices()) {
+    const dr::DeviceSpec spec = dr::make_device_spec(token);
+    const ms::SimStats plain = run_spec(spec, std::nullopt, 1, nullptr);
+    for (const int threads : {1, 2, 8}) {
+      pf::Profiler profiler(profiling_spec());
+      expect_identical(plain, run_spec(spec, std::nullopt, threads, &profiler),
+                       token + "/t" + std::to_string(threads));
+      EXPECT_EQ(profiler.progress(), shared_trace().size()) << token;
+    }
+  }
+}
+
+TEST(ProfiledBitIdentity, EveryHybridRegistryDeviceEveryThreadCount) {
+  for (const auto& token : dr::known_hybrid_devices()) {
+    const dr::DeviceSpec spec = dr::make_device_spec(token);
+    const ms::SimStats plain = run_spec(spec, std::nullopt, 1, nullptr);
+    for (const int threads : {1, 2, 8}) {
+      pf::Profiler profiler(profiling_spec());
+      expect_identical(plain, run_spec(spec, std::nullopt, threads, &profiler),
+                       token + "/t" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ProfiledBitIdentity, ScheduledEnginesMatchWithProfilingOn) {
+  const dr::DeviceSpec spec = dr::make_device_spec("comet");
+  const auto controller =
+      sc::ControllerConfig::with_depths(sc::Policy::kReadFirst, 8, 8);
+  const ms::SimStats plain = run_spec(spec, controller, 1, nullptr);
+  for (const int threads : {1, 2, 8}) {
+    pf::Profiler profiler(profiling_spec());
+    expect_identical(plain, run_spec(spec, controller, threads, &profiler),
+                     "sched/t" + std::to_string(threads));
+  }
+}
+
+TEST(ProfiledBitIdentity, PoolProfileAccountsForEveryRequest) {
+  const dr::DeviceSpec spec = dr::make_device_spec("comet");
+  pf::Profiler profiler(profiling_spec());
+  run_spec(spec, std::nullopt, 4, &profiler);
+  ASSERT_EQ(profiler.pools().size(), 1u);
+  const pf::PoolProfile& pool = *profiler.pools()[0];
+  EXPECT_EQ(pool.threads, 4);
+  std::uint64_t lane_requests = 0;
+  for (const auto& lane : pool.lanes) lane_requests += lane.requests;
+  EXPECT_EQ(lane_requests, shared_trace().size());
+  EXPECT_EQ(pool.blocks_allocated + pool.blocks_recycled, pool.blocks_pushed);
+  const double utilization = pool.utilization();
+  EXPECT_GE(utilization, 0.0);
+  EXPECT_LE(utilization, 1.0);
+}
